@@ -1,0 +1,59 @@
+"""Ablation: the partitioner's rebalancing pass (§3.1.2, Fig 2c-d).
+
+Without rebalancing, forming keeps every partition under target and dumps
+the collective deficit on the final partition (the populous Eastern US in
+Fig 2a).  We quantify the imbalance with and without the pass, plus its
+cost, on skewed synthetic tweets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.partition import form_partitions
+from repro.partition.grid import GridHistogram
+
+
+@pytest.fixture(scope="module")
+def histogram(twitter_60k):
+    return GridHistogram.from_points(twitter_60k, 0.1)
+
+
+@pytest.mark.benchmark(group="ablation-rebalance")
+def test_rebalance_on(benchmark, histogram, emit):
+    reb = benchmark.pedantic(
+        form_partitions, args=(histogram, 32, 40), rounds=3, iterations=1
+    )
+    raw = form_partitions(histogram, 32, 40, rebalance=False)
+
+    raw_sizes = [p.total_count for p in raw.nonempty()]
+    reb_sizes = [p.total_count for p in reb.nonempty()]
+    emit(
+        "ablation_rebalance",
+        "\n".join(
+            [
+                "Rebalance ablation (60k tweets, 32 partitions):",
+                f"  OFF: max={max(raw_sizes):,} imbalance={raw.size_imbalance():.2f} "
+                f"(last partition holds {raw_sizes[-1]:,})",
+                f"  ON : max={max(reb_sizes):,} imbalance={reb.size_imbalance():.2f} "
+                f"(threshold 1.075 x {reb.final_target_size:,.0f})",
+            ]
+        ),
+    )
+
+    assert reb.size_imbalance() <= raw.size_imbalance()
+    # Point conservation under both.
+    assert sum(p.point_count for p in raw.partitions) == histogram.total_points
+    assert sum(p.point_count for p in reb.partitions) == histogram.total_points
+
+
+@pytest.mark.benchmark(group="ablation-rebalance")
+def test_rebalance_off(benchmark, histogram):
+    raw = benchmark.pedantic(
+        form_partitions,
+        args=(histogram, 32, 40),
+        kwargs={"rebalance": False},
+        rounds=3,
+        iterations=1,
+    )
+    assert len(raw.nonempty()) == 32

@@ -1,0 +1,58 @@
+"""Ablation: MRNet tree fanout for the merge/sweep phases.
+
+The paper uses 256-way fanouts with at most three levels.  A flat tree
+concentrates all merge work and inbound traffic at the root; deeper,
+narrower trees spread filter work across internal nodes at the cost of
+extra hops.  We measure real merge traffic and root-node load across
+topologies on the same leaf summaries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MrScanConfig
+from repro.core.pipeline import run_pipeline
+from repro.mrnet import Topology
+
+
+def _run(points, fanout):
+    cfg = MrScanConfig(eps=0.1, minpts=40, n_leaves=16, fanout=fanout)
+    return run_pipeline(points, cfg)
+
+
+@pytest.mark.benchmark(group="ablation-topology")
+def test_topology_fanout(benchmark, emit, twitter_30k):
+    flat = _run(twitter_30k, 256)  # 16 leaves <= 256 -> flat tree
+    narrow = _run(twitter_30k, 4)  # 3-level tree with 4 internals
+
+    def root_load(res):
+        return res.network_traces["merge_reduce"].bytes_into(0)
+
+    emit(
+        "ablation_topology",
+        "\n".join(
+            [
+                "Topology ablation (16 leaves, merge phase):",
+                f"  flat (fanout 256): depth {Topology.paper_style(16).depth()}, "
+                f"root inbound {root_load(flat):,} B, "
+                f"{flat.network_traces['merge_reduce'].n_packets} packets",
+                f"  fanout 4        : depth {Topology.paper_style(16, 4).depth()}, "
+                f"root inbound {root_load(narrow):,} B, "
+                f"{narrow.network_traces['merge_reduce'].n_packets} packets",
+            ]
+        ),
+    )
+
+    # Same clustering regardless of tree shape.
+    assert flat.n_clusters == narrow.n_clusters
+    assert (flat.labels == narrow.labels).all()
+    # The internal level pre-merges summaries, shrinking root inbound
+    # bytes, at the cost of more total packets.
+    assert root_load(narrow) <= root_load(flat)
+    assert (
+        narrow.network_traces["merge_reduce"].n_packets
+        > flat.network_traces["merge_reduce"].n_packets
+    )
+
+    benchmark.pedantic(_run, args=(twitter_30k, 4), rounds=3, iterations=1)

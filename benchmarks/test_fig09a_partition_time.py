@@ -1,0 +1,48 @@
+"""Fig 9a: partition-phase time (the paper's scaling bottleneck).
+
+The paper: the partition phase scales linearly with data, is ~68 % of the
+total at scale, and at MinPts=400 its write step (small random writes of
+every partition from every partitioner node) takes 65.2 % vs 29.9 % for
+the read.  We reproduce the modelled curve, check the write/read split
+through the Lustre model on a *real* partitioner I/O trace, and benchmark
+the real distributed partitioner.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.io.lustre import LustreModel
+from repro.partition import DistributedPartitioner
+from repro.perf import figures
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09a_partition_time(benchmark, emit, twitter_30k):
+    fig = figures.fig9a()
+
+    # Real partitioner run: record the actual I/O pattern, convert through
+    # the Lustre model, and verify writes dominate like the paper's split.
+    dp = DistributedPartitioner(0.1, 400, 4)
+    result = dp.run(twitter_30k, 32)
+    model = LustreModel()
+    split = model.breakdown(result.io_trace)
+    total = model.phase_time(result.io_trace)
+
+    lines = [
+        fig.render(),
+        "",
+        f"real partitioner trace (30k points, 4 nodes, 32 partitions):",
+        f"  {result.io_trace.n_ops} ops, {result.io_trace.total_bytes():,} bytes",
+        f"  modelled split: write {split['write']:.3f}s vs read {split['read']:.3f}s",
+    ]
+    emit("fig09a_partition_time", "\n".join(lines))
+
+    assert split["write"] > split["read"], "writes must dominate (paper: 65% vs 30%)"
+    # Modelled curve: linear growth in data.
+    v = fig.series["minpts=400"]
+    assert v[-1] / v[-2] == pytest.approx(2.0, rel=0.4)
+
+    benchmark.pedantic(
+        dp.run, args=(twitter_30k, 32), rounds=3, iterations=1
+    )

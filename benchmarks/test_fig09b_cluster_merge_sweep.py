@@ -1,0 +1,38 @@
+"""Fig 9b: cluster + merge + sweep time (everything after partitioning).
+
+The paper's Fig 9b tracks Fig 9c (GPU time) plus MRNet startup; at
+MinPts=4000 a slight linear growth from startup remains.  We reproduce the
+modelled series and benchmark the real post-partition phases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MrScanConfig
+from repro.core.pipeline import run_pipeline
+from repro.perf import figures
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09b_cluster_merge_sweep(benchmark, emit, twitter_30k):
+    fig = figures.fig9b()
+    emit("fig09b_cluster_merge_sweep", fig.render())
+
+    # The modelled aggregate must sit above the pure GPU series (it adds
+    # startup, merge and sweep) at every point.
+    gpu = figures.fig9c()
+    for name in fig.series:
+        assert all(
+            b >= g for b, g in zip(fig.series[name], gpu.series[name])
+        ), name
+
+    # Real benchmark: the post-partition phases of an 8-leaf run.
+    cfg = MrScanConfig(eps=0.1, minpts=40, n_leaves=8)
+
+    def run():
+        res = run_pipeline(twitter_30k, cfg)
+        return res.timings.cluster_merge_sweep
+
+    cms = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert cms > 0

@@ -1,0 +1,38 @@
+"""Fig 9c: GPGPU DBSCAN time (slowest leaf dictates the cluster phase).
+
+Paper claims reproduced on the modelled series: a dense-box dip for
+MinPts <= 400, an upward trend at 6.5 B (the slowest leaf clusters one
+dense Eps x Eps cell), and MinPts=4000 running slower with ~logarithmic
+scaling.  The real benchmark times one leaf's GPU clustering and reports
+its operation counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import mrscan_gpu
+from repro.perf import figures
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09c_gpu_dbscan_time(benchmark, emit, twitter_30k):
+    fig = figures.fig9c()
+    emit("fig09c_gpu_dbscan_time", fig.render())
+
+    # MinPts=4000 is the slow curve (dense box can't fire as early).
+    assert sum(fig.series["minpts=4000"]) > sum(fig.series["minpts=40"])
+    # Upward trend into 6.5B for the low-MinPts curves.
+    for name in ("minpts=4", "minpts=40", "minpts=400"):
+        v = fig.series[name]
+        assert v[-1] > v[-3]
+    # At least one curve shows the mid-scale dense-box dip.
+    assert any(
+        any(b < a for a, b in zip(fig.series[name], fig.series[name][1:]))
+        for name in ("minpts=4", "minpts=40", "minpts=400")
+    )
+
+    result = benchmark.pedantic(
+        mrscan_gpu, args=(twitter_30k, 0.1, 40), rounds=3, iterations=1
+    )
+    assert result.stats.sync_round_trips == 2  # the §3.2.2 guarantee

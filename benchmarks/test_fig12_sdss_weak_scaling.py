@@ -1,0 +1,43 @@
+"""Fig 12: SDSS weak scaling (Eps=0.00015, MinPts=5) to 1.6 B points.
+
+The paper: the SDSS curve resembles the Twitter one, with most of the
+increase contributed by the partitioner.  Real series: the pipeline over
+growing synthetic detection tables; modelled series: the paper's x-axis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import mrscan
+from repro.data import generate_sdss
+from repro.perf import figures
+
+POINTS_PER_LEAF = 4_000
+REAL_LEAVES = (2, 4, 8)
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_sdss_weak_scaling(benchmark, emit):
+    fig = figures.fig12()
+
+    lines = [fig.render(), "", "real pipeline (4,000 detections/leaf):"]
+    for leaves in REAL_LEAVES:
+        pts = generate_sdss(POINTS_PER_LEAF * leaves, seed=leaves)
+        res = mrscan(pts, eps=0.00015, minpts=5, n_leaves=leaves)
+        lines.append(
+            f"  {leaves} leaves: total {res.timings.total:.2f}s "
+            f"(partition {res.timings.partition:.2f}s), "
+            f"{res.n_clusters} objects"
+        )
+    emit("fig12_sdss_weak_scaling", "\n".join(lines))
+
+    total = fig.series["total"]
+    assert all(b >= a for a, b in zip(total, total[1:])), "must grow with scale"
+    assert total[-1] / total[0] < 100, "growth stays far below the 1024x data growth"
+
+    pts = generate_sdss(POINTS_PER_LEAF * 4, seed=55)
+    res = benchmark.pedantic(
+        mrscan, args=(pts, 0.00015, 5), kwargs={"n_leaves": 4}, rounds=3, iterations=1
+    )
+    assert res.n_clusters > 0

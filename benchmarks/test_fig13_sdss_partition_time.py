@@ -1,0 +1,35 @@
+"""Fig 13: SDSS partition-phase time.
+
+The paper: "the reason for the lack of scaling ... is identical to the
+performance issues discussed for the Twitter dataset (file I/O)."  We
+reproduce the modelled curve, verify it is the dominant share of the
+Fig 12 total increase, and benchmark the real distributed partitioner on
+SDSS-shaped data (tiny Eps, hence a very large number of occupied cells —
+the stress case for the grid machinery).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.partition import DistributedPartitioner
+from repro.perf import figures
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_sdss_partition_time(benchmark, emit, sdss_30k):
+    fig = figures.fig13()
+    f12 = figures.fig12()
+    emit("fig13_sdss_partition_time", fig.render())
+
+    part = fig.series["partition"]
+    total = f12.series["total"]
+    assert all(b >= a for a, b in zip(part, part[1:]))
+    # Partitioning contributes the majority of the total's growth.
+    assert (part[-1] - part[0]) / (total[-1] - total[0]) > 0.5
+
+    dp = DistributedPartitioner(0.00015, 5, 4)
+    result = benchmark.pedantic(dp.run, args=(sdss_30k, 16), rounds=3, iterations=1)
+    assert result.n_partitions == 16
+    reads = result.io_trace.total_bytes("read")
+    assert reads == len(sdss_30k) * 32

@@ -1,0 +1,32 @@
+"""Table 1: the weak-scaling configurations.
+
+Verifies the topology schedule (leaves, internal processes, partition
+nodes) against the paper's table and benchmarks MRNet tree construction at
+the largest configuration (8192 leaves, 32 internals).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import TABLE1_CONFIGS, table1_partition_nodes
+from repro.mrnet import Topology
+from repro.perf import figures
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_configs(benchmark, emit):
+    emit("table1", figures.table1().render())
+
+    # Paper check: internal process counts match ceil(leaves/256) beyond
+    # one fanout, zero within.
+    for points, internals, leaves, pnodes in TABLE1_CONFIGS:
+        topo = Topology.paper_style(leaves)
+        assert topo.n_internal == internals, (leaves, topo.n_internal)
+        assert table1_partition_nodes(leaves) == pnodes
+        assert points == leaves * 800_000
+
+    # Benchmark: building the largest tree of the paper.
+    topo = benchmark(Topology.paper_style, 8192)
+    assert topo.n_leaves == 8192
+    assert topo.depth() == 3

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Scaling study: real runs at laptop scale + modelled runs at paper scale.
+
+Part 1 weak-scales the *real* pipeline (fixed points per leaf, growing
+leaf count) and strong-scales a fixed dataset, printing per-phase wall
+times and the slowest-leaf operation counts that drive them.
+
+Part 2 replays the paper's exact configurations (Table 1, up to 6.5 B
+points on 8192 leaves) through the calibrated Titan performance model —
+the machinery behind the Fig 8-10 benchmarks.
+
+    python examples/scaling_study.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import repro
+from repro.data import generate_twitter
+from repro.perf import figures
+
+EPS = 0.1
+MINPTS = 40
+POINTS_PER_LEAF = 6_000  # laptop-scale stand-in for the paper's 800,000
+
+
+def real_weak_scaling() -> None:
+    print("=== real pipeline, weak scaling "
+          f"({POINTS_PER_LEAF:,} points per leaf) ===")
+    print("(virtual = critical-path time, i.e. one machine per process;")
+    print(" wall = this host executing every tree node serially)")
+    print(f"{'leaves':>7} {'points':>9} {'wall':>8} {'virtual':>8} "
+          f"{'v-part':>7} {'v-clstr':>8} {'clusters':>9}")
+    for leaves in (1, 2, 4, 8, 16):
+        pts = generate_twitter(POINTS_PER_LEAF * leaves, seed=99)
+        t0 = time.perf_counter()
+        res = repro.mrscan(pts, eps=EPS, minpts=MINPTS, n_leaves=leaves)
+        wall = time.perf_counter() - t0
+        v = res.virtual_timings
+        print(
+            f"{leaves:>7} {len(pts):>9,} {wall:>8.2f} {v.total:>8.2f} "
+            f"{v.partition:>7.2f} {v.cluster:>8.2f} "
+            f"{res.n_clusters:>9}"
+        )
+
+
+def real_strong_scaling() -> None:
+    n = 48_000
+    pts = generate_twitter(n, seed=100)
+    print(f"\n=== real pipeline, strong scaling ({n:,} points) ===")
+    print(f"{'leaves':>7} {'virtual cluster s':>18} {'slowest-leaf ops':>17} {'max leaf pts':>13}")
+    for leaves in (1, 2, 4, 8, 16, 32):
+        res = repro.mrscan(pts, eps=EPS, minpts=MINPTS, n_leaves=leaves)
+        print(
+            f"{leaves:>7} {res.virtual_timings.cluster:>18.3f} "
+            f"{res.slowest_leaf_ops:>17,} {max(res.leaf_point_counts):>13,}"
+        )
+
+
+def paper_scale_model() -> None:
+    print("\n=== modelled Titan runs (the paper's configurations) ===")
+    print(figures.table1().render())
+    print()
+    print(figures.fig8().render())
+    print()
+    print(figures.fig10().render())
+
+
+def main() -> None:
+    real_weak_scaling()
+    real_strong_scaling()
+    paper_scale_model()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,241 @@
+"""Command-line interface: ``mrscan`` / ``python -m repro``.
+
+Subcommands
+-----------
+``generate``  write a synthetic dataset (twitter / sdss / blobs) to a file
+``cluster``   run the full Mr. Scan pipeline over a point file
+``quality``   compare a clustering against single-CPU reference DBSCAN
+``simulate``  reproduce a paper figure through the performance model
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from . import __version__
+from .points import PointSet
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mrscan",
+        description="Mr. Scan (SC'13) reproduction: tree-distributed GPU DBSCAN",
+    )
+    parser.add_argument("--version", action="version", version=f"mrscan {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    gen.add_argument("dataset", choices=["twitter", "sdss", "blobs"])
+    gen.add_argument("n_points", type=int)
+    gen.add_argument("output", type=Path)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--format", choices=["binary", "text"], default="binary")
+
+    clu = sub.add_parser("cluster", help="run the Mr. Scan pipeline")
+    clu.add_argument("input", type=Path)
+    clu.add_argument("--eps", type=float, required=True)
+    clu.add_argument("--minpts", type=int, required=True)
+    clu.add_argument("--leaves", type=int, default=4)
+    clu.add_argument("--fanout", type=int, default=256)
+    clu.add_argument("--partition-nodes", type=int, default=None)
+    clu.add_argument("--no-densebox", action="store_true")
+    clu.add_argument(
+        "--algorithm", choices=["mrscan", "cuda-dclust"], default="mrscan"
+    )
+    clu.add_argument(
+        "--partition-output", choices=["lustre", "network"], default="lustre"
+    )
+    clu.add_argument("--output", type=Path, default=None, help="labels file (text)")
+    clu.add_argument("--json", action="store_true", help="print a JSON report")
+    clu.add_argument("--verbose", action="store_true", help="log phase progress")
+
+    ana = sub.add_parser("analyze", help="per-cluster statistics of a clustering")
+    ana.add_argument("input", type=Path, help="point file")
+    ana.add_argument("labels", type=Path, help="labels file from `cluster --output`")
+    ana.add_argument("--top", type=int, default=10)
+    ana.add_argument("--json", action="store_true")
+
+    qua = sub.add_parser("quality", help="DBDC quality vs reference DBSCAN")
+    qua.add_argument("input", type=Path)
+    qua.add_argument("--eps", type=float, required=True)
+    qua.add_argument("--minpts", type=int, required=True)
+    qua.add_argument("--leaves", type=int, default=4)
+
+    sim = sub.add_parser("simulate", help="reproduce a paper figure (perf model)")
+    sim.add_argument(
+        "figure",
+        choices=[
+            "fig8",
+            "fig9a",
+            "fig9b",
+            "fig9c",
+            "fig10",
+            "fig12",
+            "fig13",
+            "table1",
+            "whatif_network_partition",
+            "whatif_subdivide_dense_cells",
+        ],
+    )
+    sim.add_argument("--json", action="store_true")
+    return parser
+
+
+def _load_points(path: Path) -> PointSet:
+    from .io.formats import read_points_binary, read_points_text
+
+    if path.suffix in (".txt", ".csv", ".tsv"):
+        return read_points_text(path)
+    return read_points_binary(path)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .data import gaussian_blobs, generate_sdss, generate_twitter
+    from .io.formats import write_points_binary, write_points_text
+
+    if args.dataset == "twitter":
+        points = generate_twitter(args.n_points, seed=args.seed)
+    elif args.dataset == "sdss":
+        points = generate_sdss(args.n_points, seed=args.seed)
+    else:
+        points = gaussian_blobs(args.n_points, seed=args.seed)
+    writer = write_points_binary if args.format == "binary" else write_points_text
+    nbytes = writer(args.output, points)
+    print(f"wrote {len(points):,} points ({nbytes:,} bytes) to {args.output}")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import logging
+
+    from .core.pipeline import mrscan
+
+    if args.verbose:
+        logging.basicConfig(level=logging.INFO, format="%(name)s: %(message)s")
+    points = _load_points(args.input)
+    result = mrscan(
+        points,
+        args.eps,
+        args.minpts,
+        n_leaves=args.leaves,
+        fanout=args.fanout,
+        n_partition_nodes=args.partition_nodes,
+        use_densebox=not args.no_densebox,
+        leaf_algorithm=args.algorithm,
+        partition_output=args.partition_output,
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "n_points": result.n_points,
+                    "n_clusters": result.n_clusters,
+                    "n_noise": result.n_noise,
+                    "n_leaves": result.n_leaves,
+                    "timings": result.timings.as_dict(),
+                    "densebox_eliminated": result.total_densebox_eliminated,
+                },
+                indent=1,
+            )
+        )
+    else:
+        print(result.summary())
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            for pid, lab in zip(points.ids, result.labels):
+                fh.write(f"{int(pid)} {int(lab)}\n")
+        print(f"labels written to {args.output}")
+    return 0
+
+
+def _cmd_quality(args: argparse.Namespace) -> int:
+    from .core.pipeline import mrscan
+    from .dbscan import dbscan_reference
+    from .quality import dbdc_quality_score
+
+    points = _load_points(args.input)
+    ref = dbscan_reference(points, args.eps, args.minpts)
+    result = mrscan(points, args.eps, args.minpts, n_leaves=args.leaves)
+    report = dbdc_quality_score(ref.labels, result.labels)
+    print(report)
+    return 0 if report.score >= 0.99 else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .analysis import cluster_table, noise_summary
+    from .errors import FormatError
+
+    points = _load_points(args.input)
+    id_to_label: dict[int, int] = {}
+    with open(args.labels, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            parts = line.split()
+            if len(parts) != 2:
+                raise FormatError(f"{args.labels}:{lineno}: expected 'id label'")
+            id_to_label[int(parts[0])] = int(parts[1])
+    try:
+        labels = np.array([id_to_label[int(pid)] for pid in points.ids])
+    except KeyError as exc:
+        raise FormatError(f"labels file is missing point id {exc}") from exc
+
+    table = cluster_table(points, labels)
+    noise = noise_summary(points, labels)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "clusters": [s.as_dict() for s in table[: args.top]],
+                    "n_clusters": len(table),
+                    "noise": noise,
+                },
+                indent=1,
+            )
+        )
+        return 0
+    print(f"{len(table)} clusters, {noise['count']} noise points "
+          f"({100*noise['fraction']:.1f}%)")
+    print(f"{'label':>6} {'size':>8} {'centroid':>22} {'rms':>8} {'weight':>10}")
+    for s in table[: args.top]:
+        print(
+            f"{s.label:>6} {s.size:>8,} "
+            f"({s.centroid[0]:9.3f},{s.centroid[1]:9.3f}) "
+            f"{s.rms_radius:>8.3f} {s.total_weight:>10.1f}"
+        )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .perf import figures
+
+    builder = getattr(figures, args.figure)
+    series = builder()
+    if args.json:
+        print(json.dumps(series.as_dict(), indent=1))
+    else:
+        print(series.render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "cluster": _cmd_cluster,
+        "quality": _cmd_quality,
+        "analyze": _cmd_analyze,
+        "simulate": _cmd_simulate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""The Mr. Scan pipeline: partition → cluster → merge → sweep.
+
+:func:`repro.core.pipeline.mrscan` (re-exported as :func:`repro.mrscan`)
+is the end-to-end entry point; :class:`MrScanConfig` exposes every knob
+the paper discusses (Eps, MinPts, leaf count, tree topology, dense box,
+partitioner options) and :class:`MrScanResult` carries the global
+labelling plus per-phase timings and resource traces.
+"""
+
+from .config import MrScanConfig, table1_partition_nodes
+from .result import MrScanResult, PhaseBreakdown
+from .pipeline import mrscan, run_pipeline
+from .sizing import leaf_memory_bytes, minimum_leaves
+from .timing import PhaseTimer
+
+__all__ = [
+    "MrScanConfig",
+    "table1_partition_nodes",
+    "MrScanResult",
+    "PhaseBreakdown",
+    "mrscan",
+    "run_pipeline",
+    "leaf_memory_bytes",
+    "minimum_leaves",
+    "PhaseTimer",
+]

@@ -1,0 +1,110 @@
+"""Pipeline configuration.
+
+Defaults follow the paper's Twitter experiments: Eps=0.1, 256-way tree
+fanout, dense box on, partition rebalancing on.  The partition-node count
+defaults to the Table 1 schedule via :func:`table1_partition_nodes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..gpu.device import DeviceConfig
+from ..mrnet.topology import PAPER_FANOUT
+
+__all__ = ["MrScanConfig", "table1_partition_nodes", "TABLE1_CONFIGS"]
+
+#: Table 1 of the paper: (points, internal processes, leaves, partition nodes).
+TABLE1_CONFIGS: tuple[tuple[int, int, int, int], ...] = (
+    (1_600_000, 0, 2, 2),
+    (6_400_000, 0, 8, 4),
+    (25_600_000, 0, 32, 8),
+    (102_400_000, 0, 128, 16),
+    (409_600_000, 2, 512, 32),
+    (1_638_400_000, 8, 2048, 64),
+    (3_276_800_000, 16, 4096, 96),
+    (6_553_600_000, 32, 8192, 128),
+)
+
+
+def table1_partition_nodes(n_leaves: int) -> int:
+    """Partition-node count for a leaf count, per the Table 1 schedule.
+
+    Exact Table 1 rows are honoured; other leaf counts interpolate
+    geometrically between the nearest rows (and clamp at the ends).
+    """
+    if n_leaves < 1:
+        raise ConfigError("n_leaves must be >= 1")
+    rows = [(leaves, pnodes) for _, _, leaves, pnodes in TABLE1_CONFIGS]
+    for leaves, pnodes in rows:
+        if n_leaves == leaves:
+            return pnodes
+    if n_leaves < rows[0][0]:
+        return min(n_leaves, rows[0][1])
+    for (l0, p0), (l1, p1) in zip(rows, rows[1:]):
+        if l0 < n_leaves < l1:
+            # Geometric interpolation matches the roughly-square-root
+            # growth of the schedule.
+            import math
+
+            t = (math.log(n_leaves) - math.log(l0)) / (math.log(l1) - math.log(l0))
+            return max(1, round(p0 * (p1 / p0) ** t))
+    return rows[-1][1]
+
+
+@dataclass
+class MrScanConfig:
+    """All pipeline knobs in one place.
+
+    Parameters mirror the paper: ``eps``/``minpts`` are the DBSCAN
+    parameters, ``n_leaves`` is the clustering-tree leaf count (one
+    simulated GPGPU per leaf), ``n_partition_nodes`` sizes the separate
+    partitioner tree (Table 1 schedule when None), ``fanout`` shapes the
+    cluster/merge/sweep tree.
+    """
+
+    eps: float
+    minpts: int
+    n_leaves: int
+    n_partition_nodes: int | None = None
+    fanout: int = PAPER_FANOUT
+    use_densebox: bool = True
+    claim_box_borders: bool = False
+    rebalance_partitions: bool = True
+    shadow_representatives: bool = False
+    partition_output: str = "lustre"  # or "network" (the §6 future-work path)
+    leaf_algorithm: str = "mrscan"  # or "cuda-dclust" (the §3.2.1 baseline)
+    device: DeviceConfig = field(default_factory=DeviceConfig)
+    materialize_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.eps <= 0:
+            raise ConfigError(f"eps must be positive, got {self.eps}")
+        if self.minpts < 1:
+            raise ConfigError(f"minpts must be >= 1, got {self.minpts}")
+        if self.n_leaves < 1:
+            raise ConfigError(f"n_leaves must be >= 1, got {self.n_leaves}")
+        if self.fanout < 2:
+            raise ConfigError(f"fanout must be >= 2, got {self.fanout}")
+        if self.n_partition_nodes is not None and self.n_partition_nodes < 1:
+            raise ConfigError("n_partition_nodes must be >= 1")
+        if self.partition_output not in ("lustre", "network"):
+            raise ConfigError(
+                f"partition_output must be 'lustre' or 'network', got "
+                f"{self.partition_output!r}"
+            )
+        if self.partition_output == "network" and self.materialize_dir is not None:
+            raise ConfigError("materialize_dir requires the lustre partition output")
+        if self.leaf_algorithm not in ("mrscan", "cuda-dclust"):
+            raise ConfigError(
+                f"leaf_algorithm must be 'mrscan' or 'cuda-dclust', got "
+                f"{self.leaf_algorithm!r}"
+            )
+
+    @property
+    def partition_nodes(self) -> int:
+        """Resolved partitioner size (Table 1 schedule by default)."""
+        if self.n_partition_nodes is not None:
+            return self.n_partition_nodes
+        return table1_partition_nodes(self.n_leaves)

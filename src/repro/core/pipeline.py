@@ -1,0 +1,299 @@
+"""The end-to-end Mr. Scan pipeline (Fig 1).
+
+``run_pipeline`` wires the four phases together over two MRNet trees, the
+same process organisation as the paper: a flat partitioner tree writes the
+partitions; a second (up to three-level, 256-fanout) tree clusters each
+partition on its leaf's simulated GPGPU, progressively merges cluster
+summaries at the internal nodes, and sweeps global IDs back down.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..gpu.device import SimulatedDevice
+from ..gpu.mrscan_gpu import mrscan_gpu
+from ..io.lustre import IOTrace
+from ..merge.global_ids import assign_global_ids
+from ..merge.merger import MergeFilter
+from ..merge.summary import LeafSummary, summarize_leaf
+from ..mrnet import Network, Topology, Transport
+from ..partition.distributed import DistributedPartitioner, RECORD_BYTES
+from ..points import PointSet
+from ..sweep.sweep import combine_core_masks, combine_leaf_outputs, sweep_leaf
+from .config import MrScanConfig
+from .result import MrScanResult, PhaseBreakdown, VirtualBreakdown
+from .timing import PhaseTimer
+
+__all__ = ["mrscan", "run_pipeline"]
+
+logger = logging.getLogger("repro.pipeline")
+
+
+@dataclass
+class _ClusterLeafTask:
+    """Everything one clustering leaf needs (picklable)."""
+
+    leaf_id: int
+    own: PointSet
+    shadow: PointSet
+    owned_cells: frozenset
+    config: MrScanConfig
+
+
+@dataclass
+class _ClusterLeafOutput:
+    leaf_id: int
+    labels: np.ndarray
+    core_mask: np.ndarray
+    stats: object
+    summary: LeafSummary
+    n_owned: int
+
+
+def _cluster_leaf(task: _ClusterLeafTask) -> _ClusterLeafOutput:
+    """Leaf body: GPU DBSCAN over partition+shadow, then summarise.
+
+    ``config.leaf_algorithm`` picks Mr. Scan's two-pass GPU DBSCAN
+    (default) or the CUDA-DClust baseline — the end-to-end ablation of
+    the paper's §3.2.2/§3.2.3 extensions.
+    """
+    cfg = task.config
+    view = task.own.concat(task.shadow)
+    device = SimulatedDevice(cfg.device)
+    if cfg.leaf_algorithm == "cuda-dclust":
+        from ..gpu.cuda_dclust import cuda_dclust
+        from ..gpu.mrscan_gpu import MrScanGPUStats
+
+        labels, core_mask, base = cuda_dclust(view, cfg.eps, cfg.minpts, device=device)
+        stats = MrScanGPUStats(
+            n_points=base.n_points,
+            n_core=int(core_mask.sum()),
+            n_boxes=0,
+            n_eliminated=0,
+            pass1_ops=0,
+            pass2_ops=base.distance_ops,
+            kernel_launches=device.stats.kernel_launches,
+            sync_round_trips=base.sync_round_trips,
+            device=device.stats.as_dict(),
+        )
+    else:
+        result = mrscan_gpu(
+            view,
+            cfg.eps,
+            cfg.minpts,
+            device=device,
+            use_densebox=cfg.use_densebox,
+            claim_box_borders=cfg.claim_box_borders,
+        )
+        labels, core_mask, stats = result.labels, result.core_mask, result.stats
+    summary = summarize_leaf(
+        task.leaf_id,
+        view,
+        labels,
+        core_mask,
+        cfg.eps,
+        set(task.owned_cells),
+    )
+    return _ClusterLeafOutput(
+        leaf_id=task.leaf_id,
+        labels=labels,
+        core_mask=core_mask,
+        stats=stats,
+        summary=summary,
+        n_owned=len(task.own),
+    )
+
+
+def run_pipeline(
+    points: PointSet,
+    config: MrScanConfig,
+    *,
+    transport: Transport | None = None,
+) -> MrScanResult:
+    """Run all four Mr. Scan phases and return the global clustering."""
+    n = len(points)
+    points.validate_unique_ids()
+    points.validate_finite()
+    # Normalise ids to 0..n-1 (input order); merge/sweep set logic keys on
+    # them, and the final labels align with input order.
+    internal = PointSet(
+        ids=np.arange(n, dtype=np.int64), coords=points.coords, weights=points.weights
+    )
+
+    timer = PhaseTimer()
+    timings = PhaseBreakdown()
+
+    # ----------------------------- partition --------------------------- #
+    with timer.phase("partition"):
+        partitioner = DistributedPartitioner(
+            config.eps,
+            config.minpts,
+            config.partition_nodes,
+            transport=transport,
+            rebalance=config.rebalance_partitions,
+            shadow_representatives=config.shadow_representatives,
+            output_mode=config.partition_output,
+        )
+        phase1 = partitioner.run(
+            internal, config.n_leaves, workdir=config.materialize_dir
+        )
+    logger.info(
+        "partition: %d points -> %d partitions via %d nodes (%s output, "
+        "imbalance %.2f)",
+        n,
+        phase1.n_partitions,
+        phase1.n_partition_nodes,
+        config.partition_output,
+        phase1.plan.size_imbalance(),
+    )
+
+    # ----------------------------- cluster ----------------------------- #
+    topology = Topology.paper_style(config.n_leaves, config.fanout)
+    network = Network(topology, transport)
+    tasks = [
+        _ClusterLeafTask(
+            leaf_id=pid,
+            own=own,
+            shadow=shadow,
+            owned_cells=frozenset(phase1.plan.partitions[pid].cells),
+            config=config,
+        )
+        for pid, (own, shadow) in enumerate(phase1.partitions)
+    ]
+    with timer.phase("cluster"):
+        outputs, map_trace = network.map_leaves(_cluster_leaf, tasks)
+    logger.info(
+        "cluster: %s over %s (%s leaves); slowest leaf %s distance ops",
+        config.leaf_algorithm,
+        topology.describe(),
+        config.n_leaves,
+        max((o.stats.total_distance_ops for o in outputs), default=0),
+    )
+
+    # ------------------------------ merge ------------------------------ #
+    merge_filter = MergeFilter(config.eps)
+    with timer.phase("merge"):
+        root_summary, reduce_trace = network.reduce(
+            [o.summary for o in outputs], merge_filter
+        )
+        assignment = assign_global_ids(root_summary)
+    logger.info(
+        "merge: %d leaf clusters -> %d global clusters (%d bytes up the tree)",
+        sum(o.summary.n_clusters for o in outputs),
+        assignment.n_clusters,
+        reduce_trace.total_bytes,
+    )
+
+    # ------------------------------ sweep ------------------------------ #
+    output_io = IOTrace()
+    sweep_leaf_seconds: dict[int, float] = {}
+    with timer.phase("sweep"):
+        assignments, sweep_trace = network.multicast(assignment)
+        sweep_results = []
+        for out, asg, (own, shadow) in zip(outputs, assignments, phase1.partitions):
+            view = own.concat(shadow)
+            t_leaf = time.perf_counter()
+            res = sweep_leaf(
+                out.leaf_id,
+                view,
+                out.labels,
+                out.n_owned,
+                asg.for_leaf(out.leaf_id),
+                core_mask=out.core_mask,
+            )
+            sweep_leaf_seconds[out.leaf_id] = time.perf_counter() - t_leaf
+            sweep_results.append(res)
+            if len(res.owned_ids):
+                output_io.record(
+                    out.leaf_id,
+                    "write",
+                    len(res.owned_ids) * (RECORD_BYTES + 8),
+                    sequential=True,
+                )
+        labels = combine_leaf_outputs(sweep_results, n)
+        core_mask = combine_core_masks(sweep_results, n)
+    network.close()
+    logger.info(
+        "sweep: wrote %d points (%d noise) in %.3fs wall",
+        n,
+        int(np.count_nonzero(labels == -1)),
+        timer.seconds.get("sweep", 0.0),
+    )
+
+    timings.partition = timer.seconds.get("partition", 0.0)
+    timings.cluster = timer.seconds.get("cluster", 0.0)
+    timings.merge = timer.seconds.get("merge", 0.0)
+    timings.sweep = timer.seconds.get("sweep", 0.0)
+
+    # Critical-path ("virtual parallel") phase times from the recorded
+    # per-node compute seconds — what a one-process-per-node deployment
+    # would measure (see repro.mrnet.schedule).
+    from ..mrnet.schedule import map_virtual_time, reduce_critical_path
+
+    virtual = VirtualBreakdown(
+        partition=phase1.virtual_seconds(),
+        cluster=map_virtual_time(map_trace),
+        merge=reduce_critical_path(topology, reduce_trace),
+        sweep=max(sweep_leaf_seconds.values(), default=0.0),
+    )
+
+    n_clusters = int(len(np.unique(labels[labels >= 0])))
+    return MrScanResult(
+        labels=labels,
+        core_mask=core_mask,
+        n_clusters=n_clusters,
+        timings=timings,
+        virtual_timings=virtual,
+        n_leaves=config.n_leaves,
+        n_partition_nodes=phase1.n_partition_nodes,
+        partition_io=phase1.io_trace,
+        output_io=output_io,
+        gpu_stats=[o.stats for o in outputs],
+        merge_outcomes=list(merge_filter.outcomes),
+        network_traces={
+            "partition_map": phase1.map_trace,
+            "partition_reduce": phase1.reduce_trace,
+            "partition_multicast": phase1.multicast_trace,
+            **(
+                {"partition_distribute": phase1.distribute_trace}
+                if phase1.distribute_trace is not None
+                else {}
+            ),
+            "cluster_map": map_trace,
+            "merge_reduce": reduce_trace,
+            "sweep_multicast": sweep_trace,
+        },
+        leaf_point_counts=[len(own) + len(shadow) for own, shadow in phase1.partitions],
+    )
+
+
+def mrscan(
+    points: PointSet,
+    eps: float,
+    minpts: int,
+    *,
+    n_leaves: int = 4,
+    transport: Transport | None = None,
+    **config_kwargs,
+) -> MrScanResult:
+    """One-call Mr. Scan: cluster ``points`` with DBSCAN semantics.
+
+    Example::
+
+        result = mrscan(points, eps=0.1, minpts=40, n_leaves=8)
+
+    Additional keyword arguments go to :class:`MrScanConfig` (``fanout``,
+    ``use_densebox``, ``n_partition_nodes``, ...).
+    """
+    if len(points) == 0:
+        raise ConfigError("cannot cluster an empty point set")
+    config = MrScanConfig(
+        eps=eps, minpts=minpts, n_leaves=n_leaves, **config_kwargs
+    )
+    return run_pipeline(points, config, transport=transport)

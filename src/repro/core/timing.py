@@ -1,0 +1,42 @@
+"""Phase timing for the pipeline.
+
+:class:`PhaseTimer` records wall-clock seconds per named phase.  The
+modelled (Titan-scale) seconds for the same phases come from
+:mod:`repro.perf`, which consumes the pipeline's resource traces rather
+than these wall times — keeping "what the algorithm did" separate from
+"how fast this Python host happens to be".
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["PhaseTimer"]
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall seconds per phase name."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a block under ``name`` (re-entrant names accumulate)."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.seconds[name] = self.seconds.get(name, 0.0) + (
+                time.perf_counter() - t0
+            )
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.seconds)

@@ -1,0 +1,26 @@
+"""Dataset substrate: synthetic generators standing in for the paper's data.
+
+The paper clusters (a) random datasets generated from the spatial
+distribution of 8.5 M geolocated tweets and (b) SDSS DR9 BOSS photometric
+object data.  Neither corpus is redistributable, so this package generates
+synthetic equivalents with the same clustering-relevant character (see
+DESIGN.md §1 for the substitution argument).
+"""
+
+from .synthetic import gaussian_blobs, uniform_noise, ring_cluster, two_moons
+from .twitter import TwitterConfig, generate_twitter
+from .sdss import SDSSConfig, generate_sdss
+from .density import DensityProfile, profile_density
+
+__all__ = [
+    "gaussian_blobs",
+    "uniform_noise",
+    "ring_cluster",
+    "two_moons",
+    "TwitterConfig",
+    "generate_twitter",
+    "SDSSConfig",
+    "generate_sdss",
+    "DensityProfile",
+    "profile_density",
+]

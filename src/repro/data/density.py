@@ -1,0 +1,135 @@
+"""Density-profile statistics over the Eps grid.
+
+The performance model (``repro.perf``) needs scale-free facts about a
+dataset's spatial density: how skewed the Eps×Eps cell histogram is, what
+fraction of points sit in cells dense enough for the dense-box optimization
+at a given MinPts, and how large the single densest cell is relative to an
+even share.  These statistics are measured on an affordable sample and then
+applied at paper scale, because they are properties of the underlying
+distribution, not of the sample size (cell *counts* scale linearly with n;
+cell *shares* do not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..points import PointSet
+
+__all__ = ["DensityProfile", "profile_density"]
+
+
+@dataclass(frozen=True)
+class DensityProfile:
+    """Scale-free summary of a dataset's Eps-grid density histogram.
+
+    Attributes
+    ----------
+    eps:
+        Cell edge length the histogram was computed with.
+    n_points:
+        Sample size the profile was measured from.
+    n_occupied_cells:
+        Number of non-empty Eps×Eps cells.
+    max_cell_share:
+        Fraction of all points in the single densest cell.  This bounds
+        strong scaling: the slowest leaf ends up clustering one dense cell
+        (§5.1.2), so no partitioning can beat ``max_cell_share * n``.
+    top_cell_shares:
+        Shares of the 32 densest cells (descending), padded with zeros.
+    gini:
+        Gini coefficient of the cell-count histogram (0 = uniform).
+    mean_cell_count, p50_cell_count, p99_cell_count:
+        Absolute per-cell counts at the sampled n (rescale linearly in n).
+    """
+
+    eps: float
+    n_points: int
+    n_occupied_cells: int
+    max_cell_share: float
+    top_cell_shares: tuple[float, ...]
+    gini: float
+    mean_cell_count: float
+    p50_cell_count: float
+    p99_cell_count: float
+
+    def cell_count_at(self, n_points: int, share_rank: int = 0) -> float:
+        """Expected count of the ``share_rank``-th densest cell at scale n."""
+        if share_rank < len(self.top_cell_shares):
+            return self.top_cell_shares[share_rank] * n_points
+        return self.mean_cell_count * (n_points / self.n_points)
+
+    def densebox_eliminated_fraction(self, minpts: int, *, subdiv: int = 8) -> float:
+        """Estimate the fraction of points the dense-box pass removes.
+
+        Dense box marks whole KD-tree subdivisions of edge <= Eps/(2*sqrt(2))
+        holding >= MinPts points (§3.2.3).  An Eps cell contains about
+        ``subdiv`` such subdivisions along each axis... we approximate: a
+        cell with count c contributes when its per-subdivision expectation
+        ``c / subdiv**2`` reaches MinPts.  The estimate interpolates the
+        cell histogram: cells with c >= minpts * subdiv**2 are eliminated
+        in full; cells between minpts and that threshold are partially
+        eliminated proportionally to how far up the range they sit.
+        """
+        full = float(minpts) * subdiv * subdiv
+        shares = np.asarray(self.top_cell_shares)
+        counts = shares * self.n_points
+        # Tail cells (beyond top 32) are approximated by the mean.
+        frac = 0.0
+        for c, s in zip(counts, shares):
+            if c >= full:
+                frac += s
+            elif c >= minpts:
+                frac += s * (c - minpts) / max(full - minpts, 1.0)
+        # Mean-density bulk contribution.
+        bulk_share = max(0.0, 1.0 - shares.sum())
+        c = self.mean_cell_count
+        if c >= full:
+            frac += bulk_share
+        elif c >= minpts:
+            frac += bulk_share * (c - minpts) / max(full - minpts, 1.0)
+        return float(min(frac, 1.0))
+
+
+def profile_density(points: PointSet, eps: float, *, top_k: int = 32) -> DensityProfile:
+    """Measure a :class:`DensityProfile` from a point sample."""
+    if len(points) == 0:
+        return DensityProfile(
+            eps=eps,
+            n_points=0,
+            n_occupied_cells=0,
+            max_cell_share=0.0,
+            top_cell_shares=(0.0,) * top_k,
+            gini=0.0,
+            mean_cell_count=0.0,
+            p50_cell_count=0.0,
+            p99_cell_count=0.0,
+        )
+    cx = np.floor(points.xs / eps).astype(np.int64)
+    cy = np.floor(points.ys / eps).astype(np.int64)
+    # Collapse 2-D cell coordinates into one key for bincount-style counting.
+    key = (cx - cx.min()).astype(np.int64) * (cy.max() - cy.min() + 1) + (cy - cy.min())
+    _, counts = np.unique(key, return_counts=True)
+    counts = np.sort(counts)[::-1].astype(np.float64)
+    n = float(len(points))
+    shares = counts[:top_k] / n
+    if len(shares) < top_k:
+        shares = np.pad(shares, (0, top_k - len(shares)))
+
+    sorted_asc = counts[::-1]
+    cum = np.cumsum(sorted_asc)
+    gini = float(1.0 - 2.0 * np.sum(cum) / (len(counts) * cum[-1]) + 1.0 / len(counts)) if cum[-1] > 0 else 0.0
+
+    return DensityProfile(
+        eps=float(eps),
+        n_points=int(n),
+        n_occupied_cells=int(len(counts)),
+        max_cell_share=float(counts[0] / n),
+        top_cell_shares=tuple(float(s) for s in shares),
+        gini=gini,
+        mean_cell_count=float(counts.mean()),
+        p50_cell_count=float(np.median(counts)),
+        p99_cell_count=float(np.percentile(counts, 99)),
+    )

@@ -1,0 +1,199 @@
+"""Synthetic geolocated-tweet generator (Twitter experiment stand-in).
+
+The paper collected 8,519,781 geolocated tweets (Aug 11–21, 2012) and "used
+the distribution of these tweets to generate random datasets of arbitrary
+size" (§4.1), treating latitude/longitude as 2-D Cartesian coordinates with
+Eps fixed at 0.1°.  We reproduce the *generator*, not the corpus: a mixture
+model over population-weighted metropolitan areas with anisotropic urban
+sprawl, secondary satellite towns, and a uniform rural background.
+
+The resulting density field has the properties that drive Mr. Scan's
+behaviour on the real data:
+
+* a handful of Eps×Eps grid cells (large metro cores) holding an enormous
+  share of all points — these become the single-cell partitions that bound
+  strong-scaling (§5.1.2) and are exactly what the dense-box optimization
+  targets;
+* thousands of moderate-density cells (suburbs, highways);
+* a vast, sparse background that DBSCAN must classify as noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..points import PointSet
+
+__all__ = ["TwitterConfig", "METRO_AREAS", "generate_twitter"]
+
+# (name, longitude, latitude, population-weight, sprawl-sigma-degrees)
+# Weights are relative tweet volumes, not literal census population; big
+# coastal metros dominate, matching the paper's Fig 2a where the Eastern US
+# alone fills the last partition.
+METRO_AREAS: tuple[tuple[str, float, float, float, float], ...] = (
+    ("new-york", -74.006, 40.713, 100.0, 0.55),
+    ("los-angeles", -118.244, 34.052, 75.0, 0.55),
+    ("chicago", -87.630, 41.878, 45.0, 0.30),
+    ("houston", -95.369, 29.760, 32.0, 0.30),
+    ("phoenix", -112.074, 33.448, 20.0, 0.25),
+    ("philadelphia", -75.165, 39.953, 28.0, 0.22),
+    ("san-antonio", -98.494, 29.424, 12.0, 0.18),
+    ("san-diego", -117.161, 32.716, 16.0, 0.18),
+    ("dallas", -96.797, 32.777, 30.0, 0.32),
+    ("miami", -80.192, 25.762, 34.0, 0.25),
+    ("atlanta", -84.388, 33.749, 26.0, 0.28),
+    ("boston", -71.059, 42.360, 24.0, 0.20),
+    ("san-francisco", -122.419, 37.775, 28.0, 0.22),
+    ("seattle", -122.332, 47.606, 18.0, 0.20),
+    ("detroit", -83.046, 42.331, 15.0, 0.22),
+    ("minneapolis", -93.265, 44.978, 12.0, 0.18),
+    ("denver", -104.990, 39.739, 13.0, 0.18),
+    ("washington", -77.037, 38.907, 30.0, 0.24),
+    ("baltimore", -76.612, 39.290, 11.0, 0.15),
+    ("st-louis", -90.199, 38.627, 9.0, 0.16),
+    ("tampa", -82.457, 27.951, 12.0, 0.18),
+    ("pittsburgh", -79.996, 40.441, 8.0, 0.14),
+    ("cincinnati", -84.512, 39.103, 7.0, 0.13),
+    ("cleveland", -81.694, 41.499, 8.0, 0.14),
+    ("kansas-city", -94.579, 39.100, 7.0, 0.14),
+    ("las-vegas", -115.139, 36.170, 11.0, 0.14),
+    ("orlando", -81.379, 28.538, 10.0, 0.15),
+    ("san-jose", -121.886, 37.338, 9.0, 0.12),
+    ("austin", -97.743, 30.267, 11.0, 0.14),
+    ("columbus", -82.999, 39.961, 7.0, 0.13),
+    ("charlotte", -80.843, 35.227, 8.0, 0.14),
+    ("indianapolis", -86.158, 39.768, 7.0, 0.13),
+    ("nashville", -86.781, 36.163, 7.0, 0.13),
+    ("memphis", -90.049, 35.150, 5.0, 0.11),
+    ("portland", -122.676, 45.523, 9.0, 0.14),
+    ("oklahoma-city", -97.516, 35.468, 4.0, 0.11),
+    ("louisville", -85.758, 38.253, 4.0, 0.10),
+    ("milwaukee", -87.907, 43.039, 5.0, 0.11),
+    ("albuquerque", -106.651, 35.084, 3.0, 0.09),
+    ("tucson", -110.975, 32.222, 3.0, 0.09),
+    ("fresno", -119.787, 36.738, 3.0, 0.09),
+    ("sacramento", -121.494, 38.582, 6.0, 0.12),
+    ("new-orleans", -90.071, 29.951, 5.0, 0.10),
+    ("buffalo", -78.878, 42.887, 3.0, 0.09),
+    ("salt-lake-city", -111.891, 40.761, 4.0, 0.10),
+    ("richmond", -77.436, 37.541, 3.0, 0.09),
+    ("birmingham", -86.802, 33.521, 3.0, 0.09),
+    ("raleigh", -78.638, 35.772, 4.0, 0.10),
+    ("jacksonville", -81.656, 30.332, 4.0, 0.10),
+    ("omaha", -95.935, 41.257, 2.5, 0.08),
+    ("el-paso", -106.485, 31.759, 2.5, 0.08),
+    ("boise", -116.202, 43.615, 1.5, 0.07),
+    ("des-moines", -93.609, 41.587, 1.5, 0.07),
+    ("spokane", -117.426, 47.659, 1.2, 0.06),
+    ("billings", -108.500, 45.783, 0.6, 0.05),
+    ("fargo", -96.790, 46.877, 0.6, 0.05),
+    ("anchorage", -149.900, 61.218, 0.8, 0.06),
+    ("honolulu", -157.858, 21.307, 1.5, 0.05),
+)
+
+#: Continental-US-ish bounding box used for the rural background.
+CONUS_BOX: tuple[float, float, float, float] = (-125.0, 24.0, -66.0, 50.0)
+
+
+@dataclass(frozen=True)
+class TwitterConfig:
+    """Knobs for the synthetic tweet generator.
+
+    ``urban_core_fraction`` of each metro's points are re-drawn close to
+    the centre (sigma = ``core_sigma``), producing the super-dense Eps×Eps
+    cells the paper's strong-scaling section blames for the slowest leaf.
+    The defaults put roughly 0.1 % of all points in the densest 0.1° cell
+    — the concentration the paper's strong-scaling knee implies (the
+    slowest 2048-leaf partition is one dense cell holding a few times the
+    800 K-point even share).  ``noise_fraction`` of all points are uniform
+    background over :data:`CONUS_BOX`.
+    """
+
+    noise_fraction: float = 0.06
+    urban_core_fraction: float = 0.06
+    core_sigma: float = 0.15
+    satellite_towns_per_metro: int = 3
+    satellite_fraction: float = 0.12
+    satellite_sigma: float = 0.10
+    satellite_offset: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.noise_fraction < 1.0:
+            raise ValueError("noise_fraction must be in [0, 1)")
+        if not 0.0 <= self.urban_core_fraction <= 1.0:
+            raise ValueError("urban_core_fraction must be in [0, 1]")
+        if not 0.0 <= self.satellite_fraction <= 1.0:
+            raise ValueError("satellite_fraction must be in [0, 1]")
+
+
+def generate_twitter(
+    n_points: int,
+    *,
+    config: TwitterConfig | None = None,
+    seed: int | np.random.Generator | None = 0,
+    id_offset: int = 0,
+) -> PointSet:
+    """Generate ``n_points`` synthetic geolocated tweets.
+
+    Coordinates are (longitude, latitude) treated as plain 2-D Cartesian
+    values, exactly as the paper does (§4.1).  Weights are all 1.0.
+    """
+    cfg = config or TwitterConfig()
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    if n_points <= 0:
+        return PointSet.empty()
+
+    n_noise = int(round(n_points * cfg.noise_fraction))
+    n_urban = n_points - n_noise
+
+    names, lons, lats, weights, sigmas = zip(*METRO_AREAS)
+    lons = np.asarray(lons)
+    lats = np.asarray(lats)
+    sigmas = np.asarray(sigmas)
+    probs = np.asarray(weights, dtype=np.float64)
+    probs /= probs.sum()
+
+    metro = rng.choice(len(METRO_AREAS), size=n_urban, p=probs)
+    base = np.column_stack([lons[metro], lats[metro]])
+    sigma = sigmas[metro][:, None]
+
+    # Anisotropic sprawl: cities stretch ~1.4x wider east-west than
+    # north-south (coastlines and highway corridors).
+    sprawl = rng.normal(size=(n_urban, 2)) * sigma * np.array([1.4, 1.0])
+    coords = base + sprawl
+
+    # Super-dense urban cores.
+    n_core = int(round(n_urban * cfg.urban_core_fraction))
+    if n_core:
+        core_idx = rng.choice(n_urban, size=n_core, replace=False)
+        coords[core_idx] = base[core_idx] + rng.normal(
+            scale=cfg.core_sigma, size=(n_core, 2)
+        )
+
+    # Satellite towns: offset mini-blobs around each metro.
+    n_sat = int(round(n_urban * cfg.satellite_fraction))
+    if n_sat and cfg.satellite_towns_per_metro > 0:
+        sat_idx = rng.choice(n_urban, size=n_sat, replace=False)
+        town = rng.integers(0, cfg.satellite_towns_per_metro, size=n_sat)
+        angle = 2.0 * np.pi * (town + 1) / (cfg.satellite_towns_per_metro + 1)
+        offsets = cfg.satellite_offset * np.column_stack([np.cos(angle), np.sin(angle)])
+        coords[sat_idx] = (
+            base[sat_idx]
+            + offsets * sigma[sat_idx]
+            / sigmas.mean()
+            + rng.normal(scale=cfg.satellite_sigma, size=(n_sat, 2))
+        )
+
+    if n_noise:
+        xmin, ymin, xmax, ymax = CONUS_BOX
+        noise = np.column_stack(
+            [rng.uniform(xmin, xmax, n_noise), rng.uniform(ymin, ymax, n_noise)]
+        )
+        coords = np.concatenate([coords, noise])
+
+    # Shuffle so file order carries no spatial information (the paper's
+    # partitioner leaves each hold "a random portion of data").
+    order = rng.permutation(len(coords))
+    return PointSet.from_coords(coords[order], id_offset=id_offset)

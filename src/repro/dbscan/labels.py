@@ -1,0 +1,92 @@
+"""Label canonicalisation and clustering comparison helpers.
+
+DBSCAN's cluster IDs are arbitrary and its border points are
+order-dependent ("DBSCAN's clustering results can vary slightly if the
+order in which Eps-neighborhoods are discovered is changed", §2.1).  Tests
+therefore never compare raw label arrays; they compare *canonical* forms:
+
+* core-point partitions must match exactly (they are order-independent);
+* border points may differ only in *which adjacent cluster* claims them;
+* noise/non-noise status must match exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..points import NOISE
+
+__all__ = [
+    "canonicalize_labels",
+    "clustering_signature",
+    "core_sets_equal",
+    "border_assignment_valid",
+]
+
+
+def canonicalize_labels(labels: np.ndarray) -> np.ndarray:
+    """Renumber cluster labels to 0..k-1 by first appearance; noise stays -1."""
+    labels = np.asarray(labels)
+    out = np.full(len(labels), NOISE, dtype=np.int64)
+    mapping: dict[int, int] = {}
+    next_id = 0
+    for i, lab in enumerate(labels):
+        if lab == NOISE:
+            continue
+        lab = int(lab)
+        if lab not in mapping:
+            mapping[lab] = next_id
+            next_id += 1
+        out[i] = mapping[lab]
+    return out
+
+
+def clustering_signature(labels: np.ndarray) -> frozenset[frozenset[int]]:
+    """Order-free signature: the set of clusters, each a set of indices."""
+    labels = np.asarray(labels)
+    clusters: dict[int, list[int]] = {}
+    for i, lab in enumerate(labels):
+        if lab != NOISE:
+            clusters.setdefault(int(lab), []).append(i)
+    return frozenset(frozenset(v) for v in clusters.values())
+
+
+def core_sets_equal(
+    labels_a: np.ndarray,
+    labels_b: np.ndarray,
+    core_a: np.ndarray,
+    core_b: np.ndarray,
+) -> bool:
+    """True when both clusterings agree on cores: same core mask, and the
+    partition each induces over core points is identical."""
+    core_a = np.asarray(core_a, dtype=bool)
+    core_b = np.asarray(core_b, dtype=bool)
+    if not np.array_equal(core_a, core_b):
+        return False
+    idx = np.flatnonzero(core_a)
+    sig_a = clustering_signature(np.where(core_a, labels_a, NOISE))
+    sig_b = clustering_signature(np.where(core_b, labels_b, NOISE))
+    del idx
+    return sig_a == sig_b
+
+
+def border_assignment_valid(
+    labels: np.ndarray,
+    core_mask: np.ndarray,
+    neighbor_lists: "callable",
+) -> bool:
+    """Check every non-core, non-noise point is labelled with the cluster of
+    at least one core neighbor (the only freedom DBSCAN grants).
+
+    ``neighbor_lists(i)`` must return the indices within eps of point i.
+    """
+    labels = np.asarray(labels)
+    core_mask = np.asarray(core_mask, dtype=bool)
+    for i in np.flatnonzero(~core_mask & (labels != NOISE)):
+        neigh = neighbor_lists(int(i))
+        core_neigh = [j for j in neigh if core_mask[j]]
+        if not core_neigh:
+            return False
+        if labels[i] not in {labels[j] for j in core_neigh}:
+            return False
+    return True

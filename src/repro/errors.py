@@ -1,0 +1,49 @@
+"""Exception hierarchy for the Mr. Scan reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`MrScanError`, so
+callers can catch one type at the pipeline boundary.  Subsystems raise the
+narrower classes below; constructors accept plain messages and the classes
+carry no state beyond them.
+"""
+
+from __future__ import annotations
+
+
+class MrScanError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(MrScanError, ValueError):
+    """Invalid configuration value (eps <= 0, bad topology, ...)."""
+
+
+class PartitionError(MrScanError):
+    """The partitioner could not produce a valid partition plan."""
+
+
+class DeviceError(MrScanError):
+    """Simulated GPU device misuse (out of memory, bad kernel launch)."""
+
+
+class DeviceMemoryError(DeviceError):
+    """Allocation exceeds the simulated device memory capacity."""
+
+
+class TransportError(MrScanError):
+    """MRNet transport failure (dead endpoint, undeliverable packet)."""
+
+
+class TopologyError(MrScanError, ValueError):
+    """Invalid MRNet tree topology specification."""
+
+
+class MergeError(MrScanError):
+    """Cluster merge invariant violation."""
+
+
+class FormatError(MrScanError, ValueError):
+    """Malformed point file or partition metadata."""
+
+
+class SimulationError(MrScanError):
+    """Performance-model simulation cannot proceed."""

@@ -1,0 +1,186 @@
+"""CUDA-DClust (Böhm et al., CIKM'09) — the baseline Mr. Scan extends.
+
+This is a literal simulation of the block-level algorithm in §3.2.1:
+
+* each GPGPU block holds one *chain* (a tentative cluster) and a queue of
+  points to expand;
+* every iteration, each block expands one point: a KD-tree radius query
+  finds neighbors; if the point is core its unowned neighbors are claimed
+  into the chain and queued, and already-owned neighbors produce
+  *collisions*;
+* after each iteration control returns to the CPU, which copies block
+  state off the device, re-seeds idle blocks with the next unprocessed
+  point, and copies state back — the ``2 × points / blockcount``
+  synchronous transfers Mr. Scan's §3.2.2 extension eliminates;
+* at the end the CPU merges chains that collided *on a core point* (a
+  shared core point means the chains are one DBSCAN cluster; a shared
+  border point does not merge clusters).
+
+The simulation is sequential but block-deterministic: blocks are serviced
+in index order, so results are reproducible.  Expansion-order border
+assignment matches real DBSCAN's order dependence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dbscan.disjoint_set import DisjointSet
+from ..dbscan.kdtree import RegionKDTree
+from ..errors import ConfigError
+from ..points import NOISE, PointSet
+from .device import SimulatedDevice
+
+__all__ = ["CudaDclustStats", "cuda_dclust"]
+
+
+@dataclass
+class CudaDclustStats:
+    """Counters from one CUDA-DClust run (feeds tests and the cost model)."""
+
+    n_points: int = 0
+    n_iterations: int = 0
+    n_chains: int = 0
+    n_collisions: int = 0
+    n_core_collisions: int = 0
+    distance_ops: int = 0
+    sync_round_trips: int = 0
+
+
+@dataclass
+class _Block:
+    chain: int = -1
+    queue: deque = field(default_factory=deque)
+
+
+def cuda_dclust(
+    points: PointSet,
+    eps: float,
+    minpts: int,
+    *,
+    device: SimulatedDevice | None = None,
+    kdtree_leaf_size: int = 64,
+):
+    """Run the CUDA-DClust baseline; returns ``(labels, core_mask, stats)``.
+
+    Labels are dense ``0..k-1`` with ``NOISE`` (-1) for noise points.
+    Exact on core points; border points go to the first chain that claims
+    them (visit-order dependence inherent to DBSCAN).
+    """
+    if eps <= 0:
+        raise ConfigError(f"eps must be positive, got {eps}")
+    if minpts < 1:
+        raise ConfigError(f"minpts must be >= 1, got {minpts}")
+    device = device or SimulatedDevice()
+    n = len(points)
+    stats = CudaDclustStats(n_points=n)
+    if n == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool), stats
+
+    tree = RegionKDTree(points, leaf_size=kdtree_leaf_size)
+    device.alloc("points", points.coords.nbytes)
+    device.alloc("kdtree", 32 * max(len(tree.nodes), 1))
+    device.h2d(points.coords.nbytes)
+
+    owner = np.full(n, -1, dtype=np.int64)  # chain owning each point
+    expanded = np.zeros(n, dtype=bool)
+    core = np.zeros(n, dtype=bool)
+    collisions: list[tuple[int, int, int]] = []  # (chain_a, chain_b, point)
+
+    n_blocks = device.config.n_blocks
+    blocks = [_Block() for _ in range(min(n_blocks, max(1, n)))]
+    next_seed = 0
+    n_chains = 0
+    eps2 = eps * eps
+
+    def _advance_seed() -> int:
+        nonlocal next_seed
+        while next_seed < n and expanded[next_seed]:
+            next_seed += 1
+        return next_seed
+
+    while True:
+        # CPU re-seeds idle blocks with the next unprocessed point.
+        any_work = False
+        for blk in blocks:
+            if not blk.queue:
+                seed = _advance_seed()
+                if seed >= n:
+                    blk.chain = -1
+                    continue
+                blk.chain = n_chains
+                n_chains += 1
+                blk.queue.append(seed)
+                expanded[seed] = True  # reserved: no other block may seed it
+                next_seed += 1
+            any_work = True
+        if not any_work:
+            break
+
+        # One DBSCAN iteration: every active block expands one point.
+        for blk in blocks:
+            if not blk.queue:
+                continue
+            p = blk.queue.popleft()
+            expanded[p] = True
+            neigh = tree.query_radius(points.coords[p], eps)
+            # Cost: the query evaluates one distance per candidate point in
+            # every leaf whose region intersects the query disk.
+            visited = tree.count_visited_leaves(points.coords[p], eps)
+            stats.distance_ops += visited * tree.leaf_size
+            if len(neigh) >= minpts:
+                core[p] = True
+                if owner[p] == -1:
+                    owner[p] = blk.chain
+                elif owner[p] != blk.chain:
+                    collisions.append((blk.chain, int(owner[p]), p))
+                for x in neigh:
+                    x = int(x)
+                    if x == p:
+                        continue
+                    if owner[x] == -1:
+                        owner[x] = blk.chain
+                        if not expanded[x]:
+                            blk.queue.append(x)
+                    elif owner[x] != blk.chain:
+                        collisions.append((blk.chain, int(owner[x]), x))
+            # non-core p: stays with whatever chain claimed it (border) or
+            # unowned (noise candidate).
+
+        # CPU synchronisation: state out, re-seed decisions in.
+        device.d2h(64 * len(blocks))
+        device.h2d(16 * len(blocks))
+        stats.n_iterations += 1
+
+    device.d2h(8 * n)  # final labels off the device
+    device.free_all()
+
+    # Host-side collision resolution: chains sharing a *core* point merge.
+    ds = DisjointSet(n_chains)
+    for a, b, x in collisions:
+        stats.n_collisions += 1
+        if core[x]:
+            ds.union(a, b)
+            stats.n_core_collisions += 1
+
+    labels = np.full(n, NOISE, dtype=np.int64)
+    owned = owner >= 0
+    if n_chains:
+        chain_root = ds.roots()
+        labels[owned] = chain_root[owner[owned]]
+    # Canonical dense numbering by first appearance.
+    remap: dict[int, int] = {}
+    for i in range(n):
+        lab = int(labels[i])
+        if lab == NOISE:
+            continue
+        if lab not in remap:
+            remap[lab] = len(remap)
+        labels[i] = remap[lab]
+
+    stats.n_chains = n_chains
+    stats.sync_round_trips = device.stats.sync_points
+    return labels, core, stats

@@ -1,0 +1,119 @@
+"""Dense-box detection (§3.2.3).
+
+"All points in a sub-division with dimension size less than or equal to
+``2·Eps / (2·√2)`` [= ``eps/√2``] and point count ≥ MinPts will be marked as
+members of a cluster" — a box of edge ``eps/√2`` has diagonal exactly
+``eps``, so its points are pairwise within Eps of each other; with at least
+MinPts of them, every one is a core point and they all belong to one
+cluster, *without expanding any of them individually*.
+
+Detection reuses the existing KD-tree subdivision of the point space
+(worst-case O(l) in the number of subdivisions l, as the paper states):
+a leaf qualifies when its region's larger edge is at most ``eps/√2`` and it
+holds at least MinPts points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dbscan.kdtree import RegionKDTree
+from ..errors import ConfigError
+from ..points import PointSet
+
+__all__ = ["DENSEBOX_EDGE_FACTOR", "DenseBoxResult", "densebox_edge", "find_dense_boxes", "build_densebox_tree"]
+
+#: Maximum box edge as a multiple of eps: 2eps/(2*sqrt(2)) = eps/sqrt(2).
+DENSEBOX_EDGE_FACTOR: float = 1.0 / np.sqrt(2.0)
+
+
+def densebox_edge(eps: float) -> float:
+    """The paper's dense-box dimension threshold for a given eps."""
+    return eps * DENSEBOX_EDGE_FACTOR
+
+
+@dataclass
+class DenseBoxResult:
+    """Outcome of the dense-box pass over one partition.
+
+    ``box_id[i]`` is the dense box containing point ``i`` (-1 when the
+    point is not in any dense box).  ``n_boxes`` boxes were found,
+    eliminating ``n_eliminated`` points from individual expansion.
+    """
+
+    box_id: np.ndarray
+    n_boxes: int
+    n_subdivisions: int
+
+    @property
+    def n_eliminated(self) -> int:
+        return int(np.count_nonzero(self.box_id >= 0))
+
+    def eliminated_fraction(self, n_points: int) -> float:
+        """Share of the partition's points removed from expansion."""
+        return self.n_eliminated / n_points if n_points else 0.0
+
+    def members(self, box: int) -> np.ndarray:
+        """Point indices of one dense box."""
+        return np.flatnonzero(self.box_id == box)
+
+
+def build_densebox_tree(
+    points: PointSet, eps: float, minpts: int = 16, *, leaf_size: int | None = None
+) -> RegionKDTree:
+    """Build the KD-tree whose subdivisions the dense-box pass scans.
+
+    Two knobs make dense regions actually reach qualifying scale:
+
+    * ``leaf_size`` defaults to ``max(minpts, 16)`` — a region keeps
+      splitting while it still holds enough points to qualify as a dense
+      box, so populous areas are driven down to box scale instead of
+      stopping at an arbitrary count;
+    * ``min_dim`` is half the qualifying edge, so splitting stops only
+      once the larger region edge is at or below ``eps/(2·√2)``; leaves in
+      dense areas therefore end up with edges in
+      ``(eps/(2·√2), eps/√2]`` — inside the qualifying window.
+    """
+    if eps <= 0:
+        raise ConfigError(f"eps must be positive, got {eps}")
+    if minpts < 1:
+        raise ConfigError(f"minpts must be >= 1, got {minpts}")
+    if leaf_size is None:
+        leaf_size = max(minpts, 16)
+    return RegionKDTree(
+        points,
+        leaf_size=leaf_size,
+        min_dim=densebox_edge(eps) / 2.0,
+        max_depth=64,
+    )
+
+
+def find_dense_boxes(
+    points: PointSet,
+    eps: float,
+    minpts: int,
+    *,
+    tree: RegionKDTree | None = None,
+) -> DenseBoxResult:
+    """Mark every qualifying KD-tree subdivision as a dense box.
+
+    Complexity is O(l) over the tree's leaves; each qualifying leaf's
+    members get a fresh box id.  Pass ``tree`` to reuse the subdivision an
+    earlier step already built (the GPU algorithm shares one tree between
+    neighbor search and dense box, as CUDA-DClust's design intends).
+    """
+    if minpts < 1:
+        raise ConfigError(f"minpts must be >= 1, got {minpts}")
+    if tree is None:
+        tree = build_densebox_tree(points, eps, minpts)
+    box_id = np.full(len(points), -1, dtype=np.int64)
+    edge = densebox_edge(eps)
+    n_boxes = 0
+    leaves = tree.leaves()
+    for leaf in leaves:
+        if leaf.n_points >= minpts and leaf.max_dim <= edge + 1e-12:
+            box_id[tree.leaf_members(leaf)] = n_boxes
+            n_boxes += 1
+    return DenseBoxResult(box_id=box_id, n_boxes=n_boxes, n_subdivisions=len(leaves))

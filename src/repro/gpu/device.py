@@ -1,0 +1,165 @@
+"""Simulated GPGPU device: memory, transfers, launches, operation counts.
+
+The device does not execute anything itself — the clustering algorithms do
+their arithmetic with numpy — but every algorithm step routes its resource
+usage through this class:
+
+* allocations are checked against the device memory capacity (a K20 has
+  6 GB; a leaf whose partition does not fit must fail exactly like the
+  paper's smallest strong-scaling configuration was chosen to avoid);
+* host→device and device→host transfers are counted (Mr. Scan's whole
+  point in §3.2.2 is cutting CUDA-DClust's ``2 × points/blocks`` copies to
+  a single round trip);
+* kernel launches and per-thread distance computations are tallied so the
+  cost model can convert them to modelled K20 seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DeviceError, DeviceMemoryError
+
+__all__ = ["DeviceConfig", "DeviceStats", "SimulatedDevice"]
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Static properties of the simulated accelerator (defaults: K20)."""
+
+    name: str = "tesla-k20"
+    memory_bytes: int = 6 * 1024**3
+    n_blocks: int = 1024  # concurrent block residency Mr. Scan schedules
+    threads_per_block: int = 256
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise DeviceError("memory_bytes must be positive")
+        if self.n_blocks <= 0 or self.threads_per_block <= 0:
+            raise DeviceError("block geometry must be positive")
+
+
+@dataclass
+class DeviceStats:
+    """Running resource counters (reset per clustering run)."""
+
+    h2d_ops: int = 0
+    h2d_bytes: int = 0
+    d2h_ops: int = 0
+    d2h_bytes: int = 0
+    kernel_launches: int = 0
+    blocks_executed: int = 0
+    distance_ops: int = 0
+    sync_points: int = 0
+    peak_allocated: int = 0
+
+    @property
+    def round_trips(self) -> int:
+        """Host↔device synchronous round trips (the §3.2.2 metric)."""
+        return self.sync_points
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "h2d_ops": self.h2d_ops,
+            "h2d_bytes": self.h2d_bytes,
+            "d2h_ops": self.d2h_ops,
+            "d2h_bytes": self.d2h_bytes,
+            "kernel_launches": self.kernel_launches,
+            "blocks_executed": self.blocks_executed,
+            "distance_ops": self.distance_ops,
+            "sync_points": self.sync_points,
+            "peak_allocated": self.peak_allocated,
+        }
+
+
+class SimulatedDevice:
+    """One simulated accelerator attached to a Mr. Scan leaf process."""
+
+    def __init__(self, config: DeviceConfig | None = None) -> None:
+        self.config = config or DeviceConfig()
+        self.stats = DeviceStats()
+        self._allocations: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Memory
+    # ------------------------------------------------------------------ #
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(self._allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.config.memory_bytes - self.allocated_bytes
+
+    def alloc(self, name: str, nbytes: int) -> None:
+        """Reserve ``nbytes`` of device memory under ``name``."""
+        if nbytes < 0:
+            raise DeviceError(f"negative allocation {name!r}")
+        if name in self._allocations:
+            raise DeviceError(f"buffer {name!r} already allocated")
+        if nbytes > self.free_bytes:
+            raise DeviceMemoryError(
+                f"allocating {name!r} ({nbytes} B) exceeds device memory: "
+                f"{self.free_bytes} B free of {self.config.memory_bytes} B"
+            )
+        self._allocations[name] = int(nbytes)
+        self.stats.peak_allocated = max(self.stats.peak_allocated, self.allocated_bytes)
+
+    def free(self, name: str) -> None:
+        """Release a named buffer."""
+        if name not in self._allocations:
+            raise DeviceError(f"buffer {name!r} not allocated")
+        del self._allocations[name]
+
+    def free_all(self) -> None:
+        """Release every buffer (end of a clustering run)."""
+        self._allocations.clear()
+
+    # ------------------------------------------------------------------ #
+    # Transfers
+    # ------------------------------------------------------------------ #
+
+    def h2d(self, nbytes: int, *, sync: bool = True) -> None:
+        """Record a host→device copy."""
+        if nbytes < 0:
+            raise DeviceError("negative transfer")
+        self.stats.h2d_ops += 1
+        self.stats.h2d_bytes += int(nbytes)
+        if sync:
+            self.stats.sync_points += 1
+
+    def d2h(self, nbytes: int, *, sync: bool = True) -> None:
+        """Record a device→host copy."""
+        if nbytes < 0:
+            raise DeviceError("negative transfer")
+        self.stats.d2h_ops += 1
+        self.stats.d2h_bytes += int(nbytes)
+        if sync:
+            self.stats.sync_points += 1
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def launch(self, *, blocks: int, distance_ops: int = 0) -> None:
+        """Record one kernel launch over ``blocks`` logical blocks.
+
+        ``distance_ops`` is the number of point-to-point distance
+        evaluations the launch performs — the unit the cost model converts
+        to K20 seconds.  Launches are asynchronous (no sync point); only
+        transfers with ``sync=True`` create round trips.
+        """
+        if blocks <= 0:
+            raise DeviceError("launch needs at least one block")
+        if distance_ops < 0:
+            raise DeviceError("negative distance_ops")
+        self.stats.kernel_launches += 1
+        self.stats.blocks_executed += int(blocks)
+        self.stats.distance_ops += int(distance_ops)
+
+    def reset_stats(self) -> DeviceStats:
+        """Zero the counters, returning the previous values."""
+        old = self.stats
+        self.stats = DeviceStats()
+        return old

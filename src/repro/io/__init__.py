@@ -1,0 +1,31 @@
+"""Storage substrate: point-file formats, partition files, and a Lustre model.
+
+Mr. Scan starts from a single input file on a parallel file system and the
+partitioner writes one region of a shared output file per partition (§3.1.3).
+This package provides the file formats plus :class:`repro.io.lustre.LustreModel`,
+the striped-parallel-FS performance model used to reproduce the paper's
+I/O-dominated partition-phase behaviour.
+"""
+
+from .formats import (
+    POINT_RECORD_BYTES,
+    read_points_binary,
+    read_points_text,
+    write_points_binary,
+    write_points_text,
+)
+from .lustre import LustreModel, LustreConfig, IOTrace
+from .partition_files import PartitionFileSet, PartitionMeta
+
+__all__ = [
+    "POINT_RECORD_BYTES",
+    "read_points_binary",
+    "read_points_text",
+    "write_points_binary",
+    "write_points_text",
+    "LustreModel",
+    "LustreConfig",
+    "IOTrace",
+    "PartitionFileSet",
+    "PartitionMeta",
+]

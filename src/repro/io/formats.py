@@ -1,0 +1,155 @@
+"""Point-file formats.
+
+The paper's input is "a single binary or text file" where "each input point
+has a unique ID number, coordinates, and an optional weight" (§3).  We define
+one binary record layout and one whitespace-delimited text layout:
+
+Binary record (little-endian, 32 bytes)::
+
+    int64   id
+    float64 x
+    float64 y
+    float64 weight
+
+Text line::
+
+    <id> <x> <y> [weight]
+
+Binary files carry an 16-byte header (magic + point count) so partial reads
+can be validated.  All readers return :class:`repro.points.PointSet`.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import FormatError
+from ..points import PointSet
+
+__all__ = [
+    "POINT_RECORD_BYTES",
+    "MAGIC",
+    "point_dtype",
+    "write_points_binary",
+    "read_points_binary",
+    "write_points_text",
+    "read_points_text",
+]
+
+#: Bytes per binary point record (id + x + y + weight).
+POINT_RECORD_BYTES = 32
+
+#: File magic for binary point files ("MRSCANPT").
+MAGIC = b"MRSCANPT"
+
+#: Structured dtype of one binary record.
+point_dtype = np.dtype(
+    [("id", "<i8"), ("x", "<f8"), ("y", "<f8"), ("weight", "<f8")]
+)
+
+
+def _to_records(points: PointSet) -> np.ndarray:
+    rec = np.empty(len(points), dtype=point_dtype)
+    rec["id"] = points.ids
+    rec["x"] = points.coords[:, 0]
+    rec["y"] = points.coords[:, 1]
+    rec["weight"] = points.weights
+    return rec
+
+
+def _from_records(rec: np.ndarray) -> PointSet:
+    coords = np.empty((len(rec), 2), dtype=np.float64)
+    coords[:, 0] = rec["x"]
+    coords[:, 1] = rec["y"]
+    return PointSet(ids=rec["id"].astype(np.int64), coords=coords, weights=rec["weight"].astype(np.float64))
+
+
+def write_points_binary(path: str | Path, points: PointSet) -> int:
+    """Write a binary point file; returns the number of bytes written."""
+    rec = _to_records(points)
+    header = MAGIC + np.int64(len(points)).tobytes()
+    with open(path, "wb") as fh:
+        fh.write(header)
+        rec.tofile(fh)
+    return len(header) + rec.nbytes
+
+
+def read_points_binary(
+    path: str | Path, *, offset: int | None = None, count: int | None = None
+) -> PointSet:
+    """Read a binary point file, optionally a slice of ``count`` records.
+
+    ``offset`` is a record index (not a byte offset) into the file body,
+    mirroring how the partitioner's metadata file addresses partitions.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    header_len = len(MAGIC) + 8
+    if size < header_len:
+        raise FormatError(f"{path}: truncated point file ({size} bytes)")
+    with open(path, "rb") as fh:
+        magic = fh.read(len(MAGIC))
+        if magic != MAGIC:
+            raise FormatError(f"{path}: bad magic {magic!r}")
+        (n_total,) = np.frombuffer(fh.read(8), dtype="<i8")
+        n_total = int(n_total)
+        body_bytes = size - header_len
+        if body_bytes != n_total * POINT_RECORD_BYTES:
+            raise FormatError(
+                f"{path}: header says {n_total} points but body holds "
+                f"{body_bytes // POINT_RECORD_BYTES}"
+            )
+        start = 0 if offset is None else int(offset)
+        n_read = n_total - start if count is None else int(count)
+        if start < 0 or n_read < 0 or start + n_read > n_total:
+            raise FormatError(
+                f"{path}: slice [{start}, {start + n_read}) out of range "
+                f"for {n_total} points"
+            )
+        fh.seek(header_len + start * POINT_RECORD_BYTES, os.SEEK_SET)
+        rec = np.fromfile(fh, dtype=point_dtype, count=n_read)
+    return _from_records(rec)
+
+
+def write_points_text(path: str | Path, points: PointSet) -> int:
+    """Write a text point file (one ``id x y weight`` line per point)."""
+    buf = io.StringIO()
+    for pid, (x, y), w in zip(points.ids, points.coords, points.weights):
+        buf.write(f"{int(pid)} {float(x)!r} {float(y)!r} {float(w)!r}\n")
+    data = buf.getvalue().encode()
+    with open(path, "wb") as fh:
+        fh.write(data)
+    return len(data)
+
+
+def read_points_text(path: str | Path) -> PointSet:
+    """Read a text point file; the weight column is optional per line."""
+    ids: list[int] = []
+    xs: list[float] = []
+    ys: list[float] = []
+    ws: list[float] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) not in (3, 4):
+                raise FormatError(f"{path}:{lineno}: expected 3 or 4 columns, got {len(parts)}")
+            try:
+                ids.append(int(parts[0]))
+                xs.append(float(parts[1]))
+                ys.append(float(parts[2]))
+                ws.append(float(parts[3]) if len(parts) == 4 else 1.0)
+            except ValueError as exc:
+                raise FormatError(f"{path}:{lineno}: {exc}") from exc
+    coords = np.column_stack([np.asarray(xs, dtype=np.float64), np.asarray(ys, dtype=np.float64)]) if ids else np.empty((0, 2))
+    return PointSet(
+        ids=np.asarray(ids, dtype=np.int64),
+        coords=coords,
+        weights=np.asarray(ws, dtype=np.float64),
+    )

@@ -1,0 +1,161 @@
+"""Partition output file and metadata table (§3.1.3).
+
+The distributed partitioner writes "the complete point information to the
+correct position in a single output file in parallel, where the output file
+contains the points of each partition in sequential order", and the root
+generates "a metadata file to specify the offset from which each partition
+starts in the output file".
+
+:class:`PartitionFileSet` implements exactly that: a single shared binary
+file in the :mod:`repro.io.formats` record layout, an offset table, and
+record-level slicing so each Mr. Scan leaf can read only its partition.
+A partition's slice is further split into *partition points* followed by
+*shadow points* so the clustering phase knows which points it owns.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, asdict
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import FormatError
+from ..points import PointSet
+from .formats import MAGIC, POINT_RECORD_BYTES, point_dtype, read_points_binary
+
+__all__ = ["PartitionMeta", "PartitionFileSet"]
+
+
+@dataclass(frozen=True)
+class PartitionMeta:
+    """Offset-table entry for one partition.
+
+    ``offset`` and counts are in *records*, not bytes, mirroring how the
+    metadata file addresses the shared output file.
+    """
+
+    partition_id: int
+    offset: int
+    n_partition_points: int
+    n_shadow_points: int
+
+    @property
+    def n_points(self) -> int:
+        return self.n_partition_points + self.n_shadow_points
+
+
+class PartitionFileSet:
+    """A single shared partition file plus its metadata table.
+
+    Parameters
+    ----------
+    data_path:
+        Path of the shared binary point file.
+    meta_path:
+        Path of the JSON metadata file (offset table).
+    """
+
+    def __init__(self, data_path: str | Path, meta_path: str | Path | None = None) -> None:
+        self.data_path = Path(data_path)
+        self.meta_path = Path(meta_path) if meta_path else self.data_path.with_suffix(".meta.json")
+        self._metas: list[PartitionMeta] = []
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+
+    def write(self, partitions: list[tuple[PointSet, PointSet]]) -> list[PartitionMeta]:
+        """Write all partitions sequentially and persist the offset table.
+
+        Each element of ``partitions`` is a ``(partition_points,
+        shadow_points)`` pair.  Returns the metadata entries in partition
+        order.  (The distributed partitioner instead uses
+        :meth:`layout` + :meth:`write_slice` to emulate parallel writes at
+        offsets; this method is the simple single-writer path.)
+        """
+        metas = self.layout([(len(p), len(s)) for p, s in partitions])
+        total = sum(m.n_points for m in metas)
+        with open(self.data_path, "wb") as fh:
+            fh.write(MAGIC + np.int64(total).tobytes())
+        for meta, (part, shadow) in zip(metas, partitions):
+            self.write_slice(meta.offset, part.concat(shadow))
+        self.save_meta()
+        return metas
+
+    def layout(self, sizes: list[tuple[int, int]]) -> list[PartitionMeta]:
+        """Compute the offset table for ``(n_partition, n_shadow)`` sizes."""
+        metas: list[PartitionMeta] = []
+        offset = 0
+        for pid, (n_part, n_shadow) in enumerate(sizes):
+            metas.append(
+                PartitionMeta(
+                    partition_id=pid,
+                    offset=offset,
+                    n_partition_points=int(n_part),
+                    n_shadow_points=int(n_shadow),
+                )
+            )
+            offset += n_part + n_shadow
+        self._metas = metas
+        return metas
+
+    def create(self, total_records: int) -> None:
+        """Pre-create the shared file sized for ``total_records`` records."""
+        with open(self.data_path, "wb") as fh:
+            fh.write(MAGIC + np.int64(total_records).tobytes())
+            fh.truncate(len(MAGIC) + 8 + total_records * POINT_RECORD_BYTES)
+
+    def write_slice(self, offset: int, points: PointSet) -> int:
+        """Write ``points`` at record ``offset`` (parallel-writer path).
+
+        Returns bytes written.  The shared file must already exist (via
+        :meth:`create` or a prior :meth:`write`).
+        """
+        rec = np.empty(len(points), dtype=point_dtype)
+        rec["id"] = points.ids
+        rec["x"] = points.coords[:, 0]
+        rec["y"] = points.coords[:, 1]
+        rec["weight"] = points.weights
+        with open(self.data_path, "r+b") as fh:
+            fh.seek(len(MAGIC) + 8 + offset * POINT_RECORD_BYTES)
+            rec.tofile(fh)
+        return rec.nbytes
+
+    def save_meta(self) -> None:
+        """Persist the offset table as JSON."""
+        payload = {"partitions": [asdict(m) for m in self._metas]}
+        self.meta_path.write_text(json.dumps(payload, indent=1))
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def load_meta(self) -> list[PartitionMeta]:
+        """Load the offset table from the metadata file."""
+        if not self.meta_path.exists():
+            raise FormatError(f"missing partition metadata {self.meta_path}")
+        payload = json.loads(self.meta_path.read_text())
+        self._metas = [PartitionMeta(**entry) for entry in payload["partitions"]]
+        return self._metas
+
+    @property
+    def metas(self) -> list[PartitionMeta]:
+        if not self._metas:
+            self.load_meta()
+        return self._metas
+
+    def __len__(self) -> int:
+        return len(self.metas)
+
+    def read_partition(self, partition_id: int) -> tuple[PointSet, PointSet]:
+        """Read one partition's ``(partition_points, shadow_points)``."""
+        metas = self.metas
+        if not 0 <= partition_id < len(metas):
+            raise FormatError(f"partition {partition_id} out of range (have {len(metas)})")
+        meta = metas[partition_id]
+        both = read_points_binary(self.data_path, offset=meta.offset, count=meta.n_points)
+        part = both.take(np.arange(meta.n_partition_points))
+        shadow = both.take(np.arange(meta.n_partition_points, meta.n_points))
+        return part, shadow

@@ -1,0 +1,56 @@
+"""Root-level global cluster ID assignment (§3.4, first half).
+
+After the final merge at the MRNet root, every surviving cluster group is
+given "a globally unique identifier".  The assignment maps each
+*constituent* key — the ``(leaf_id, local_cluster_id)`` pairs the leaves
+originally reported — to its global ID, which is what flows back down the
+tree in the sweep so each leaf can relabel its local output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .summary import LeafSummary
+
+__all__ = ["GlobalIdAssignment", "assign_global_ids"]
+
+ClusterKey = tuple[int, int]
+
+
+@dataclass
+class GlobalIdAssignment:
+    """The sweep payload: constituent cluster key -> global cluster ID."""
+
+    mapping: dict[ClusterKey, int] = field(default_factory=dict)
+    n_clusters: int = 0
+
+    def global_id(self, leaf_id: int, local_id: int) -> int:
+        """Global ID of one leaf-local cluster (raises on unknown keys)."""
+        return self.mapping[(leaf_id, int(local_id))]
+
+    def for_leaf(self, leaf_id: int) -> dict[int, int]:
+        """Local-to-global map restricted to one leaf (sweep splitting)."""
+        return {
+            local: gid
+            for (leaf, local), gid in self.mapping.items()
+            if leaf == leaf_id
+        }
+
+    def payload_bytes(self) -> int:
+        return 20 * len(self.mapping) + 16
+
+
+def assign_global_ids(root_summary: LeafSummary) -> GlobalIdAssignment:
+    """Number the root's cluster groups 0..k-1 (by canonical key order).
+
+    Canonical-key ordering makes the numbering deterministic regardless of
+    merge order: the group whose smallest constituent is smallest gets 0.
+    """
+    assignment = GlobalIdAssignment()
+    for gid, key in enumerate(sorted(root_summary.clusters)):
+        cluster = root_summary.clusters[key]
+        for constituent in cluster.constituents:
+            assignment.mapping[constituent] = gid
+    assignment.n_clusters = len(root_summary.clusters)
+    return assignment

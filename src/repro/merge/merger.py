@@ -1,0 +1,236 @@
+"""The merge filter: combine child summaries at a tree node (§3.3.2).
+
+For every grid cell where clusters from different children overlap, three
+overlap types are evaluated:
+
+1. **core/core** — a representative of one cluster within Eps of a
+   representative of the other.  Representatives are core points, so this
+   is a genuine DBSCAN core edge; Fig 5's lemma guarantees it fires
+   whenever the clusters share a core point in the cell.
+2. **non-core/core** — a point one side classified non-core (its shadow
+   view was incomplete) that the *owner* of the cell classified core:
+   the side's non-core members minus the owner's non-core set yields
+   points that are globally core; any of them within Eps of the other
+   side's representatives merges the clusters (Fig 7).
+3. **non-core/non-core** — shared border points do not merge clusters;
+   duplicates are removed when summaries combine (the output keeps one
+   copy per point).
+
+The filter is associative: internal nodes apply it level by level, and the
+root's application yields the final cluster groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import MergeError
+from .representatives import select_representatives
+from .summary import CellSummary, ClusterSummary, LeafSummary, cell_bounds
+
+__all__ = ["MergeOutcome", "merge_summaries", "MergeFilter"]
+
+Cell = tuple[int, int]
+ClusterKey = tuple[int, int]
+
+
+@dataclass
+class MergeOutcome:
+    """Statistics from one merge-filter application."""
+
+    n_input_clusters: int = 0
+    n_output_clusters: int = 0
+    n_cell_pairs_checked: int = 0
+    n_core_merges: int = 0
+    n_noncore_core_merges: int = 0
+    n_duplicate_noncore_removed: int = 0
+
+
+class _KeyUnionFind:
+    """Union-find keyed by cluster keys (small, dict-based)."""
+
+    def __init__(self, keys: Sequence[ClusterKey]) -> None:
+        self.parent: dict[ClusterKey, ClusterKey] = {k: k for k in keys}
+
+    def find(self, k: ClusterKey) -> ClusterKey:
+        root = k
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[k] != root:
+            self.parent[k], k = root, self.parent[k]
+        return root
+
+    def union(self, a: ClusterKey, b: ClusterKey) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if rb < ra:  # canonical: smallest key wins
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+
+
+def _min_dist_within(a: np.ndarray, b: np.ndarray, eps2: float) -> bool:
+    if len(a) == 0 or len(b) == 0:
+        return False
+    d2 = (
+        (a[:, 0][:, None] - b[:, 0][None, :]) ** 2
+        + (a[:, 1][:, None] - b[:, 1][None, :]) ** 2
+    )
+    return bool(np.any(d2 <= eps2))
+
+
+def _diff_within(
+    cs: CellSummary,
+    owner_noncore: np.ndarray | None,
+    other_reps: np.ndarray,
+    eps2: float,
+) -> bool:
+    """Type-2 check in one direction (cs's non-cores against other's reps)."""
+    if owner_noncore is None or len(cs.noncore_ids) == 0 or len(other_reps) == 0:
+        return False
+    keep = ~np.isin(cs.noncore_ids, owner_noncore)
+    if not np.any(keep):
+        return False
+    return _min_dist_within(cs.noncore_coords[keep], other_reps, eps2)
+
+
+def merge_summaries(
+    summaries: Sequence[LeafSummary], eps: float
+) -> tuple[LeafSummary, MergeOutcome]:
+    """Apply the merge rules across child summaries and combine them."""
+    outcome = MergeOutcome()
+    summaries = [s for s in summaries if s is not None]
+    if not summaries:
+        return LeafSummary(eps=eps), outcome
+    for s in summaries:
+        if abs(s.eps - eps) > 1e-12:
+            raise MergeError(f"summary eps {s.eps} != merge eps {eps}")
+
+    # Combined owner classification (owned cells are disjoint by design).
+    owner_noncore: dict[Cell, np.ndarray] = {}
+    owner_sources = 0
+    for s in summaries:
+        for cell, ids in s.owner_noncore_ids.items():
+            if cell in owner_noncore:
+                raise MergeError(f"cell {cell} owned by two children")
+            owner_noncore[cell] = ids
+            owner_sources += 1
+
+    all_keys: list[ClusterKey] = []
+    for s in summaries:
+        all_keys.extend(s.clusters.keys())
+    if len(all_keys) != len(set(all_keys)):
+        raise MergeError("duplicate cluster keys across children")
+    outcome.n_input_clusters = len(all_keys)
+    uf = _KeyUnionFind(all_keys)
+
+    # Cell index: cell -> [(child_index, cluster_key)].
+    cell_index: dict[Cell, list[tuple[int, ClusterKey]]] = {}
+    for child, s in enumerate(summaries):
+        for key, cluster in s.clusters.items():
+            for cell in cluster.cells:
+                cell_index.setdefault(cell, []).append((child, key))
+
+    eps2 = eps * eps
+    for cell, entries in cell_index.items():
+        if len(entries) < 2:
+            continue
+        owner_ids = owner_noncore.get(cell)
+        for i in range(len(entries)):
+            child_i, key_i = entries[i]
+            cs_i = summaries[child_i].clusters[key_i].cells[cell]
+            for j in range(i + 1, len(entries)):
+                child_j, key_j = entries[j]
+                if child_i == child_j:
+                    continue  # same child: already merged at a lower level
+                if uf.find(key_i) == uf.find(key_j):
+                    continue
+                cs_j = summaries[child_j].clusters[key_j].cells[cell]
+                outcome.n_cell_pairs_checked += 1
+                # Type 1: core point overlap via representatives.
+                if _min_dist_within(cs_i.rep_coords, cs_j.rep_coords, eps2):
+                    uf.union(key_i, key_j)
+                    outcome.n_core_merges += 1
+                    continue
+                # Type 2: non-core/core overlap, both directions.
+                if _diff_within(cs_i, owner_ids, cs_j.rep_coords, eps2) or _diff_within(
+                    cs_j, owner_ids, cs_i.rep_coords, eps2
+                ):
+                    uf.union(key_i, key_j)
+                    outcome.n_noncore_core_merges += 1
+
+    # ------------------------------------------------------------------ #
+    # Build the combined summary.
+    # ------------------------------------------------------------------ #
+    groups: dict[ClusterKey, list[ClusterSummary]] = {}
+    for child, s in enumerate(summaries):
+        for key, cluster in s.clusters.items():
+            groups.setdefault(uf.find(key), []).append(cluster)
+
+    merged = LeafSummary(eps=eps)
+    merged.owner_noncore_ids = owner_noncore
+    merged.source_leaves = frozenset().union(*(s.source_leaves for s in summaries))
+
+    for root_key, members in groups.items():
+        if len(members) == 1 and members[0].key == root_key:
+            merged.clusters[root_key] = members[0]
+            continue
+        combined = ClusterSummary(
+            key=root_key,
+            constituents=frozenset().union(*(m.constituents for m in members)),
+        )
+        cells: dict[Cell, list[CellSummary]] = {}
+        for m in members:
+            for cell, cs in m.cells.items():
+                cells.setdefault(cell, []).append(cs)
+        for cell, parts in cells.items():
+            if len(parts) == 1:
+                combined.cells[cell] = parts[0]
+                continue
+            rep_ids = np.concatenate([p.rep_ids for p in parts])
+            rep_coords = np.concatenate([p.rep_coords for p in parts])
+            if len(rep_ids):
+                # Re-select: the merged cluster's best representative for
+                # each anchor is among the children's representatives.
+                _, first = np.unique(rep_ids, return_index=True)
+                rep_ids, rep_coords = rep_ids[first], rep_coords[first]
+                rel = select_representatives(rep_coords, cell_bounds(cell, eps))
+                rep_ids, rep_coords = rep_ids[rel], rep_coords[rel]
+            nc_ids = np.concatenate([p.noncore_ids for p in parts])
+            nc_coords = np.concatenate([p.noncore_coords for p in parts])
+            if len(nc_ids):
+                uniq, first = np.unique(nc_ids, return_index=True)
+                outcome.n_duplicate_noncore_removed += len(nc_ids) - len(uniq)
+                nc_ids, nc_coords = nc_ids[first], nc_coords[first]
+            combined.cells[cell] = CellSummary(
+                rep_ids=rep_ids,
+                rep_coords=rep_coords,
+                noncore_ids=nc_ids,
+                noncore_coords=nc_coords,
+            )
+        merged.clusters[root_key] = combined
+
+    outcome.n_output_clusters = len(merged.clusters)
+    return merged, outcome
+
+
+class MergeFilter:
+    """MRNet filter wrapper around :func:`merge_summaries`.
+
+    Collects per-application outcomes on the instance (safe only with the
+    local transport; the process transport gets fresh copies, so outcome
+    collection is a local-transport observability feature, not state the
+    algorithm depends on).
+    """
+
+    def __init__(self, eps: float) -> None:
+        self.eps = float(eps)
+        self.outcomes: list[MergeOutcome] = []
+
+    def combine(self, payloads: Sequence[LeafSummary]) -> LeafSummary:
+        merged, outcome = merge_summaries(payloads, self.eps)
+        self.outcomes.append(outcome)
+        return merged

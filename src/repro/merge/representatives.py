@@ -1,0 +1,76 @@
+"""Representative-point selection (§3.3.1, Fig 5).
+
+"The eight selected representative points are the points closest to the
+center of the sides of the grid cell and the corners of the grid cell."
+
+The sufficiency argument (Fig 5): any point P in the cell is within
+``eps/2`` of at least one corner or side-midpoint (call it Ref — a cell of
+edge eps cannot hide a point farther than eps/2 from all eight targets);
+the representative chosen for Ref is by construction at most as far from
+Ref as P is, i.e. within ``eps/2`` of Ref too; so P and that representative
+are within eps of each other.  Hence if two clusters share a core point in
+a cell, each cluster's representative set contains a point within Eps of
+it — a merge is always detectable from representatives alone.
+
+``tests/merge/test_representatives.py`` checks this lemma property-based.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MergeError
+
+__all__ = ["representative_targets", "select_representatives", "N_REPRESENTATIVES"]
+
+#: The paper's bound: eight points represent a grid cell of any density.
+N_REPRESENTATIVES: int = 8
+
+
+def representative_targets(
+    bounds: tuple[float, float, float, float]
+) -> np.ndarray:
+    """The 8 anchor locations of a cell: 4 corners + 4 side midpoints.
+
+    Order: corners (SW, SE, NW, NE) then midpoints (S, N, W, E).
+    """
+    xmin, ymin, xmax, ymax = bounds
+    xm = 0.5 * (xmin + xmax)
+    ym = 0.5 * (ymin + ymax)
+    return np.array(
+        [
+            [xmin, ymin],
+            [xmax, ymin],
+            [xmin, ymax],
+            [xmax, ymax],
+            [xm, ymin],
+            [xm, ymax],
+            [xmin, ym],
+            [xmax, ym],
+        ],
+        dtype=np.float64,
+    )
+
+
+def select_representatives(
+    coords: np.ndarray,
+    bounds: tuple[float, float, float, float],
+) -> np.ndarray:
+    """Indices (into ``coords``) of the ≤8 representative points.
+
+    For each of the eight targets, the closest candidate point is chosen;
+    duplicates collapse, so sparse cells may yield fewer than eight.  The
+    returned indices are sorted and unique.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.ndim != 2 or coords.shape[1] != 2:
+        raise MergeError(f"coords must be (n, 2), got {coords.shape}")
+    if len(coords) == 0:
+        return np.empty(0, dtype=np.int64)
+    targets = representative_targets(bounds)
+    d2 = (
+        (coords[:, 0][:, None] - targets[:, 0][None, :]) ** 2
+        + (coords[:, 1][:, None] - targets[:, 1][None, :]) ** 2
+    )
+    chosen = np.argmin(d2, axis=0)
+    return np.unique(chosen.astype(np.int64))

@@ -1,0 +1,233 @@
+"""Per-leaf cluster summaries — what flows up the merge tree (§3.3).
+
+"At this point in the algorithm, all clusters are composed of grid cells
+with each grid cell containing a set of representative points and the set
+of non-core points."  A :class:`LeafSummary` is exactly that, for every
+cluster a leaf found, plus the per-owned-cell set of non-core point IDs the
+merge rules' set difference needs (§3.3.2, second overlap type: the owner's
+classification of its own cells is authoritative).
+
+Summaries are the only thing transmitted upstream — never whole clusters —
+which is what bounds merge traffic ("a small, bounded number of
+representative points per cluster", §1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import MergeError
+from ..points import NOISE, PointSet
+from .representatives import select_representatives
+
+__all__ = ["CellSummary", "ClusterSummary", "LeafSummary", "summarize_leaf", "cell_bounds"]
+
+Cell = tuple[int, int]
+ClusterKey = tuple[int, int]  # (leaf_id, local_cluster_id)
+
+
+def cell_bounds(cell: Cell, eps: float) -> tuple[float, float, float, float]:
+    """Coordinate-space bounds of a global Eps-grid cell."""
+    cx, cy = cell
+    return (cx * eps, cy * eps, (cx + 1) * eps, (cy + 1) * eps)
+
+
+@dataclass
+class CellSummary:
+    """One cluster's footprint inside one grid cell."""
+
+    rep_ids: np.ndarray  # ids of the <=8 representative core points
+    rep_coords: np.ndarray  # (k, 2) coordinates of the representatives
+    noncore_ids: np.ndarray  # ids of the cluster's non-core members here
+    noncore_coords: np.ndarray  # (m, 2) their coordinates
+
+    @property
+    def n_reps(self) -> int:
+        return len(self.rep_ids)
+
+    def payload_bytes(self) -> int:
+        return int(
+            self.rep_ids.nbytes
+            + self.rep_coords.nbytes
+            + self.noncore_ids.nbytes
+            + self.noncore_coords.nbytes
+        )
+
+
+@dataclass
+class ClusterSummary:
+    """A (possibly already-merged) cluster as seen by the merge tree."""
+
+    key: ClusterKey  # canonical key: the smallest constituent key
+    cells: dict[Cell, CellSummary] = field(default_factory=dict)
+    constituents: frozenset[ClusterKey] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.constituents:
+            self.constituents = frozenset([self.key])
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    def payload_bytes(self) -> int:
+        return sum(cs.payload_bytes() for cs in self.cells.values()) + 32 * len(self.cells)
+
+
+@dataclass
+class LeafSummary:
+    """Everything one subtree contributes to the merge.
+
+    ``owner_noncore_ids`` maps each *owned* cell to the IDs of the points
+    the owning leaf classified non-core (border or noise) — the
+    authoritative classification the type-2 merge rule differences
+    against.  Owned cells are disjoint across leaves, so merged summaries
+    simply union these maps.
+    """
+
+    eps: float
+    clusters: dict[ClusterKey, ClusterSummary] = field(default_factory=dict)
+    owner_noncore_ids: dict[Cell, np.ndarray] = field(default_factory=dict)
+    source_leaves: frozenset[int] = frozenset()
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    def payload_bytes(self) -> int:
+        total = sum(c.payload_bytes() for c in self.clusters.values())
+        total += sum(a.nbytes for a in self.owner_noncore_ids.values())
+        return total + 64
+
+
+def _noncore_claims(
+    points: PointSet, labels: np.ndarray, core_mask: np.ndarray, eps: float
+) -> dict[int, list[int]]:
+    """Map cluster label -> indices of non-core points claimed by it.
+
+    A cluster *claims* every non-core point within Eps of one of its core
+    points — the multi-membership the paper's expansion pass creates
+    ("all of that point's neighbors are marked as being members of the
+    cluster", §3.2.2), even though the output label picks one cluster.
+    The merge rules need the full claim sets: a border point shared by a
+    local cluster and a remote one is evidence the type-2 rule differences
+    against, and it must not vanish because the point's output label chose
+    a different adjacent cluster.
+    """
+    from ..dbscan.grid_index import GridIndex
+
+    claims: dict[int, set[int]] = {}
+    if not len(points):
+        return {}
+    index = GridIndex(points, eps)
+    eps2 = eps * eps
+    coords = points.coords
+    for cell in index.cell_counts():
+        members = index.cell_members(cell)
+        members = members[~core_mask[members]]
+        if len(members) == 0:
+            continue
+        cand = index.candidate_indices(cell)
+        cand = cand[core_mask[cand]]
+        if len(cand) == 0:
+            continue
+        d2 = (
+            (coords[members, 0][:, None] - coords[cand, 0][None, :]) ** 2
+            + (coords[members, 1][:, None] - coords[cand, 1][None, :]) ** 2
+        )
+        within = d2 <= eps2
+        rows, cols = np.nonzero(within)
+        for r, c in zip(rows, cols):
+            lab = int(labels[cand[c]])
+            claims.setdefault(lab, set()).add(int(members[r]))
+    return {lab: sorted(idx) for lab, idx in claims.items()}
+
+
+def summarize_leaf(
+    leaf_id: int,
+    points: PointSet,
+    labels: np.ndarray,
+    core_mask: np.ndarray,
+    eps: float,
+    owned_cells: set[Cell],
+) -> LeafSummary:
+    """Build the upstream summary from one leaf's clustering output.
+
+    ``points`` is the leaf's full view (partition + shadow points);
+    ``labels``/``core_mask`` are the GPU DBSCAN output over that view;
+    ``owned_cells`` are the cells of the leaf's partition (not shadow).
+    """
+    labels = np.asarray(labels)
+    core_mask = np.asarray(core_mask, dtype=bool)
+    if len(points) != len(labels) or len(points) != len(core_mask):
+        raise MergeError(
+            f"points ({len(points)}), labels ({len(labels)}) and core_mask "
+            f"({len(core_mask)}) disagree"
+        )
+
+    cells = (
+        np.floor(points.coords / eps).astype(np.int64)
+        if len(points)
+        else np.empty((0, 2), np.int64)
+    )
+
+    summary = LeafSummary(eps=eps, source_leaves=frozenset([leaf_id]))
+
+    # Per-owned-cell non-core ids (authoritative classification).  Every
+    # owned cell gets an entry — an *empty* one means "the owner says all
+    # points here are core", which makes the type-2 difference the full
+    # remote non-core list.  Omitting the entry would instead read as
+    # "owner not in this subtree", silently skipping the check (a missed
+    # cross-boundary merge the property tests caught).
+    if len(points):
+        owner_lists: dict[Cell, list[int]] = {cell: [] for cell in owned_cells}
+        for i in np.flatnonzero(~core_mask):
+            cell = (int(cells[i, 0]), int(cells[i, 1]))
+            if cell in owned_cells:
+                owner_lists[cell].append(int(points.ids[i]))
+        summary.owner_noncore_ids = {
+            cell: np.asarray(sorted(ids), dtype=np.int64)
+            for cell, ids in owner_lists.items()
+        }
+
+    claims = _noncore_claims(points, labels, core_mask, eps)
+
+    # Per-cluster, per-cell summaries.
+    for lab in np.unique(labels[labels != NOISE]):
+        lab = int(lab)
+        core_members = np.flatnonzero((labels == lab) & core_mask)
+        noncore_members = np.asarray(claims.get(lab, []), dtype=np.int64)
+        member_idx = np.concatenate([core_members, noncore_members])
+        key: ClusterKey = (leaf_id, lab)
+        cluster = ClusterSummary(key=key)
+        member_cells = cells[member_idx]
+        order = np.lexsort((member_cells[:, 1], member_cells[:, 0]))
+        sorted_idx = member_idx[order]
+        sc = member_cells[order]
+        change = np.empty(len(sc), dtype=bool)
+        change[0] = True
+        change[1:] = np.any(sc[1:] != sc[:-1], axis=1)
+        starts = np.flatnonzero(change)
+        ends = np.append(starts[1:], len(sc))
+        for (cx, cy), s, e in zip(sc[starts], starts, ends):
+            cell = (int(cx), int(cy))
+            idx = sorted_idx[s:e]
+            core_idx = idx[core_mask[idx]]
+            nc_idx2 = idx[~core_mask[idx]]
+            if len(core_idx):
+                rel = select_representatives(
+                    points.coords[core_idx], cell_bounds(cell, eps)
+                )
+                rep_idx = core_idx[rel]
+            else:
+                rep_idx = np.empty(0, dtype=np.int64)
+            cluster.cells[cell] = CellSummary(
+                rep_ids=points.ids[rep_idx].copy(),
+                rep_coords=points.coords[rep_idx].copy(),
+                noncore_ids=points.ids[nc_idx2].copy(),
+                noncore_coords=points.coords[nc_idx2].copy(),
+            )
+        summary.clusters[key] = cluster
+    return summary

@@ -1,0 +1,201 @@
+"""The MRNet network: leaf maps, upstream reduction, downstream multicast.
+
+A :class:`Network` binds a :class:`Topology` to a transport and offers the
+three collective operations Mr. Scan is built from:
+
+``map_leaves``
+    Run a function on every leaf (the GPU clustering, the partitioner's
+    local histogram/write steps).
+
+``reduce``
+    Carry one payload per leaf up the tree, applying a filter at every
+    internal node and the root (histogram reduction; progressive cluster
+    merge, "the clusters are progressively merged by each level of
+    intermediate processes until they reach the root", §3).
+
+``multicast``
+    Distribute a root payload down to all leaves, optionally splitting it
+    per child (partition boundaries; global cluster IDs in the sweep,
+    "with each level of the tree reversing the merge operation", §3.4).
+
+Every operation returns ``(result, NetworkTrace)``; traces capture packet
+counts, byte volumes, and per-node filter compute seconds for the perf
+model.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Sequence
+
+from ..errors import TopologyError
+from .filters import Filter
+from .packets import NetworkTrace
+from .topology import Topology
+from .transport import LocalTransport, Transport
+
+__all__ = ["Network"]
+
+
+def _timed_apply(args: tuple[Callable[[Any], Any], Any]) -> tuple[Any, float]:
+    fn, payload = args
+    t0 = time.perf_counter()
+    out = fn(payload)
+    return out, time.perf_counter() - t0
+
+
+class Network:
+    """An instantiated process tree ready to run collective phases.
+
+    Parameters
+    ----------
+    fault_injector:
+        Optional callable ``(node_id, phase) -> bool``; returning True
+        makes that node's computation fail with :class:`TransportError`
+        (a simulated process crash).  Used by the robustness tests.
+    retries:
+        How many times a failed node computation is re-attempted before
+        the phase aborts — the stand-in for MRNet restarting a tool
+        process.  Default 0 (fail fast).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        transport: Transport | None = None,
+        *,
+        fault_injector=None,
+        retries: int = 0,
+    ) -> None:
+        if retries < 0:
+            raise TopologyError("retries must be >= 0")
+        self.topology = topology
+        self.transport = transport or LocalTransport()
+        self.fault_injector = fault_injector
+        self.retries = int(retries)
+        self.fault_log: list[tuple[int, str]] = []
+        self._leaves = topology.leaves()
+
+    def _check_faults(self, nodes: Sequence[int], phase: str) -> None:
+        """Raise if any node crashes this attempt; honours retries."""
+        from ..errors import TransportError
+
+        if self.fault_injector is None:
+            return
+        for node in nodes:
+            attempts = 0
+            while self.fault_injector(node, phase):
+                self.fault_log.append((node, phase))
+                attempts += 1
+                if attempts > self.retries:
+                    raise TransportError(
+                        f"node {node} failed during {phase} "
+                        f"({attempts} attempt(s), {self.retries} retr(ies))"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Leaf computation
+    # ------------------------------------------------------------------ #
+
+    def map_leaves(
+        self, fn: Callable[[Any], Any], inputs: Sequence[Any]
+    ) -> tuple[list[Any], NetworkTrace]:
+        """Apply ``fn`` to one input per leaf; results in leaf order."""
+        if len(inputs) != len(self._leaves):
+            raise TopologyError(
+                f"{len(inputs)} inputs for {len(self._leaves)} leaves"
+            )
+        trace = NetworkTrace()
+        self._check_faults(self._leaves, "map")
+        pairs = self.transport.run_batch(
+            _timed_apply, [(fn, inp) for inp in inputs]
+        )
+        results = []
+        for leaf, (out, seconds) in zip(self._leaves, pairs):
+            trace.add_compute(leaf, seconds)
+            results.append(out)
+        return results, trace
+
+    # ------------------------------------------------------------------ #
+    # Upstream reduction
+    # ------------------------------------------------------------------ #
+
+    def reduce(
+        self, leaf_payloads: Sequence[Any], filt: Filter
+    ) -> tuple[Any, NetworkTrace]:
+        """Reduce leaf payloads to a single root value through ``filt``.
+
+        The filter runs at every node with children (internal nodes and
+        the root), level by level from the bottom; nodes within a level
+        are independent and go through the transport as one batch.
+        """
+        if len(leaf_payloads) != len(self._leaves):
+            raise TopologyError(
+                f"{len(leaf_payloads)} payloads for {len(self._leaves)} leaves"
+            )
+        topo = self.topology
+        trace = NetworkTrace()
+        value: dict[int, Any] = dict(zip(self._leaves, leaf_payloads))
+
+        for level_nodes in reversed(topo.levels()):
+            batch_nodes = [n for n in level_nodes if topo.children[n]]
+            if not batch_nodes:
+                continue
+            self._check_faults(batch_nodes, "reduce")
+            tasks = []
+            for node in batch_nodes:
+                child_payloads = [value[c] for c in topo.children[node]]
+                for child, payload in zip(topo.children[node], child_payloads):
+                    trace.record(child, node, "reduce", payload)
+                tasks.append(child_payloads)
+            pairs = self.transport.run_batch(
+                _timed_apply, [(filt.combine, t) for t in tasks]
+            )
+            for node, (out, seconds) in zip(batch_nodes, pairs):
+                trace.add_compute(node, seconds)
+                value[node] = out
+        return value[topo.root], trace
+
+    # ------------------------------------------------------------------ #
+    # Downstream multicast
+    # ------------------------------------------------------------------ #
+
+    def multicast(
+        self,
+        root_payload: Any,
+        split: Callable[[Any, int], Sequence[Any]] | None = None,
+    ) -> tuple[list[Any], NetworkTrace]:
+        """Send a payload from the root down to every leaf.
+
+        ``split(payload, n_children)`` produces per-child payloads at each
+        node (defaults to replication — a true multicast).  Returns the
+        payloads arriving at the leaves, in leaf order.
+        """
+        topo = self.topology
+        trace = NetworkTrace()
+        value: dict[int, Any] = {topo.root: root_payload}
+        for level_nodes in topo.levels():
+            self._check_faults(
+                [n for n in level_nodes if topo.children[n]], "multicast"
+            )
+            for node in level_nodes:
+                kids = topo.children[node]
+                if not kids:
+                    continue
+                payload = value[node]
+                if split is None:
+                    parts: Sequence[Any] = [payload] * len(kids)
+                else:
+                    parts = split(payload, len(kids))
+                    if len(parts) != len(kids):
+                        raise TopologyError(
+                            f"split produced {len(parts)} parts for {len(kids)} children"
+                        )
+                for child, part in zip(kids, parts):
+                    trace.record(node, child, "multicast", part)
+                    value[child] = part
+        return [value[leaf] for leaf in self._leaves], trace
+
+    def close(self) -> None:
+        """Release the transport's resources (worker pools)."""
+        self.transport.close()

@@ -1,0 +1,98 @@
+"""Packets and traffic accounting for the MRNet substrate.
+
+Every payload moving along a tree edge is wrapped in a :class:`Packet`
+with a byte-size estimate, and each network phase accumulates a
+:class:`NetworkTrace`.  The perf model consumes the trace (packets per
+level, bytes per edge) to charge tree latency at paper scale.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Packet", "NetworkTrace", "payload_nbytes"]
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Best-effort wire-size estimate of a payload.
+
+    Objects can opt in by exposing ``payload_bytes()``; numpy arrays use
+    their buffer size; containers recurse; everything else falls back to
+    ``sys.getsizeof``.
+    """
+    if payload is None:
+        return 0
+    probe = getattr(payload, "payload_bytes", None)
+    if callable(probe):
+        return int(probe())
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return sum(payload_nbytes(item) for item in payload) + 16
+    if isinstance(payload, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in payload.items()) + 16
+    return int(sys.getsizeof(payload))
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One payload traversing one tree edge."""
+
+    src: int
+    dst: int
+    tag: str
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("packet nbytes must be >= 0")
+
+
+@dataclass
+class NetworkTrace:
+    """Ledger of one network phase (a reduce, multicast, or leaf map)."""
+
+    packets: list[Packet] = field(default_factory=list)
+    node_compute_seconds: dict[int, float] = field(default_factory=dict)
+
+    def record(self, src: int, dst: int, tag: str, payload: Any) -> None:
+        self.packets.append(
+            Packet(src=int(src), dst=int(dst), tag=tag, nbytes=payload_nbytes(payload))
+        )
+
+    def add_compute(self, node: int, seconds: float) -> None:
+        self.node_compute_seconds[node] = (
+            self.node_compute_seconds.get(node, 0.0) + float(seconds)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_packets(self) -> int:
+        return len(self.packets)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(p.nbytes for p in self.packets)
+
+    def bytes_into(self, node: int) -> int:
+        """Bytes received by one node."""
+        return sum(p.nbytes for p in self.packets if p.dst == node)
+
+    def bytes_out_of(self, node: int) -> int:
+        return sum(p.nbytes for p in self.packets if p.src == node)
+
+    def merged(self, other: "NetworkTrace") -> "NetworkTrace":
+        out = NetworkTrace(packets=self.packets + other.packets)
+        out.node_compute_seconds = dict(self.node_compute_seconds)
+        for node, sec in other.node_compute_seconds.items():
+            out.node_compute_seconds[node] = out.node_compute_seconds.get(node, 0.0) + sec
+        return out

@@ -1,0 +1,198 @@
+"""MRNet tree topologies.
+
+The paper's topologies "have at most three levels, and each intermediate
+process has a 256-way fanout of child processes whenever possible" (§5.1),
+with one compute node per process.  Table 1 shows the resulting internal
+process counts: 0 up to 128 leaves (a flat root→leaves tree), then
+``ceil(leaves / 256)`` internal processes (2 at 512 leaves … 32 at 8192).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TopologyError
+
+__all__ = ["Topology", "PAPER_FANOUT"]
+
+#: The 256-way fanout used for all paper experiments.
+PAPER_FANOUT: int = 256
+
+
+@dataclass
+class Topology:
+    """A rooted process tree.
+
+    Node ids are dense integers: 0 is the root, internal nodes follow
+    level by level, leaves come last.  ``children[i]`` lists node ``i``'s
+    children in order; ``parent[i]`` is ``-1`` for the root.
+    """
+
+    parent: list[int]
+    children: list[list[int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        n = len(self.parent)
+        if n == 0:
+            raise TopologyError("topology needs at least a root")
+        if self.parent[0] != -1:
+            raise TopologyError("node 0 must be the root (parent -1)")
+        if not self.children:
+            self.children = [[] for _ in range(n)]
+            for node, par in enumerate(self.parent):
+                if par == -1:
+                    continue
+                if not 0 <= par < n:
+                    raise TopologyError(f"node {node} has out-of-range parent {par}")
+                self.children[par].append(node)
+        roots = [i for i, p in enumerate(self.parent) if p == -1]
+        if roots != [0]:
+            raise TopologyError(f"expected exactly one root (node 0), found {roots}")
+        # Reject cycles / unreachable nodes.
+        seen = set()
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                raise TopologyError(f"node {node} reachable twice (cycle?)")
+            seen.add(node)
+            stack.extend(self.children[node])
+        if len(seen) != n:
+            raise TopologyError(f"{n - len(seen)} nodes unreachable from the root")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def flat(cls, n_leaves: int) -> "Topology":
+        """Root with ``n_leaves`` direct children (the partitioner's shape:
+        "the partitioner uses a flat topology as is appropriate for the
+        size of its task", §3.1.3)."""
+        if n_leaves < 1:
+            raise TopologyError("flat topology needs at least one leaf")
+        return cls(parent=[-1] + [0] * n_leaves)
+
+    @classmethod
+    def paper_style(cls, n_leaves: int, fanout: int = PAPER_FANOUT) -> "Topology":
+        """The evaluation topology: fewest levels with ``fanout``-way nodes.
+
+        Up to ``fanout`` leaves the tree is flat.  Beyond that, internal
+        levels of ``ceil(below / fanout)`` processes are inserted until
+        the root's fanout fits — with the paper's 256-way fanout this is
+        exactly the ≤3-level shape of Table 1 (2 internals at 512 leaves,
+        8 at 2048, 16 at 4096, 32 at 8192); smaller fanouts grow deeper
+        trees instead of failing.
+        """
+        if n_leaves < 1:
+            raise TopologyError("need at least one leaf")
+        if fanout < 2:
+            raise TopologyError("fanout must be >= 2")
+        if n_leaves <= fanout:
+            return cls.flat(n_leaves)
+        # Internal layer sizes from just-above-the-leaves up to just-below
+        # the root.
+        layers_up: list[int] = []
+        below = n_leaves
+        while below > fanout:
+            below = -(-below // fanout)
+            layers_up.append(below)
+        layers_top_down = list(reversed(layers_up))
+
+        parent: list[int] = [-1]
+        prev_level = [0]
+        for size in layers_top_down + [n_leaves]:
+            this_level = []
+            for i in range(size):
+                parent.append(prev_level[i % len(prev_level)])
+                this_level.append(len(parent) - 1)
+            prev_level = this_level
+        return cls(parent=parent)
+
+    @classmethod
+    def from_fanouts(cls, fanouts: list[int]) -> "Topology":
+        """A uniform tree: level i fans out ``fanouts[i]`` ways."""
+        if not fanouts or any(f < 1 for f in fanouts):
+            raise TopologyError("fanouts must be positive")
+        parent = [-1]
+        frontier = [0]
+        for f in fanouts:
+            next_frontier = []
+            for node in frontier:
+                for _ in range(f):
+                    parent.append(node)
+                    next_frontier.append(len(parent) - 1)
+            frontier = next_frontier
+        return cls(parent=parent)
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.parent)
+
+    @property
+    def root(self) -> int:
+        return 0
+
+    def leaves(self) -> list[int]:
+        """Leaf node ids in id order."""
+        return [i for i in range(self.n_nodes) if not self.children[i]]
+
+    def internal_nodes(self) -> list[int]:
+        """Non-root, non-leaf node ids."""
+        return [
+            i
+            for i in range(1, self.n_nodes)
+            if self.children[i]
+        ]
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.leaves())
+
+    @property
+    def n_internal(self) -> int:
+        return len(self.internal_nodes())
+
+    def depth(self) -> int:
+        """Number of levels (root-only tree has depth 1)."""
+        best = 1
+        level = [0]
+        d = 1
+        while level:
+            nxt = [c for node in level for c in self.children[node]]
+            if nxt:
+                d += 1
+                best = d
+            level = nxt
+        return best
+
+    def levels(self) -> list[list[int]]:
+        """Nodes grouped by level, root first."""
+        out = []
+        level = [0]
+        while level:
+            out.append(level)
+            level = [c for node in level for c in self.children[node]]
+        return out
+
+    def level_of(self) -> list[int]:
+        """Level index of every node (root = 0)."""
+        lev = [0] * self.n_nodes
+        for depth, nodes in enumerate(self.levels()):
+            for node in nodes:
+                lev[node] = depth
+        return lev
+
+    def max_fanout(self) -> int:
+        return max((len(c) for c in self.children), default=0)
+
+    def describe(self) -> str:
+        """One-line summary, e.g. ``3 levels / 1 root / 8 internal / 2048 leaves``."""
+        return (
+            f"{self.depth()} levels / 1 root / {self.n_internal} internal / "
+            f"{self.n_leaves} leaves (max fanout {self.max_fanout()})"
+        )

@@ -1,0 +1,88 @@
+"""Execution backends for MRNet node work.
+
+The :class:`Network` decides *what* runs at each tree node; a transport
+decides *how*: :class:`LocalTransport` runs tasks sequentially in-process
+(deterministic, zero overhead — the default for tests and benches), while
+:class:`ProcessTransport` executes each batch through a
+``multiprocessing`` pool, which is the honest stand-in for MRNet's
+process-per-node when real process isolation matters (failure injection,
+pickling discipline, genuinely parallel hosts).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Any, Callable, Protocol, Sequence, runtime_checkable
+
+from ..errors import TransportError
+
+__all__ = ["Transport", "LocalTransport", "ProcessTransport"]
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Run a batch of independent node tasks, returning results in order."""
+
+    def run_batch(
+        self, fn: Callable[[Any], Any], tasks: Sequence[Any]
+    ) -> list[Any]:
+        ...
+
+    def close(self) -> None:
+        ...
+
+
+class LocalTransport:
+    """Sequential in-process execution (deterministic)."""
+
+    def run_batch(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
+        return [fn(task) for task in tasks]
+
+    def close(self) -> None:  # nothing to release
+        pass
+
+
+def _invoke(args: tuple[Callable[[Any], Any], Any]) -> Any:
+    fn, task = args
+    return fn(task)
+
+
+class ProcessTransport:
+    """Execute batches on a multiprocessing pool.
+
+    ``fn`` and every task must be picklable.  The pool is created lazily
+    and sized to ``n_workers`` (default: CPU count).  ``close()`` must be
+    called (or use as a context manager) to reap workers.
+    """
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        if n_workers is not None and n_workers < 1:
+            raise TransportError("n_workers must be >= 1")
+        self.n_workers = n_workers or mp.cpu_count()
+        self._pool: mp.pool.Pool | None = None
+
+    def _ensure_pool(self) -> "mp.pool.Pool":
+        if self._pool is None:
+            self._pool = mp.get_context("spawn").Pool(self.n_workers)
+        return self._pool
+
+    def run_batch(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
+        if not tasks:
+            return []
+        try:
+            pool = self._ensure_pool()
+            return pool.map(_invoke, [(fn, task) for task in tasks])
+        except Exception as exc:  # pool failure or unpicklable payloads
+            raise TransportError(f"process transport batch failed: {exc}") from exc
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ProcessTransport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

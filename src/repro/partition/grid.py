@@ -1,0 +1,118 @@
+"""Eps×Eps grid histogram (§3.1.2–3.1.3).
+
+The partitioning algorithm "does not use information about each individual
+point.  The only information needed is a grid of Eps x Eps cells and the
+point count for each cell" — which is why the distributed partitioner only
+reduces per-cell counts to the root.  :class:`GridHistogram` is that
+reduced object: a sparse map from global cell coordinates to counts, with
+the column-major traversal order the forming algorithm iterates in
+("first along the y axis, and then along the x axis").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..points import PointSet
+
+__all__ = ["GridHistogram", "cell_of_coords", "GRID_NEIGHBOR_OFFSETS"]
+
+#: The 8-neighborhood used for shadow regions and merge adjacency.
+GRID_NEIGHBOR_OFFSETS: tuple[tuple[int, int], ...] = tuple(
+    (dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1) if (dx, dy) != (0, 0)
+)
+
+
+def cell_of_coords(coords: np.ndarray, eps: float) -> np.ndarray:
+    """Global Eps-cell coordinates of each point, shape ``(n, 2)`` int64.
+
+    Uses the same global frame as :class:`repro.dbscan.GridIndex`, so the
+    partitioner, the clustering leaves and the merge rules all agree on
+    cell identity.
+    """
+    if eps <= 0:
+        raise ConfigError(f"eps must be positive, got {eps}")
+    return np.floor(np.asarray(coords, dtype=np.float64) / eps).astype(np.int64)
+
+
+@dataclass
+class GridHistogram:
+    """Sparse per-cell point counts over the Eps grid."""
+
+    eps: float
+    counts: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.eps <= 0:
+            raise ConfigError(f"eps must be positive, got {self.eps}")
+
+    # ------------------------------------------------------------------ #
+    # Construction / reduction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_points(cls, points: PointSet, eps: float) -> "GridHistogram":
+        """Histogram one (local) point set."""
+        hist = cls(eps=eps)
+        if len(points) == 0:
+            return hist
+        cells = cell_of_coords(points.coords, eps)
+        # Vectorised group-count via lexicographic unique.
+        order = np.lexsort((cells[:, 1], cells[:, 0]))
+        sc = cells[order]
+        change = np.empty(len(sc), dtype=bool)
+        change[0] = True
+        change[1:] = np.any(sc[1:] != sc[:-1], axis=1)
+        starts = np.flatnonzero(change)
+        ends = np.append(starts[1:], len(sc))
+        for (cx, cy), s, e in zip(sc[starts], starts, ends):
+            hist.counts[(int(cx), int(cy))] = int(e - s)
+        return hist
+
+    def merge(self, other: "GridHistogram") -> "GridHistogram":
+        """Reduce two histograms (the MRNet filter operation).
+
+        Histograms must share the same eps; counts add cell-wise.
+        """
+        if other.eps != self.eps:
+            raise ConfigError(f"cannot merge histograms with eps {self.eps} and {other.eps}")
+        merged = GridHistogram(eps=self.eps, counts=dict(self.counts))
+        for cell, count in other.counts.items():
+            merged.counts[cell] = merged.counts.get(cell, 0) + count
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_points(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.counts)
+
+    def column_major_cells(self) -> list[tuple[int, int]]:
+        """Non-empty cells in forming order: y fastest, then x (§3.1.2)."""
+        return sorted(self.counts, key=lambda c: (c[0], c[1]))
+
+    def count(self, cell: tuple[int, int]) -> int:
+        """Count of one cell (0 when empty)."""
+        return self.counts.get(cell, 0)
+
+    def nonempty_neighbors(self, cell: tuple[int, int]) -> list[tuple[int, int]]:
+        """Non-empty grid neighbors of ``cell`` (up to 8)."""
+        cx, cy = cell
+        return [
+            (cx + dx, cy + dy)
+            for dx, dy in GRID_NEIGHBOR_OFFSETS
+            if (cx + dx, cy + dy) in self.counts
+        ]
+
+    def payload_bytes(self) -> int:
+        """Approximate wire size of this histogram (cell coords + count)."""
+        return 20 * self.n_cells

@@ -1,0 +1,229 @@
+"""Partition forming and rebalancing (§3.1.2, Fig 2).
+
+The algorithm works purely on the Eps-grid histogram:
+
+1. **Forming.**  Walk the non-empty cells in column-major order (y fastest)
+   and accumulate them into the current partition until adding the next
+   cell would exceed the target size (an equal share of the points).  A
+   cell may exceed the target only when the partition is still empty (one
+   huge cell = one partition) or when it is the final partition (which
+   absorbs the remainder).  A running difference of each closed
+   partition's size from the target shrinks subsequent targets
+   proportionately (never below MinPts points), so early oversized cells
+   do not systematically starve the tail.
+
+2. **Shadow regions** are attached (grid neighbors not in the partition).
+
+3. **Rebalancing** (Fig 2c-d).  Forming keeps partitions *below* target,
+   so the collective deficit lands on the last partition (the populous
+   Eastern US in Fig 2a).  The final target is recomputed as the mean of
+   partition sizes *including shadows*; then, walking backward from the
+   last partition, cells are moved from the front of each partition's run
+   to the previous partition until the partition drops below
+   ``1.075 × final_target`` (the paper's empirically chosen threshold).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..points import PointSet
+from .grid import GridHistogram, cell_of_coords
+from .plan import PartitionPlan, PartitionSpec
+from .shadow import add_shadow_regions, refresh_shadow
+
+__all__ = ["form_partitions", "partition_points", "REBALANCE_THRESHOLD_FACTOR"]
+
+#: "The threshold is set to 1.075 × finaltargetsize because it worked well
+#: in practice on our datasets."
+REBALANCE_THRESHOLD_FACTOR: float = 1.075
+
+
+def form_partitions(
+    histogram: GridHistogram,
+    n_partitions: int,
+    minpts: int,
+    *,
+    rebalance: bool = True,
+    threshold_factor: float = REBALANCE_THRESHOLD_FACTOR,
+) -> PartitionPlan:
+    """Form ``n_partitions`` partitions from a grid histogram.
+
+    Returns a plan whose partitions are contiguous runs of the
+    column-major cell order, each with its shadow region attached.  When
+    the histogram has fewer non-empty cells than ``n_partitions``, the
+    excess partitions are empty (their leaves receive no work).
+    """
+    if n_partitions < 1:
+        raise PartitionError(f"n_partitions must be >= 1, got {n_partitions}")
+    if minpts < 1:
+        raise PartitionError(f"minpts must be >= 1, got {minpts}")
+
+    cells = histogram.column_major_cells()
+    total = histogram.total_points
+    target = total / n_partitions if n_partitions else 0.0
+
+    specs: list[PartitionSpec] = []
+    current = PartitionSpec(partition_id=0)
+    running_diff = 0.0
+    effective_target = target
+
+    for cell in cells:
+        c = histogram.count(cell)
+        is_final = len(specs) == n_partitions - 1
+        if (
+            current.cells
+            and not is_final
+            and current.point_count + c > effective_target
+        ):
+            running_diff += current.point_count - target
+            specs.append(current)
+            current = PartitionSpec(partition_id=len(specs))
+            # Shrink the next target while we are ahead of schedule, with
+            # MinPts as the floor (§3.1.2's second profitability rule).
+            effective_target = max(target - max(running_diff, 0.0), float(minpts))
+        current.cells.append(cell)
+        current.point_count += c
+    specs.append(current)
+    while len(specs) < n_partitions:
+        specs.append(PartitionSpec(partition_id=len(specs)))
+
+    plan = PartitionPlan(eps=histogram.eps, partitions=specs, target_size=target)
+    add_shadow_regions(plan, histogram)
+
+    if rebalance:
+        _rebalance(plan, histogram, minpts, threshold_factor)
+
+    return plan
+
+
+def _rebalance(
+    plan: PartitionPlan,
+    histogram: GridHistogram,
+    minpts: int,
+    threshold_factor: float,
+) -> None:
+    """Fig 2c: move cells backward-to-forward until below the threshold."""
+    nonempty = plan.nonempty()
+    if len(nonempty) < 2:
+        plan.final_target_size = nonempty[0].total_count if nonempty else 0.0
+        return
+    final_target = sum(p.total_count for p in nonempty) / len(nonempty)
+    threshold = threshold_factor * final_target
+    plan.final_target_size = final_target
+
+    # "Starting at the last partition formed we remove a grid cell, update
+    # the shadow region, and repeat until a specified threshold size is
+    # reached.  The removed grid cells are then added to the second-last
+    # partition ... repeated for each partition, working sequentially
+    # backward through the partitions until we reach the first."
+    #
+    # The shadow region is maintained *incrementally* per removal (O(1)
+    # neighborhood work instead of a full recomputation), which keeps
+    # rebalancing O(cells) overall — equivalent to refreshing after every
+    # move, just not quadratic.
+    from collections import deque
+
+    from .grid import GRID_NEIGHBOR_OFFSETS
+
+    for i in range(len(nonempty) - 1, 0, -1):
+        spec = nonempty[i]
+        prev = nonempty[i - 1]
+        cells = deque(spec.cells)
+        cell_set = set(cells)
+        shadow = set(spec.shadow_cells)
+        shadow_count = spec.shadow_count
+        moved = False
+        while len(cells) > 1 and spec.point_count + shadow_count > threshold:
+            head = cells[0]
+            head_count = histogram.count(head)
+            if spec.point_count - head_count < minpts:
+                break  # never shrink a partition below MinPts points
+            if spec.point_count - head_count < 0.5 * threshold:
+                # Shadow regions alone can exceed the threshold for thin
+                # partitions abutting dense areas; draining such a
+                # partition would just snowball its points backward (all
+                # the way to partition 0, which has nowhere to shed).
+                # Keep at least half a target of own points instead.
+                break
+            cells.popleft()
+            cell_set.remove(head)
+            spec.point_count -= head_count
+            prev.cells.append(head)
+            prev.point_count += head_count
+            moved = True
+            # Incremental shadow update around the removed cell: the cell
+            # itself may become shadow, and its shadow neighbors may stop
+            # being shadow if it was their only partition contact.
+            hx, hy = head
+            if any(
+                (hx + dx, hy + dy) in cell_set for dx, dy in GRID_NEIGHBOR_OFFSETS
+            ):
+                if head not in shadow:
+                    shadow.add(head)
+                    shadow_count += head_count
+            for dx, dy in GRID_NEIGHBOR_OFFSETS:
+                cand = (hx + dx, hy + dy)
+                if cand not in shadow:
+                    continue
+                if not any(
+                    (cand[0] + ddx, cand[1] + ddy) in cell_set
+                    for ddx, ddy in GRID_NEIGHBOR_OFFSETS
+                ):
+                    shadow.remove(cand)
+                    shadow_count -= histogram.count(cand)
+        spec.cells = list(cells)
+        spec.shadow_cells = shadow
+        spec.shadow_count = shadow_count
+        if moved:
+            refresh_shadow(prev, histogram)
+
+
+def partition_points(
+    points: PointSet, plan: PartitionPlan
+) -> list[tuple[PointSet, PointSet]]:
+    """Materialise a plan: per-partition ``(points, shadow_points)``.
+
+    Partition points are those whose Eps-cell the partition owns; shadow
+    points are those in the partition's shadow cells (they are partition
+    points of a neighboring partition — the duplication is the §3.1.1
+    correctness mechanism).
+    """
+    n = len(points)
+    cells = cell_of_coords(points.coords, plan.eps) if n else np.empty((0, 2), np.int64)
+    owner_of_cell = plan.cell_owner()
+
+    # Group point indices by cell once (sparse dict of arrays).
+    members: dict[tuple[int, int], np.ndarray] = {}
+    if n:
+        order = np.lexsort((cells[:, 1], cells[:, 0]))
+        sc = cells[order]
+        change = np.empty(n, dtype=bool)
+        change[0] = True
+        change[1:] = np.any(sc[1:] != sc[:-1], axis=1)
+        starts = np.flatnonzero(change)
+        ends = np.append(starts[1:], n)
+        for (cx, cy), s, e in zip(sc[starts], starts, ends):
+            members[(int(cx), int(cy))] = order[s:e]
+
+    unowned = [c for c in members if c not in owner_of_cell]
+    if unowned:
+        raise PartitionError(
+            f"{len(unowned)} non-empty cells not covered by the plan, e.g. {unowned[:3]}"
+        )
+
+    out: list[tuple[PointSet, PointSet]] = []
+    for spec in plan.partitions:
+        own_chunks = [members[c] for c in spec.cells if c in members]
+        own_idx = (
+            np.sort(np.concatenate(own_chunks)) if own_chunks else np.empty(0, np.int64)
+        )
+        shadow_chunks = [members[c] for c in sorted(spec.shadow_cells) if c in members]
+        shadow_idx = (
+            np.sort(np.concatenate(shadow_chunks))
+            if shadow_chunks
+            else np.empty(0, np.int64)
+        )
+        out.append((points.take(own_idx), points.take(shadow_idx)))
+    return out

@@ -1,0 +1,108 @@
+"""Partition plan datatypes.
+
+A :class:`PartitionPlan` is the root's output in §3.1.3: the boundaries
+(here: explicit cell lists, which subsume arbitrary boundary shapes) that
+get broadcast to the partitioner leaves.  Each :class:`PartitionSpec` keeps
+its cells in *forming order* — a contiguous run of the column-major cell
+sequence — which is what lets rebalancing move cells between neighboring
+partitions from the run ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PartitionError
+
+__all__ = ["PartitionSpec", "PartitionPlan"]
+
+Cell = tuple[int, int]
+
+
+@dataclass
+class PartitionSpec:
+    """One partition: its cells, their point count, and its shadow region."""
+
+    partition_id: int
+    cells: list[Cell] = field(default_factory=list)
+    point_count: int = 0
+    shadow_cells: set[Cell] = field(default_factory=set)
+    shadow_count: int = 0
+
+    @property
+    def total_count(self) -> int:
+        """Partition plus shadow points — what the leaf actually clusters."""
+        return self.point_count + self.shadow_count
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    def cell_set(self) -> set[Cell]:
+        return set(self.cells)
+
+
+@dataclass
+class PartitionPlan:
+    """The full partitioning of a dataset's Eps grid."""
+
+    eps: float
+    partitions: list[PartitionSpec]
+    target_size: float
+    final_target_size: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def cell_owner(self) -> dict[Cell, int]:
+        """Map each grid cell to the partition owning it."""
+        owner: dict[Cell, int] = {}
+        for spec in self.partitions:
+            for cell in spec.cells:
+                if cell in owner:
+                    raise PartitionError(
+                        f"cell {cell} owned by partitions {owner[cell]} and {spec.partition_id}"
+                    )
+                owner[cell] = spec.partition_id
+        return owner
+
+    def validate(self, all_cells: set[Cell], minpts: int | None = None) -> None:
+        """Check plan invariants against the histogram's non-empty cells.
+
+        * every non-empty cell is owned by exactly one partition;
+        * no partition owns a cell outside the histogram;
+        * shadow cells are never owned by the same partition;
+        * (optional) every non-empty partition holds >= MinPts points or
+          consists of a single cell (the forming algorithm's floor).
+        """
+        owner = self.cell_owner()
+        owned = set(owner)
+        if owned != all_cells:
+            missing = all_cells - owned
+            extra = owned - all_cells
+            raise PartitionError(
+                f"cell coverage mismatch: {len(missing)} unowned, {len(extra)} spurious"
+            )
+        for spec in self.partitions:
+            overlap = spec.shadow_cells & spec.cell_set()
+            if overlap:
+                raise PartitionError(
+                    f"partition {spec.partition_id} shadows its own cells {sorted(overlap)[:3]}"
+                )
+            if minpts is not None and spec.cells and spec.point_count < minpts and spec.n_cells > 1:
+                raise PartitionError(
+                    f"partition {spec.partition_id} has {spec.point_count} < MinPts={minpts} "
+                    f"points across {spec.n_cells} cells"
+                )
+
+    def nonempty(self) -> list[PartitionSpec]:
+        """Partitions that actually own cells."""
+        return [p for p in self.partitions if p.cells]
+
+    def size_imbalance(self) -> float:
+        """max/mean ratio of total (partition+shadow) counts — load proxy."""
+        sizes = [p.total_count for p in self.nonempty()]
+        if not sizes:
+            return 1.0
+        mean = sum(sizes) / len(sizes)
+        return max(sizes) / mean if mean else 1.0

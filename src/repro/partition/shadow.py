@@ -1,0 +1,47 @@
+"""Shadow-region computation (§3.1.1).
+
+"The shadow region is the set of points not already included in the
+partition that lie Eps distance from the partition's boundary."  Because
+partitions are built from Eps×Eps grid cells, "the shadow region for each
+partition simply becomes the set of grid neighbors not already in the
+partition" — every point within Eps of a partition point must lie in one
+of the partition's cells or their 8-neighbors, so with the shadow added,
+every partition point's Eps-neighborhood is complete within the partition.
+"""
+
+from __future__ import annotations
+
+from .grid import GRID_NEIGHBOR_OFFSETS, GridHistogram
+from .plan import PartitionPlan, PartitionSpec
+
+__all__ = ["shadow_cells_of", "add_shadow_regions"]
+
+Cell = tuple[int, int]
+
+
+def shadow_cells_of(cells: set[Cell], histogram: GridHistogram) -> set[Cell]:
+    """Non-empty grid neighbors of ``cells`` that are not in ``cells``.
+
+    Empty neighbor cells are skipped — they contribute no shadow points,
+    and keeping them out makes shadow *counts* exact.
+    """
+    shadow: set[Cell] = set()
+    for cx, cy in cells:
+        for dx, dy in GRID_NEIGHBOR_OFFSETS:
+            neighbor = (cx + dx, cy + dy)
+            if neighbor not in cells and neighbor in histogram.counts:
+                shadow.add(neighbor)
+    return shadow
+
+
+def refresh_shadow(spec: PartitionSpec, histogram: GridHistogram) -> None:
+    """Recompute one partition's shadow cells and count in place."""
+    cells = spec.cell_set()
+    spec.shadow_cells = shadow_cells_of(cells, histogram)
+    spec.shadow_count = sum(histogram.count(c) for c in spec.shadow_cells)
+
+
+def add_shadow_regions(plan: PartitionPlan, histogram: GridHistogram) -> None:
+    """Attach shadow regions to every partition of a plan (in place)."""
+    for spec in plan.partitions:
+        refresh_shadow(spec, histogram)

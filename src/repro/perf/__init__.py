@@ -1,0 +1,40 @@
+"""Paper-scale performance model (Figs 8–10, 12, 13).
+
+We cannot rent 8,192 Titan nodes, so the figures' x-axes (1.6 M → 6.5 B
+points, 2 → 8192 leaves) are regenerated through a calibrated model:
+
+1. :mod:`workload` scales a real sample's Eps-grid histogram up to the
+   target point count (cell counts scale linearly in n for a fixed spatial
+   distribution) and runs the *actual* partitioner over it, then predicts
+   each leaf's GPU work (pass-1/pass-2 distance ops, dense-box
+   elimination) from its cells' counts — the same work-law the simulated
+   device charges in real runs, validated against them in the test suite.
+2. :mod:`costmodel` converts work into Titan seconds: K20 throughput,
+   PCIe, Lustre read/write behaviour (with the small-random-write penalty
+   that dominates the partition phase), MRNet/ALPS startup.
+3. :mod:`simulate` assembles whole runs; :mod:`figures` sweeps the paper's
+   configurations and renders paper-vs-model tables.
+
+Anchor points for calibration come from the paper itself (§5): 6.5 B
+points on 8,192 leaves in 17.3–23.4 min; partition ≈ 68 % of total; at
+MinPts=400, writes 65.2 % / reads 29.9 % of the partition phase; GPU
+strong scaling 4.7× from 256 → 2048 leaves and flat beyond.
+"""
+
+from .costmodel import TitanCostModel
+from .workload import ScaledWorkload, leaf_gpu_work, LeafWork
+from .simulate import SimulatedRun, simulate_run
+from .report import ModelledRun, model_run
+from . import figures
+
+__all__ = [
+    "TitanCostModel",
+    "ScaledWorkload",
+    "leaf_gpu_work",
+    "LeafWork",
+    "SimulatedRun",
+    "simulate_run",
+    "ModelledRun",
+    "model_run",
+    "figures",
+]

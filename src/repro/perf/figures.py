@@ -1,0 +1,428 @@
+"""Series builders: one per paper figure/table (the bench harness core).
+
+Each builder returns a :class:`FigureSeries` whose rows are the paper's
+x-axis and whose columns are modelled Titan seconds.  The benchmarks print
+these next to the paper's qualitative claims; EXPERIMENTS.md records the
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from ..core.config import TABLE1_CONFIGS, table1_partition_nodes
+from ..data import generate_sdss, generate_twitter
+from ..mrnet.topology import Topology
+from .costmodel import TitanCostModel
+from .simulate import SimulatedRun, simulate_run
+from .workload import ScaledWorkload, leaf_gpu_work
+
+__all__ = [
+    "FigureSeries",
+    "fig8",
+    "fig9a",
+    "fig9b",
+    "fig9c",
+    "fig10",
+    "fig11_expected",
+    "fig12",
+    "fig13",
+    "table1",
+    "whatif_network_partition",
+    "whatif_subdivide_dense_cells",
+]
+
+#: Paper parameters.
+TWITTER_EPS = 0.1
+TWITTER_MINPTS = (4, 40, 400, 4000)
+SDSS_EPS = 0.00015
+SDSS_MINPTS = 5
+POINTS_PER_LEAF = 800_000
+
+#: SDSS weak-scaling configurations (§5.2: up to 1.6 B points / 2048 nodes).
+SDSS_CONFIGS: tuple[tuple[int, int], ...] = tuple(
+    (leaves * POINTS_PER_LEAF, leaves) for leaves in (2, 8, 32, 128, 512, 2048)
+)
+
+#: Strong-scaling leaf counts (Fig 10: 256 leaves up to the machine).
+FIG10_LEAVES: tuple[int, ...] = (256, 512, 1024, 2048, 4096, 8192)
+FIG10_POINTS: int = 6_553_600_000
+
+
+@dataclass
+class FigureSeries:
+    """One reproduced figure: x-axis plus named series."""
+
+    figure: str
+    title: str
+    x_label: str
+    x: list
+    series: dict[str, list[float]]
+    notes: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "figure": self.figure,
+            "title": self.title,
+            "x_label": self.x_label,
+            "x": list(self.x),
+            "series": {k: list(v) for k, v in self.series.items()},
+            "notes": list(self.notes),
+        }
+
+    def to_csv(self) -> str:
+        """CSV form (x column + one column per series) for plotting tools."""
+        names = list(self.series)
+        lines = [",".join([self.x_label] + names)]
+        for i, x in enumerate(self.x):
+            lines.append(
+                ",".join([str(x)] + [repr(self.series[name][i]) for name in names])
+            )
+        return "\n".join(lines) + "\n"
+
+    def render(self) -> str:
+        """ASCII table of the series (x rows, series columns)."""
+        names = list(self.series)
+        header = [self.x_label] + names
+        widths = [max(len(h), 12) for h in header]
+        lines = [f"{self.figure}: {self.title}"]
+        lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+        for i, x in enumerate(self.x):
+            cells = [f"{x:,}" if isinstance(x, int) else str(x)]
+            cells += [f"{self.series[name][i]:.1f}" for name in names]
+            lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# Cached samples / workloads
+# --------------------------------------------------------------------- #
+
+
+@lru_cache(maxsize=1)
+def _twitter_sample():
+    # Seeded with the paper's collection start date for flavour.  500 k
+    # points keep the scaled histogram's low-count tail inside the
+    # MinPts=4000 dense-box window even at 6.5 B (a smaller sample's
+    # minimum cell count would scale past the window and erase the
+    # MinPts=4000 curve's extra work).
+    return generate_twitter(500_000, seed=20120811)
+
+
+@lru_cache(maxsize=32)
+def _twitter_workload(n_points: int) -> ScaledWorkload:
+    return ScaledWorkload.from_sample(_twitter_sample(), TWITTER_EPS, n_points)
+
+
+@lru_cache(maxsize=8)
+def _twitter_stencils(n_points: int):
+    return _twitter_workload(n_points).stencil_counts()
+
+
+@lru_cache(maxsize=1)
+def _sdss_leaf_workload() -> ScaledWorkload:
+    """One leaf's worth of sky at true density (weak-scaling invariant)."""
+    sample = generate_sdss(POINTS_PER_LEAF, seed=9)
+    return ScaledWorkload.from_sample(sample, SDSS_EPS, POINTS_PER_LEAF)
+
+
+@lru_cache(maxsize=4)
+def _sdss_leaf_gpu_seconds(minpts: int, use_densebox: bool = True) -> float:
+    """Modelled GPU seconds for one 800 k-point SDSS leaf."""
+    wl = _sdss_leaf_workload()
+    plan = wl.partition(1, minpts)
+    work = leaf_gpu_work(wl, plan, minpts, use_densebox=use_densebox)
+    cost = TitanCostModel()
+    w = work[0]
+    return cost.time_gpu_leaf(w.distance_ops, w.transfer_bytes, w.launches, w.n_points)
+
+
+@lru_cache(maxsize=256)
+def _twitter_run(n_points: int, n_leaves: int, minpts: int, pnodes: int) -> SimulatedRun:
+    wl = _twitter_workload(n_points)
+    return simulate_run(
+        wl,
+        n_leaves,
+        minpts,
+        n_partition_nodes=pnodes,
+        stencils=_twitter_stencils(n_points),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Twitter figures
+# --------------------------------------------------------------------- #
+
+
+def _weak_scaling_series(metric: str) -> FigureSeries:
+    xs = [points for points, *_ in TABLE1_CONFIGS]
+    series: dict[str, list[float]] = {}
+    for minpts in TWITTER_MINPTS:
+        values = []
+        for points, _internal, leaves, pnodes in TABLE1_CONFIGS:
+            run = _twitter_run(points, leaves, minpts, pnodes)
+            values.append(run.as_dict()[metric])
+        series[f"minpts={minpts}"] = values
+    return FigureSeries(
+        figure="",
+        title="",
+        x_label="points",
+        x=xs,
+        series=series,
+    )
+
+
+def fig8() -> FigureSeries:
+    """Total elapsed time, weak scaling (Twitter)."""
+    s = _weak_scaling_series("total")
+    s.figure = "Fig 8"
+    s.title = "Mr. Scan total elapsed time, Twitter weak scaling (Eps=0.1)"
+    s.notes = [
+        "paper: 6.5B points in 1040-1401 s (17.3-23.4 min) depending on MinPts",
+        "paper: 4096x data -> 18.5x-31.7x time (sub-linear growth in data size)",
+    ]
+    return s
+
+
+def fig9a() -> FigureSeries:
+    """Partition-phase time, weak scaling."""
+    s = _weak_scaling_series("partition")
+    s.figure = "Fig 9a"
+    s.title = "Partition phase time (I/O bound: small random partition writes)"
+    s.notes = [
+        "paper: partition scales linearly with data, ~68% of total time",
+        "paper @ MinPts=400: write 65.2% / read 29.9% of the partition phase",
+    ]
+    return s
+
+
+def fig9b() -> FigureSeries:
+    """Cluster+merge+sweep time, weak scaling."""
+    s = _weak_scaling_series("cluster_merge_sweep")
+    s.figure = "Fig 9b"
+    s.title = "Cluster-merge-sweep time (includes MRNet/ALPS startup)"
+    s.notes = [
+        "paper: MinPts<=400 dip from dense box, then upward at 6.5B",
+        "paper: MinPts=4000 has extra linear growth from MRNet startup",
+    ]
+    return s
+
+
+def fig9c() -> FigureSeries:
+    """GPU DBSCAN time only, weak scaling."""
+    s = _weak_scaling_series("gpu")
+    s.figure = "Fig 9c"
+    s.title = "GPGPU DBSCAN time (slowest leaf dictates)"
+    s.notes = [
+        "paper: dense box causes a dip for MinPts in {4,40,400}; the 6.5B",
+        "point suggests a linear trend up (slowest leaf = one dense cell)",
+        "paper: MinPts=4000 scales ~logarithmically but runs slower",
+    ]
+    return s
+
+
+def fig10() -> FigureSeries:
+    """Strong scaling at 6.5 B points."""
+    total, gpu, partition = [], [], []
+    for leaves in FIG10_LEAVES:
+        run = _twitter_run(FIG10_POINTS, leaves, 400, table1_partition_nodes(leaves))
+        total.append(run.total)
+        gpu.append(run.t_gpu)
+        partition.append(run.t_partition)
+    base = gpu[0]
+    return FigureSeries(
+        figure="Fig 10",
+        title="Strong scaling, 6.5B points (Twitter)",
+        x_label="leaves",
+        x=list(FIG10_LEAVES),
+        series={"total": total, "gpu_dbscan": gpu, "partition": partition},
+        notes=[
+            f"gpu speedup at 2048 leaves vs 256: {base / gpu[FIG10_LEAVES.index(2048)]:.2f}x "
+            "(paper: 4.7x, flat beyond 2048 - slowest leaf is one dense cell)",
+            "paper: partition time grows slightly with leaf count (more, smaller writes)",
+        ],
+    )
+
+
+def fig11_expected() -> FigureSeries:
+    """Quality expectations for Fig 11 (real measurement lives in the bench).
+
+    The quality experiment is the one figure measured by *running* Mr.
+    Scan against reference DBSCAN (see ``benchmarks/test_fig11_quality.py``);
+    this builder only records the paper's envelope.
+    """
+    return FigureSeries(
+        figure="Fig 11",
+        title="DBDC quality vs single-CPU DBSCAN (paper envelope)",
+        x_label="points",
+        x=[800_000, 1_600_000, 3_200_000, 6_400_000, 12_800_000],
+        series={"paper_min_quality": [0.995] * 5},
+        notes=["paper: never below 0.995 up to 12.8M points; ELKI took 35h"],
+    )
+
+
+# --------------------------------------------------------------------- #
+# SDSS figures
+# --------------------------------------------------------------------- #
+
+
+def _sdss_run(n_points: int, n_leaves: int) -> dict[str, float]:
+    """Model one SDSS weak-scaling configuration.
+
+    SDSS weak scaling adds *sky area* per node (density constant), so the
+    per-leaf GPU time is the scale-invariant :func:`_sdss_leaf_gpu_seconds`
+    while partition/startup/merge costs use the true n and tree shape.
+    """
+    cost = TitanCostModel()
+    pnodes = table1_partition_nodes(n_leaves)
+    part = cost.time_partition(n_points, pnodes, n_leaves, shadow_fraction=0.05)
+    topo = Topology.paper_style(n_leaves)
+    t_startup = cost.time_startup(topo.n_nodes + pnodes + 1)
+    t_gpu = _sdss_leaf_gpu_seconds(SDSS_MINPTS)
+    t_merge = cost.time_merge(topo.depth(), topo.max_fanout(), 500.0)
+    t_sweep = cost.time_sweep(topo.depth(), topo.max_fanout(), 24.0 * n_leaves, n_points)
+    return {
+        "partition": part["total"],
+        "partition_read": part["read"],
+        "partition_write": part["write"],
+        "gpu": t_gpu,
+        "startup": t_startup,
+        "total": part["total"] + t_startup + t_gpu + t_merge + t_sweep,
+    }
+
+
+def fig12() -> FigureSeries:
+    """SDSS weak scaling: total elapsed time."""
+    xs = [n for n, _ in SDSS_CONFIGS]
+    total = [_sdss_run(n, leaves)["total"] for n, leaves in SDSS_CONFIGS]
+    return FigureSeries(
+        figure="Fig 12",
+        title="SDSS weak scaling (Eps=0.00015, MinPts=5), total time",
+        x_label="points",
+        x=xs,
+        series={"total": total},
+        notes=[
+            "paper: resembles the Twitter weak scaling; the increase with",
+            "node count comes almost entirely from the partitioner's file I/O",
+        ],
+    )
+
+
+def fig13() -> FigureSeries:
+    """SDSS weak scaling: partition-phase time."""
+    xs = [n for n, _ in SDSS_CONFIGS]
+    part = [_sdss_run(n, leaves)["partition"] for n, leaves in SDSS_CONFIGS]
+    return FigureSeries(
+        figure="Fig 13",
+        title="SDSS partitioning time",
+        x_label="points",
+        x=xs,
+        series={"partition": part},
+        notes=["paper: same I/O-bound behaviour as the Twitter dataset"],
+    )
+
+
+# --------------------------------------------------------------------- #
+# What-if figures: the paper's own improvement proposals
+# --------------------------------------------------------------------- #
+
+
+def whatif_network_partition() -> FigureSeries:
+    """§6 future work: send partitions over the network, not Lustre.
+
+    Replays the Fig 8 weak-scaling sweep at MinPts=400 with the partition
+    phase's small-random-write wall replaced by interconnect messaging.
+    """
+    xs = [points for points, *_ in TABLE1_CONFIGS]
+    lustre, network, part_l, part_n = [], [], [], []
+    for points, _i, leaves, pnodes in TABLE1_CONFIGS:
+        wl = _twitter_workload(points)
+        st = _twitter_stencils(points)
+        a = simulate_run(wl, leaves, 400, n_partition_nodes=pnodes, stencils=st)
+        b = simulate_run(
+            wl,
+            leaves,
+            400,
+            n_partition_nodes=pnodes,
+            stencils=st,
+            partition_mode="network",
+        )
+        lustre.append(a.total)
+        network.append(b.total)
+        part_l.append(a.t_partition)
+        part_n.append(b.t_partition)
+    speedup = lustre[-1] / network[-1]
+    return FigureSeries(
+        figure="What-if A",
+        title="Partition distribution: Lustre (paper) vs network (paper's §6 plan)",
+        x_label="points",
+        x=xs,
+        series={
+            "total_lustre": lustre,
+            "total_network": network,
+            "partition_lustre": part_l,
+            "partition_network": part_n,
+        },
+        notes=[
+            f"projected end-to-end speedup at 6.5B points: {speedup:.2f}x",
+            "paper: partition writes were 65.2% of the phase; the network",
+            "path removes the small-random-write wall entirely",
+        ],
+    )
+
+
+def whatif_subdivide_dense_cells() -> FigureSeries:
+    """§5.1.2: subdivide extremely dense grid cells.
+
+    Replays the Fig 10 strong scaling with the slowest leaf allowed to
+    shed its single-dense-cell floor — the fix the paper proposes for the
+    post-2048-leaf plateau.
+    """
+    base, subdiv = [], []
+    for leaves in FIG10_LEAVES:
+        wl = _twitter_workload(FIG10_POINTS)
+        st = _twitter_stencils(FIG10_POINTS)
+        pnodes = table1_partition_nodes(leaves)
+        a = simulate_run(wl, leaves, 400, n_partition_nodes=pnodes, stencils=st)
+        b = simulate_run(
+            wl,
+            leaves,
+            400,
+            n_partition_nodes=pnodes,
+            stencils=st,
+            subdivide_dense_cells=True,
+        )
+        base.append(a.t_gpu)
+        subdiv.append(b.t_gpu)
+    return FigureSeries(
+        figure="What-if B",
+        title="Strong-scaling GPU time with dense-cell subdivision (6.5B points)",
+        x_label="leaves",
+        x=list(FIG10_LEAVES),
+        series={"gpu_single_cell_floor": base, "gpu_subdivided": subdiv},
+        notes=[
+            "paper §5.1.2: 'we have again found a limit to the dense box",
+            "optimization or we need to subdivide grid cells when they have",
+            "extremely high density' — subdivision removes the plateau",
+        ],
+    )
+
+
+def table1() -> FigureSeries:
+    """Table 1: the weak-scaling configurations themselves."""
+    xs = [points for points, *_ in TABLE1_CONFIGS]
+    return FigureSeries(
+        figure="Table 1",
+        title="Weak scaling configurations (points : internals : leaves : partition nodes)",
+        x_label="points",
+        x=xs,
+        series={
+            "internal_processes": [float(i) for _, i, _, _ in TABLE1_CONFIGS],
+            "leaves": [float(l) for _, _, l, _ in TABLE1_CONFIGS],
+            "partition_nodes": [float(p) for _, _, _, p in TABLE1_CONFIGS],
+        },
+        notes=["800,000 points per leaf throughout (paper §4)"],
+    )

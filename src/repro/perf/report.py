@@ -1,0 +1,106 @@
+"""Model a *real* pipeline run at Titan scale.
+
+:func:`model_run` takes the resource traces a real :class:`MrScanResult`
+carries — partition I/O operations, per-leaf simulated-GPU counters, tree
+packet volumes — and converts them to modelled Titan seconds with the same
+cost model the paper-scale figures use.  This closes the loop between the
+two halves of the reproduction: the figures' work laws can be
+cross-checked against actual executions (``tests/perf/test_report.py``
+asserts the modelled phase *shares* of real runs match the figures'
+regime), and any real run can be asked "what would this cost on Titan?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.result import MrScanResult
+from ..io.lustre import LustreModel
+from .costmodel import TitanCostModel
+
+__all__ = ["ModelledRun", "model_run"]
+
+
+@dataclass(frozen=True)
+class ModelledRun:
+    """Titan-modelled seconds for one real pipeline execution."""
+
+    partition_io: float
+    partition_read: float
+    partition_write: float
+    gpu: float
+    startup: float
+    merge: float
+    sweep: float
+
+    @property
+    def total(self) -> float:
+        return self.partition_io + self.startup + self.gpu + self.merge + self.sweep
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "partition_io": self.partition_io,
+            "partition_read": self.partition_read,
+            "partition_write": self.partition_write,
+            "gpu": self.gpu,
+            "startup": self.startup,
+            "merge": self.merge,
+            "sweep": self.sweep,
+            "total": self.total,
+        }
+
+
+def model_run(
+    result: MrScanResult,
+    *,
+    cost: TitanCostModel | None = None,
+    lustre: LustreModel | None = None,
+) -> ModelledRun:
+    """Convert a real run's traces into modelled Titan seconds."""
+    cost = cost or TitanCostModel()
+    lustre = lustre or LustreModel()
+
+    # Partition phase: replay the recorded I/O ledger through the Lustre
+    # model (slowest client dictates; small random writes penalised).
+    split = lustre.breakdown(result.partition_io)
+    t_partition = lustre.phase_time(result.partition_io)
+
+    # Cluster phase: the slowest leaf's device counters through the GPU law.
+    t_gpu = 0.0
+    for stats in result.gpu_stats:
+        dev = stats.device
+        t_leaf = cost.time_gpu_leaf(
+            stats.total_distance_ops,
+            dev.get("h2d_bytes", 0) + dev.get("d2h_bytes", 0),
+            stats.kernel_launches,
+            stats.n_points,
+        )
+        t_gpu = max(t_gpu, t_leaf)
+
+    # Startup: both trees' process counts.
+    n_processes = result.n_leaves + result.n_partition_nodes + 2
+    t_startup = cost.time_startup(n_processes)
+
+    # Merge / sweep: recorded tree traffic through the link laws.
+    merge_trace = result.network_traces.get("merge_reduce")
+    t_merge = 0.0
+    if merge_trace is not None and merge_trace.n_packets:
+        per_node = max(
+            merge_trace.bytes_into(node)
+            for node in {p.dst for p in merge_trace.packets}
+        )
+        t_merge = cost.time_merge(2, 1, float(per_node))
+
+    sweep_trace = result.network_traces.get("sweep_multicast")
+    sweep_bytes = sweep_trace.total_bytes if sweep_trace is not None else 0
+    t_sweep = cost.time_sweep(2, 1, float(sweep_bytes), result.n_points)
+
+    return ModelledRun(
+        partition_io=t_partition,
+        partition_read=split["read"],
+        partition_write=split["write"],
+        gpu=t_gpu,
+        startup=t_startup,
+        merge=t_merge,
+        sweep=t_sweep,
+    )

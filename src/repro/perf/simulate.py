@@ -1,0 +1,169 @@
+"""Whole-run discrete simulation at paper scale.
+
+``simulate_run`` assembles the four phase times for one configuration
+(point count, leaf count, partition-node count, MinPts) from the scaled
+workload and the Titan cost model, mirroring the structure of the real
+pipeline: the partition phase runs on its own flat tree; the cluster
+phase is bounded by the *slowest leaf* ("the time of the cluster phase is
+dictated by the slowest node", §5.1.1); merge and sweep cross the tree
+once each; ALPS startup is linear in the process count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import table1_partition_nodes
+from ..errors import SimulationError
+from ..mrnet.topology import PAPER_FANOUT, Topology
+from .costmodel import TitanCostModel
+from .workload import LeafWork, ScaledWorkload, leaf_gpu_work
+
+__all__ = ["SimulatedRun", "simulate_run"]
+
+
+@dataclass
+class SimulatedRun:
+    """Modelled Titan seconds for one Mr. Scan configuration."""
+
+    n_points: int
+    n_leaves: int
+    n_partition_nodes: int
+    minpts: int
+    t_partition_read: float
+    t_partition_write: float
+    t_partition: float
+    t_startup: float
+    t_gpu: float
+    t_cluster: float
+    t_merge: float
+    t_sweep: float
+    max_leaf_points: float
+    densebox_eliminated_fraction: float
+
+    @property
+    def total(self) -> float:
+        """End-to-end elapsed time (the Fig 8 quantity)."""
+        return self.t_partition + self.t_startup + self.t_cluster + self.t_merge + self.t_sweep
+
+    @property
+    def cluster_merge_sweep(self) -> float:
+        """The Fig 9b aggregate (everything after the partition phase)."""
+        return self.t_startup + self.t_cluster + self.t_merge + self.t_sweep
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "n_points": self.n_points,
+            "n_leaves": self.n_leaves,
+            "total": self.total,
+            "partition": self.t_partition,
+            "partition_read": self.t_partition_read,
+            "partition_write": self.t_partition_write,
+            "startup": self.t_startup,
+            "gpu": self.t_gpu,
+            "cluster": self.t_cluster,
+            "merge": self.t_merge,
+            "sweep": self.t_sweep,
+            "cluster_merge_sweep": self.cluster_merge_sweep,
+            "densebox_eliminated_fraction": self.densebox_eliminated_fraction,
+        }
+
+
+def simulate_run(
+    workload: ScaledWorkload,
+    n_leaves: int,
+    minpts: int,
+    *,
+    n_partition_nodes: int | None = None,
+    fanout: int = PAPER_FANOUT,
+    cost: TitanCostModel | None = None,
+    use_densebox: bool = True,
+    stencils: dict | None = None,
+    partition_mode: str = "lustre",
+    subdivide_dense_cells: bool = False,
+) -> SimulatedRun:
+    """Model one full Mr. Scan run over ``workload``.
+
+    Two what-if switches model the paper's own improvement proposals:
+
+    * ``partition_mode="network"`` — §6: send partitions over the
+      interconnect instead of through Lustre;
+    * ``subdivide_dense_cells`` — §5.1.2: "we need to subdivide grid
+      cells when they have extremely high density"; modelled by letting
+      the slowest leaf's load shrink toward the even share (a cell split
+      across k leaves carries ~1/k of its points plus shadow overlap).
+    """
+    if n_leaves < 1:
+        raise SimulationError("n_leaves must be >= 1")
+    cost = cost or TitanCostModel()
+    pnodes = n_partition_nodes or table1_partition_nodes(n_leaves)
+
+    plan = workload.partition(n_leaves, minpts)
+    shadow_frac = workload.shadow_fraction(plan)
+    part = cost.time_partition(
+        workload.n_points,
+        pnodes,
+        n_leaves,
+        shadow_fraction=shadow_frac,
+        mode=partition_mode,
+    )
+
+    work = leaf_gpu_work(
+        workload, plan, minpts, use_densebox=use_densebox, stencils=stencils
+    )
+    slowest: LeafWork = max(
+        work,
+        key=lambda w: cost.time_gpu_leaf(
+            w.distance_ops, w.transfer_bytes, w.launches, w.n_points
+        ),
+    )
+    if subdivide_dense_cells:
+        # Sub-cell splitting lets the partitioner equalise loads all the
+        # way down to the even share (plus shadow duplication); scale the
+        # slowest leaf's work by the achievable ratio.
+        even = workload.n_points * (1.0 + shadow_frac) / n_leaves
+        ratio = min(1.0, even / max(slowest.n_points, 1.0))
+        slowest = LeafWork(
+            n_points=slowest.n_points * ratio,
+            pass1_ops=slowest.pass1_ops * ratio,
+            pass2_ops=slowest.pass2_ops * ratio,
+            eliminated=slowest.eliminated * ratio,
+            transfer_bytes=slowest.transfer_bytes * ratio,
+            launches=max(slowest.launches * ratio, 1.0),
+        )
+    t_gpu = cost.time_gpu_leaf(
+        slowest.distance_ops, slowest.transfer_bytes, slowest.launches, slowest.n_points
+    )
+
+    topo = Topology.paper_style(n_leaves, fanout)
+    n_processes = topo.n_nodes + pnodes + 1
+    t_startup = cost.time_startup(n_processes)
+
+    # Summary volume: representative points + borders per boundary cell.
+    boundary_cells = sum(len(p.shadow_cells) for p in plan.partitions)
+    summary_bytes = 200.0 * max(boundary_cells, 1) / max(n_leaves, 1)
+    t_merge = cost.time_merge(topo.depth(), topo.max_fanout(), summary_bytes)
+    t_sweep = cost.time_sweep(
+        topo.depth(), topo.max_fanout(), 24.0 * n_leaves, workload.n_points
+    )
+
+    # Leaf views include shadow copies, so normalise elimination against
+    # the total clustered volume (own + shadow), not the input size.
+    eliminated = sum(w.eliminated for w in work)
+    clustered = sum(w.n_points for w in work)
+    return SimulatedRun(
+        n_points=workload.n_points,
+        n_leaves=n_leaves,
+        n_partition_nodes=pnodes,
+        minpts=minpts,
+        t_partition_read=part["read"],
+        t_partition_write=part["write"],
+        t_partition=part["total"],
+        t_startup=t_startup,
+        t_gpu=t_gpu,
+        t_cluster=t_gpu,  # slowest leaf dictates the phase
+        t_merge=t_merge,
+        t_sweep=t_sweep,
+        max_leaf_points=max((w.n_points for w in work), default=0.0),
+        densebox_eliminated_fraction=eliminated / max(clustered, 1.0),
+    )

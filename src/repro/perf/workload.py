@@ -1,0 +1,226 @@
+"""Paper-scale workload synthesis and per-leaf GPU work laws.
+
+The key observation enabling paper-scale simulation: the partitioner and
+the GPU work model only need the Eps-grid *histogram*, never individual
+points, and for a fixed spatial distribution the histogram's cell counts
+scale linearly with n.  So we histogram an affordable sample once, scale
+the counts to the target n, run the *real* partitioning algorithm over the
+scaled histogram, and evaluate each leaf's GPU work from its cells.
+
+The per-cell work law mirrors what the simulated device charges in real
+runs (``repro.gpu.kernels``):
+
+* candidates per point = the 3×3 stencil count;
+* expected true neighbors ≈ (π/9) × stencil (area ratio of the Eps disk
+  to the stencil);
+* pass 1 scans ``stencil × minpts/(neighbors+1)`` candidates for core
+  points (MinPts-capped early termination) and everything for non-cores;
+* the core fraction is Poissonian: ``P[Poisson(neighbors) >= minpts]``;
+* dense box eliminates a cell fraction that ramps from 0 when the cell
+  holds ``minpts`` points to 1 when it holds ``8 × minpts`` (a cell is
+  2–8 box subdivisions deep, so by then every subdivision clears MinPts);
+* pass 2 expands surviving cores at full stencil cost.
+
+``tests/perf/test_workload.py`` validates this law against the operation
+counts of real ``mrscan_gpu`` runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import special
+
+from ..data.density import profile_density
+from ..errors import SimulationError
+from ..partition.grid import GridHistogram
+from ..partition.partitioner import form_partitions
+from ..partition.plan import PartitionPlan
+from ..points import PointSet
+
+__all__ = ["ScaledWorkload", "LeafWork", "leaf_gpu_work", "cell_gpu_work"]
+
+#: Ratio of the Eps-disk area to the 3x3 stencil area.
+DISK_STENCIL_RATIO: float = np.pi / 9.0
+
+#: Dense-box ramp: cells at minpts points start eliminating; at
+#: ``DENSEBOX_FULL_FACTOR * minpts`` the whole cell is eliminated.
+DENSEBOX_FULL_FACTOR: float = 8.0
+
+
+@dataclass
+class LeafWork:
+    """Predicted GPU work for one leaf's partition (+shadow)."""
+
+    n_points: float
+    pass1_ops: float
+    pass2_ops: float
+    eliminated: float
+    transfer_bytes: float
+    launches: float
+
+    @property
+    def distance_ops(self) -> float:
+        return self.pass1_ops + self.pass2_ops
+
+
+def cell_gpu_work(
+    count: float, stencil: float, minpts: int, *, use_densebox: bool = True
+) -> tuple[float, float, float]:
+    """Work law for one Eps cell: ``(pass1_ops, pass2_ops, eliminated)``."""
+    if count <= 0:
+        return 0.0, 0.0, 0.0
+    neighbors = max(DISK_STENCIL_RATIO * stencil, 1.0)
+    if use_densebox:
+        lo = float(minpts)
+        hi = DENSEBOX_FULL_FACTOR * minpts
+        elim_frac = min(max((count - lo) / max(hi - lo, 1.0), 0.0), 1.0)
+    else:
+        elim_frac = 0.0
+    survivors = count * (1.0 - elim_frac)
+
+    core_frac = float(special.gammainc(minpts, neighbors))  # P[Poisson >= m]
+    capped = stencil * minpts / (neighbors + 1.0)
+    per_point_pass1 = core_frac * min(capped, stencil) + (1.0 - core_frac) * stencil
+    pass1 = survivors * per_point_pass1
+    pass2 = survivors * core_frac * stencil
+    return pass1, pass2, count * elim_frac
+
+
+@dataclass
+class ScaledWorkload:
+    """A paper-scale dataset stand-in: the scaled Eps-grid histogram."""
+
+    histogram: GridHistogram
+    n_points: int
+    eps: float
+    sample_points: int
+
+    @classmethod
+    def from_sample(
+        cls, sample: PointSet, eps: float, n_target: int
+    ) -> "ScaledWorkload":
+        """Scale ``sample``'s histogram to ``n_target`` points.
+
+        Counts multiply by ``n_target / len(sample)`` with largest-
+        remainder rounding so the scaled total is exactly ``n_target``.
+        """
+        if len(sample) == 0:
+            raise SimulationError("cannot scale an empty sample")
+        if n_target <= 0:
+            raise SimulationError("n_target must be positive")
+        base = GridHistogram.from_points(sample, eps)
+        factor = n_target / len(sample)
+        cells = list(base.counts)
+        raw = np.array([base.counts[c] for c in cells], dtype=np.float64) * factor
+        floors = np.floor(raw).astype(np.int64)
+        deficit = int(n_target - floors.sum())
+        if deficit > 0:
+            order = np.argsort(-(raw - floors))
+            floors[order[:deficit]] += 1
+        scaled = GridHistogram(
+            eps=eps,
+            counts={c: int(v) for c, v in zip(cells, floors) if v > 0},
+        )
+        return cls(
+            histogram=scaled,
+            n_points=int(scaled.total_points),
+            eps=eps,
+            sample_points=len(sample),
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def stencil_counts(self) -> dict[tuple[int, int], int]:
+        """3×3-neighborhood point counts per non-empty cell."""
+        counts = self.histogram.counts
+        out: dict[tuple[int, int], int] = {}
+        for (cx, cy) in counts:
+            total = 0
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    total += counts.get((cx + dx, cy + dy), 0)
+            out[(cx, cy)] = total
+        return out
+
+    def partition(self, n_leaves: int, minpts: int) -> PartitionPlan:
+        """Run the real partitioning algorithm over the scaled histogram."""
+        return form_partitions(self.histogram, n_leaves, minpts)
+
+    def max_cell_count(self) -> int:
+        return max(self.histogram.counts.values(), default=0)
+
+    def shadow_fraction(self, plan: PartitionPlan) -> float:
+        """Shadow points as a fraction of partition points."""
+        shadow = sum(p.shadow_count for p in plan.partitions)
+        return shadow / max(self.n_points, 1)
+
+
+def _vector_cell_work(
+    counts: np.ndarray, stencils: np.ndarray, minpts: int, use_densebox: bool
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised :func:`cell_gpu_work` over all cells at once."""
+    neighbors = np.maximum(DISK_STENCIL_RATIO * stencils, 1.0)
+    if use_densebox:
+        lo = float(minpts)
+        hi = DENSEBOX_FULL_FACTOR * minpts
+        elim_frac = np.clip((counts - lo) / max(hi - lo, 1.0), 0.0, 1.0)
+    else:
+        elim_frac = np.zeros_like(counts, dtype=np.float64)
+    survivors = counts * (1.0 - elim_frac)
+    core_frac = special.gammainc(minpts, neighbors)
+    capped = np.minimum(stencils * minpts / (neighbors + 1.0), stencils)
+    per_point_pass1 = core_frac * capped + (1.0 - core_frac) * stencils
+    pass1 = survivors * per_point_pass1
+    pass2 = survivors * core_frac * stencils
+    return pass1, pass2, counts * elim_frac
+
+
+def leaf_gpu_work(
+    workload: ScaledWorkload,
+    plan: PartitionPlan,
+    minpts: int,
+    *,
+    use_densebox: bool = True,
+    n_blocks: int = 1024,
+    record_bytes: int = 32,
+    stencils: dict[tuple[int, int], int] | None = None,
+) -> list[LeafWork]:
+    """Predict each leaf's GPU work from its partition's cells."""
+    if stencils is None:
+        stencils = workload.stencil_counts()
+    counts = workload.histogram.counts
+    cells = list(counts)
+    cell_index = {c: i for i, c in enumerate(cells)}
+    count_v = np.array([counts[c] for c in cells], dtype=np.float64)
+    stencil_v = np.array([stencils.get(c, counts[c]) for c in cells], dtype=np.float64)
+    pass1_v, pass2_v, elim_v = _vector_cell_work(count_v, stencil_v, minpts, use_densebox)
+
+    out: list[LeafWork] = []
+    for spec in plan.partitions:
+        idx = [
+            cell_index[cell]
+            for cell in list(spec.cells) + sorted(spec.shadow_cells)
+            if cell in cell_index
+        ]
+        if idx:
+            ia = np.asarray(idx, dtype=np.int64)
+            pass1 = float(pass1_v[ia].sum())
+            pass2 = float(pass2_v[ia].sum())
+            elim = float(elim_v[ia].sum())
+            n_pts = float(count_v[ia].sum())
+        else:
+            pass1 = pass2 = elim = n_pts = 0.0
+        launches = max(1.0, 2.0 * n_pts / n_blocks) if n_pts else 0.0
+        out.append(
+            LeafWork(
+                n_points=n_pts,
+                pass1_ops=pass1,
+                pass2_ops=pass2,
+                eliminated=elim,
+                transfer_bytes=n_pts * record_bytes + 9 * n_pts,
+                launches=launches,
+            )
+        )
+    return out

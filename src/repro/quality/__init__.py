@@ -1,0 +1,5 @@
+"""Clustering-quality evaluation (the Fig 11 metric)."""
+
+from .dbdc import dbdc_quality_score, QualityReport
+
+__all__ = ["dbdc_quality_score", "QualityReport"]

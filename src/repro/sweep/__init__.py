@@ -1,0 +1,10 @@
+"""Phase 4: the sweep step (§3.4).
+
+The global cluster IDs travel down the tree "with each level of the tree
+reversing the merge operation"; each leaf relabels its points with global
+IDs and writes them to the output file in parallel.
+"""
+
+from .sweep import SweepResult, sweep_leaf, combine_leaf_outputs, combine_core_masks
+
+__all__ = ["SweepResult", "sweep_leaf", "combine_leaf_outputs", "combine_core_masks"]

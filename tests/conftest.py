@@ -1,0 +1,34 @@
+"""Shared fixtures for the Mr. Scan reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import gaussian_blobs, generate_sdss, generate_twitter, uniform_noise
+from repro.points import PointSet
+
+
+@pytest.fixture
+def blobs_with_noise() -> PointSet:
+    """Five well-separated blobs plus 10% uniform noise (~2.2k points)."""
+    blobs = gaussian_blobs(2000, centers=5, spread=0.3, seed=1)
+    noise = uniform_noise(200, seed=2)
+    return PointSet.from_coords(np.concatenate([blobs.coords, noise.coords]))
+
+
+@pytest.fixture
+def small_twitter() -> PointSet:
+    """A 5k-point synthetic tweet sample."""
+    return generate_twitter(5000, seed=3)
+
+
+@pytest.fixture
+def small_sdss() -> PointSet:
+    """A 5k-point synthetic SDSS sample."""
+    return generate_sdss(5000, seed=4)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,88 @@
+"""Tests for capacity planning (minimum leaf count for device memory)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sizing import BYTES_PER_POINT, leaf_memory_bytes, minimum_leaves
+from repro.errors import ConfigError
+from repro.gpu.device import DeviceConfig
+
+
+def test_leaf_memory_scales_linearly():
+    one = leaf_memory_bytes(1_000, shadow_fraction=0.0)
+    two = leaf_memory_bytes(2_000, shadow_fraction=0.0)
+    assert two == pytest.approx(2 * one, abs=BYTES_PER_POINT)
+
+
+def test_leaf_memory_includes_shadow():
+    assert leaf_memory_bytes(1_000, shadow_fraction=0.5) > leaf_memory_bytes(
+        1_000, shadow_fraction=0.0
+    )
+
+
+def test_leaf_memory_validation():
+    with pytest.raises(ConfigError):
+        leaf_memory_bytes(-1)
+    with pytest.raises(ConfigError):
+        leaf_memory_bytes(1, shadow_fraction=-0.1)
+
+
+def test_minimum_leaves_small_dataset_is_one():
+    assert minimum_leaves(100_000) == 1
+
+
+def test_minimum_leaves_paper_scale():
+    """6.5 B points on 6 GB K20s: the paper started strong scaling at 256
+    leaves; the estimate must land in that neighbourhood."""
+    leaves = minimum_leaves(6_553_600_000)
+    assert 64 <= leaves <= 512
+
+
+def test_minimum_leaves_fits_device():
+    n = 1_000_000_000
+    device = DeviceConfig()
+    leaves = minimum_leaves(n, device=device, safety=1.3, shadow_fraction=0.35)
+    assert (
+        leaf_memory_bytes(n / leaves * 1.3, shadow_fraction=0.35)
+        <= device.memory_bytes
+    )
+    if leaves > 1:
+        assert (
+            leaf_memory_bytes(n / (leaves - 1) * 1.3, shadow_fraction=0.35)
+            > device.memory_bytes
+        )
+
+
+def test_minimum_leaves_monotone_in_memory():
+    big = DeviceConfig(memory_bytes=12 * 1024**3)
+    small = DeviceConfig(memory_bytes=3 * 1024**3)
+    n = 2_000_000_000
+    assert minimum_leaves(n, device=small) >= minimum_leaves(n, device=big)
+
+
+def test_minimum_leaves_indivisible_cell_raises():
+    tiny = DeviceConfig(memory_bytes=1024)
+    with pytest.raises(ConfigError, match="densest grid cell"):
+        minimum_leaves(10_000_000, device=tiny, max_cell_share=0.5)
+
+
+def test_minimum_leaves_validation():
+    with pytest.raises(ConfigError):
+        minimum_leaves(0)
+    with pytest.raises(ConfigError):
+        minimum_leaves(10, safety=0.5)
+
+
+def test_minimum_leaves_consistent_with_real_device_enforcement():
+    """A plan at the estimated leaf count must actually cluster without
+    tripping the simulated device's memory check."""
+    from repro.core.pipeline import mrscan
+    from repro.data import gaussian_blobs
+
+    device = DeviceConfig(memory_bytes=200_000)  # tiny device
+    points = gaussian_blobs(8_000, centers=3, spread=0.4, seed=0)
+    leaves = minimum_leaves(len(points), device=device)
+    assert leaves > 1
+    result = mrscan(points, 0.3, 5, n_leaves=leaves, device=device)
+    assert result.n_clusters >= 1

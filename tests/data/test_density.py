@@ -1,0 +1,79 @@
+"""Unit tests for density profiling (perf-model input)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import generate_twitter, profile_density, uniform_noise
+from repro.data.density import DensityProfile
+from repro.points import PointSet
+
+
+def test_empty_profile():
+    prof = profile_density(PointSet.empty(), eps=0.1)
+    assert prof.n_points == 0
+    assert prof.max_cell_share == 0.0
+
+
+def test_single_cell_profile():
+    ps = PointSet.from_coords(np.full((10, 2), 0.05))
+    prof = profile_density(ps, eps=0.1)
+    assert prof.n_occupied_cells == 1
+    assert prof.max_cell_share == 1.0
+    assert prof.gini == 0.0  # one cell, perfectly "equal"
+
+
+def test_uniform_data_low_gini():
+    ps = uniform_noise(20000, box=(0, 0, 10, 10), seed=0)
+    prof = profile_density(ps, eps=1.0)
+    assert prof.gini < 0.15
+    assert prof.max_cell_share < 0.03
+
+
+def test_twitter_high_gini():
+    ps = generate_twitter(20000, seed=0)
+    prof = profile_density(ps, eps=0.1)
+    assert prof.gini > 0.3
+
+
+def test_shares_sum_below_one():
+    ps = generate_twitter(10000, seed=1)
+    prof = profile_density(ps, eps=0.1)
+    assert 0 < sum(prof.top_cell_shares) <= 1.0
+    assert prof.top_cell_shares == tuple(sorted(prof.top_cell_shares, reverse=True))
+
+
+def test_cell_count_scaling():
+    ps = generate_twitter(10000, seed=2)
+    prof = profile_density(ps, eps=0.1)
+    # Rank-0 cell count extrapolates linearly in n.
+    assert prof.cell_count_at(prof.n_points * 10, 0) == (
+        prof.max_cell_share * prof.n_points * 10
+    )
+
+
+def test_densebox_fraction_monotone_in_minpts():
+    ps = generate_twitter(30000, seed=3)
+    prof = profile_density(ps, eps=0.1)
+    fracs = [prof.densebox_eliminated_fraction(m) for m in (4, 40, 400, 4000)]
+    # Higher MinPts => dense box fires less (the paper's MinPts=4000 case).
+    assert all(a >= b for a, b in zip(fracs, fracs[1:]))
+    assert fracs[0] <= 1.0 and fracs[-1] >= 0.0
+
+
+def test_densebox_fraction_zero_for_sparse_data():
+    ps = uniform_noise(5000, box=(0, 0, 100, 100), seed=4)
+    prof = profile_density(ps, eps=0.1)
+    assert prof.densebox_eliminated_fraction(40) == 0.0
+
+
+def test_profile_is_dataclass_frozen():
+    ps = uniform_noise(100, seed=5)
+    prof = profile_density(ps, eps=0.5)
+    assert isinstance(prof, DensityProfile)
+    try:
+        prof.gini = 0.5  # type: ignore[misc]
+        raised = False
+    except AttributeError:
+        raised = True
+    assert raised

@@ -1,0 +1,161 @@
+"""Unit tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SDSSConfig,
+    TwitterConfig,
+    gaussian_blobs,
+    generate_sdss,
+    generate_twitter,
+    ring_cluster,
+    two_moons,
+    uniform_noise,
+)
+from repro.data.twitter import CONUS_BOX, METRO_AREAS
+
+
+def test_twitter_point_count_and_ids():
+    ps = generate_twitter(1234, seed=0)
+    assert len(ps) == 1234
+    ps.validate_unique_ids()
+
+
+def test_twitter_reproducible():
+    a = generate_twitter(500, seed=42)
+    b = generate_twitter(500, seed=42)
+    assert np.array_equal(a.coords, b.coords)
+
+
+def test_twitter_different_seeds_differ():
+    a = generate_twitter(500, seed=1)
+    b = generate_twitter(500, seed=2)
+    assert not np.array_equal(a.coords, b.coords)
+
+
+def test_twitter_zero_points():
+    assert len(generate_twitter(0)) == 0
+
+
+def test_twitter_density_is_heavily_skewed():
+    """Metro cores must dominate the Eps-cell histogram, like real tweets."""
+    from repro.data import profile_density
+
+    ps = generate_twitter(50000, seed=7)
+    prof = profile_density(ps, eps=0.1)
+    # The densest 0.1-degree cell should hold far more than an even share.
+    even_share = 1.0 / prof.n_occupied_cells
+    assert prof.max_cell_share > 8 * even_share
+    assert prof.gini > 0.3
+
+
+def test_twitter_has_background_noise():
+    cfg = TwitterConfig(noise_fraction=0.5)
+    ps = generate_twitter(2000, config=cfg, seed=0)
+    xmin, ymin, xmax, ymax = CONUS_BOX
+    # with 50% noise, a good chunk of points should be far from every metro
+    lons = np.array([m[1] for m in METRO_AREAS])
+    lats = np.array([m[2] for m in METRO_AREAS])
+    d = np.min(
+        np.hypot(ps.xs[:, None] - lons[None, :], ps.ys[:, None] - lats[None, :]), axis=1
+    )
+    assert np.count_nonzero(d > 2.0) > 200
+
+
+def test_twitter_config_validation():
+    with pytest.raises(ValueError):
+        TwitterConfig(noise_fraction=1.5)
+    with pytest.raises(ValueError):
+        TwitterConfig(urban_core_fraction=-0.1)
+    with pytest.raises(ValueError):
+        TwitterConfig(satellite_fraction=2.0)
+
+
+def test_sdss_point_count():
+    ps = generate_sdss(777, seed=0)
+    assert len(ps) == 777
+    ps.validate_unique_ids()
+
+
+def test_sdss_reproducible():
+    a = generate_sdss(300, seed=9)
+    b = generate_sdss(300, seed=9)
+    assert np.array_equal(a.coords, b.coords)
+    assert np.array_equal(a.weights, b.weights)
+
+
+def test_sdss_inside_patch():
+    cfg = SDSSConfig()
+    ps = generate_sdss(1000, config=cfg, seed=1)
+    xmin, ymin, xmax, ymax = cfg.patch
+    pad = 10 * cfg.psf_sigma
+    assert np.all(ps.xs > xmin - pad) and np.all(ps.xs < xmax + pad)
+    assert np.all(ps.ys > ymin - pad) and np.all(ps.ys < ymax + pad)
+
+
+def test_sdss_microclusters_at_eps_scale():
+    """Most detections must have a companion within a few Eps=0.00015."""
+    ps = generate_sdss(2000, seed=2)
+    from repro.dbscan import GridIndex
+
+    gi = GridIndex(ps, 0.00015)
+    counts = gi.count_neighbors()
+    assert np.mean(counts >= 5) > 0.5  # MinPts=5 finds most sources
+
+
+def test_sdss_config_validation():
+    with pytest.raises(ValueError):
+        SDSSConfig(psf_sigma=0.0)
+    with pytest.raises(ValueError):
+        SDSSConfig(mean_detections=-1)
+    with pytest.raises(ValueError):
+        SDSSConfig(background_fraction=1.0)
+
+
+def test_sdss_weights_positive():
+    ps = generate_sdss(100, seed=3)
+    assert np.all(ps.weights > 0)
+
+
+def test_blobs_cluster_near_centers():
+    centers = np.array([[0.0, 0.0], [100.0, 100.0]])
+    ps = gaussian_blobs(400, centers=centers, spread=0.5, seed=0)
+    d0 = np.hypot(ps.xs, ps.ys)
+    d1 = np.hypot(ps.xs - 100, ps.ys - 100)
+    assert np.all(np.minimum(d0, d1) < 10)
+
+
+def test_blobs_weighted_mixture():
+    centers = np.array([[0.0, 0.0], [100.0, 100.0]])
+    ps = gaussian_blobs(1000, centers=centers, weights=[0.9, 0.1], spread=0.1, seed=0)
+    near0 = np.count_nonzero(np.hypot(ps.xs, ps.ys) < 50)
+    assert near0 > 800
+
+
+def test_uniform_noise_in_box():
+    box = (2.0, 3.0, 4.0, 5.0)
+    ps = uniform_noise(500, box=box, seed=0)
+    assert np.all((ps.xs >= 2) & (ps.xs <= 4))
+    assert np.all((ps.ys >= 3) & (ps.ys <= 5))
+
+
+def test_ring_radius():
+    ps = ring_cluster(1000, radius=5.0, thickness=0.1, seed=0)
+    r = np.hypot(ps.xs, ps.ys)
+    assert abs(float(np.mean(r)) - 5.0) < 0.1
+
+
+def test_two_moons_count_split():
+    ps = two_moons(101, seed=0)
+    assert len(ps) == 101
+
+
+def test_generators_accept_generator_instance():
+    rng = np.random.default_rng(0)
+    a = generate_twitter(100, seed=rng)
+    rng2 = np.random.default_rng(0)
+    b = generate_twitter(100, seed=rng2)
+    assert np.array_equal(a.coords, b.coords)

@@ -1,0 +1,108 @@
+"""Unit tests for the union-find structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dbscan import DisjointSet
+
+
+def test_initial_components():
+    ds = DisjointSet(5)
+    assert ds.n_components == 5
+    assert all(ds.find(i) == i for i in range(5))
+
+
+def test_union_reduces_components():
+    ds = DisjointSet(4)
+    ds.union(0, 1)
+    assert ds.n_components == 3
+    ds.union(0, 1)  # idempotent
+    assert ds.n_components == 3
+
+
+def test_connected_transitive():
+    ds = DisjointSet(6)
+    ds.union(0, 1)
+    ds.union(1, 2)
+    ds.union(4, 5)
+    assert ds.connected(0, 2)
+    assert ds.connected(4, 5)
+    assert not ds.connected(0, 4)
+
+
+def test_union_pairs_bulk():
+    ds = DisjointSet(10)
+    ds.union_pairs(np.array([0, 2, 4]), np.array([1, 3, 5]))
+    assert ds.connected(0, 1) and ds.connected(2, 3) and ds.connected(4, 5)
+    assert ds.n_components == 7
+
+
+def test_roots_fully_compressed():
+    ds = DisjointSet(8)
+    for i in range(7):
+        ds.union(i, i + 1)
+    roots = ds.roots()
+    assert len(np.unique(roots)) == 1
+    # after roots(), parent array is flat
+    assert np.all(ds.parent == ds.parent[ds.parent])
+
+
+def test_component_labels_dense_and_stable():
+    ds = DisjointSet(6)
+    ds.union(3, 4)
+    ds.union(0, 5)
+    labels = ds.component_labels()
+    # labels numbered by first appearance: element 0 -> 0
+    assert labels[0] == 0
+    assert labels[5] == labels[0]
+    assert labels[3] == labels[4]
+    assert set(labels) == {0, 1, 2, 3}
+
+
+def test_zero_size():
+    ds = DisjointSet(0)
+    assert len(ds) == 0
+    assert ds.n_components == 0
+    assert len(ds.component_labels()) == 0
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        DisjointSet(-1)
+
+
+def test_large_chain_no_recursion_error():
+    n = 100_000
+    ds = DisjointSet(n)
+    for i in range(n - 1):
+        ds.union(i, i + 1)
+    assert ds.find(0) == ds.find(n - 1)
+    assert ds.n_components == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(2, 60),
+    pairs=st.lists(st.tuples(st.integers(0, 59), st.integers(0, 59)), max_size=80),
+)
+def test_property_matches_graph_components(n, pairs):
+    """Union-find components equal the connected components of the edge set."""
+    import networkx as nx
+
+    pairs = [(a % n, b % n) for a, b in pairs]
+    ds = DisjointSet(n)
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for a, b in pairs:
+        ds.union(a, b)
+        g.add_edge(a, b)
+    want = {frozenset(c) for c in nx.connected_components(g)}
+    labels = ds.component_labels()
+    got: dict[int, set[int]] = {}
+    for i, lab in enumerate(labels):
+        got.setdefault(int(lab), set()).add(i)
+    assert {frozenset(c) for c in got.values()} == want
+    assert ds.n_components == len(want)

@@ -1,0 +1,70 @@
+"""Stateful (model-based) testing of the union-find structure.
+
+Hypothesis drives random interleavings of union/find/connected against a
+naive set-of-frozensets model; any divergence in connectivity, component
+count, or label structure fails the run.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.dbscan import DisjointSet
+
+N = 24
+
+
+class DisjointSetMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.ds = DisjointSet(N)
+        self.model: list[set[int]] = [{i} for i in range(N)]
+
+    def _model_component(self, x: int) -> set[int]:
+        for comp in self.model:
+            if x in comp:
+                return comp
+        raise AssertionError("model lost an element")
+
+    @rule(a=st.integers(0, N - 1), b=st.integers(0, N - 1))
+    def union(self, a: int, b: int) -> None:
+        self.ds.union(a, b)
+        ca = self._model_component(a)
+        cb = self._model_component(b)
+        if ca is not cb:
+            self.model.remove(ca)
+            self.model.remove(cb)
+            self.model.append(ca | cb)
+
+    @rule(a=st.integers(0, N - 1), b=st.integers(0, N - 1))
+    def check_connected(self, a: int, b: int) -> None:
+        want = self._model_component(a) is self._model_component(b)
+        assert self.ds.connected(a, b) == want
+
+    @rule(x=st.integers(0, N - 1))
+    def check_find_consistent(self, x: int) -> None:
+        root = self.ds.find(x)
+        assert self.ds.find(root) == root
+        assert root in self._model_component(x)
+
+    @invariant()
+    def component_count_matches(self) -> None:
+        assert self.ds.n_components == len(self.model)
+
+    @invariant()
+    def labels_partition_matches(self) -> None:
+        labels = self.ds.component_labels()
+        got: dict[int, set[int]] = {}
+        for i, lab in enumerate(labels):
+            got.setdefault(int(lab), set()).add(i)
+        assert {frozenset(c) for c in got.values()} == {
+            frozenset(c) for c in self.model
+        }
+
+
+TestDisjointSetStateful = DisjointSetMachine.TestCase
+TestDisjointSetStateful.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)

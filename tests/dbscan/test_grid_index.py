@@ -1,0 +1,154 @@
+"""Unit tests for the Eps-cell grid index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dbscan import GridIndex
+from repro.errors import ConfigError
+from repro.points import PointSet
+
+# Coordinates are snapped to a 1e-6 grid: denormal-scale values sitting
+# exactly on cell boundaries make the float-rounded distance equal eps
+# while the true distance exceeds it, a tie no spatial index can resolve
+# consistently with rounded brute force (both answers are defensible).
+coord_value = st.floats(-50, 50, allow_nan=False, allow_infinity=False).map(
+    lambda v: round(v, 6)
+)
+coords_strategy = st.lists(
+    st.tuples(coord_value, coord_value),
+    min_size=1,
+    max_size=120,
+)
+
+
+def brute_neighbors(coords: np.ndarray, i: int, eps: float) -> np.ndarray:
+    d2 = np.sum((coords - coords[i]) ** 2, axis=1)
+    return np.flatnonzero(d2 <= eps * eps)
+
+
+def test_rejects_nonpositive_eps():
+    ps = PointSet.from_coords([[0, 0]])
+    with pytest.raises(ConfigError):
+        GridIndex(ps, 0.0)
+
+
+def test_empty_pointset():
+    gi = GridIndex(PointSet.empty(), 1.0)
+    assert gi.n_cells == 0
+    assert gi.cells() == []
+
+
+def test_neighbors_include_self():
+    ps = PointSet.from_coords([[0, 0], [10, 10]])
+    gi = GridIndex(ps, 1.0)
+    assert 0 in gi.neighbors_of(0)
+
+
+def test_neighbors_match_bruteforce_cross_cell():
+    # Points straddling cell boundaries at exactly eps apart.
+    ps = PointSet.from_coords([[0.95, 0.5], [1.05, 0.5], [1.95, 0.5], [0.0, 0.0]])
+    gi = GridIndex(ps, 1.0)
+    for i in range(len(ps)):
+        got = np.sort(gi.neighbors_of(i))
+        want = brute_neighbors(ps.coords, i, 1.0)
+        assert np.array_equal(got, want), i
+
+
+def test_cell_members_partition_points():
+    rng = np.random.default_rng(0)
+    ps = PointSet.from_coords(rng.uniform(0, 5, size=(200, 2)))
+    gi = GridIndex(ps, 0.7)
+    seen = np.concatenate([gi.cell_members(c) for c in gi.cells()])
+    assert len(seen) == 200
+    assert len(np.unique(seen)) == 200
+
+
+def test_cell_counts_sum_to_n():
+    rng = np.random.default_rng(1)
+    ps = PointSet.from_coords(rng.normal(size=(500, 2)))
+    gi = GridIndex(ps, 0.3)
+    assert sum(gi.cell_counts().values()) == 500
+
+
+def test_cell_bounds_geometry():
+    ps = PointSet.from_coords([[0.55, -0.25]])
+    gi = GridIndex(ps, 0.5)
+    cell = tuple(gi.cell_coords[0])
+    xmin, ymin, xmax, ymax = gi.cell_bounds(cell)
+    assert xmin <= 0.55 < xmax
+    assert ymin <= -0.25 < ymax
+    assert xmax - xmin == pytest.approx(0.5)
+
+
+def test_global_cell_frame_consistency():
+    """Two indexes over disjoint subsets agree on cell identity."""
+    rng = np.random.default_rng(2)
+    coords = rng.uniform(0, 4, size=(100, 2))
+    a = GridIndex(PointSet.from_coords(coords[:50]), 0.5)
+    b = GridIndex(PointSet.from_coords(coords[50:]), 0.5)
+    want = np.floor(coords / 0.5).astype(np.int64)
+    assert np.array_equal(a.cell_coords, want[:50])
+    assert np.array_equal(b.cell_coords, want[50:])
+
+
+def test_neighbors_of_coord_radius_cap():
+    ps = PointSet.from_coords([[0, 0]])
+    gi = GridIndex(ps, 1.0)
+    with pytest.raises(ConfigError):
+        gi.neighbors_of_coord(np.array([0.0, 0.0]), radius=2.0)
+
+
+def test_neighbors_of_coord_matches_bruteforce():
+    rng = np.random.default_rng(3)
+    ps = PointSet.from_coords(rng.uniform(0, 3, size=(300, 2)))
+    gi = GridIndex(ps, 0.4)
+    q = np.array([1.5, 1.5])
+    got = np.sort(gi.neighbors_of_coord(q))
+    d2 = np.sum((ps.coords - q) ** 2, axis=1)
+    want = np.flatnonzero(d2 <= 0.16)
+    assert np.array_equal(got, want)
+
+
+def test_count_neighbors_matches_per_point_queries():
+    rng = np.random.default_rng(4)
+    ps = PointSet.from_coords(rng.normal(scale=0.5, size=(400, 2)))
+    gi = GridIndex(ps, 0.25)
+    counts = gi.count_neighbors()
+    for i in (0, 57, 399):
+        assert counts[i] == len(gi.neighbors_of(i))
+
+
+def test_count_neighbors_cap():
+    ps = PointSet.from_coords(np.zeros((10, 2)))
+    gi = GridIndex(ps, 1.0)
+    assert np.all(gi.count_neighbors(cap=4) == 4)
+    assert np.all(gi.count_neighbors() == 10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(coords=coords_strategy, eps=st.floats(0.1, 5.0))
+def test_property_neighbors_equal_bruteforce(coords, eps):
+    ps = PointSet.from_coords(np.asarray(coords))
+    gi = GridIndex(ps, eps)
+    i = len(ps) // 2
+    got = np.sort(gi.neighbors_of(i))
+    want = brute_neighbors(ps.coords, i, eps)
+    assert np.array_equal(got, want)
+
+
+@settings(max_examples=25, deadline=None)
+@given(coords=coords_strategy, eps=st.floats(0.1, 5.0))
+def test_property_counts_equal_bruteforce(coords, eps):
+    coords = np.asarray(coords)
+    ps = PointSet.from_coords(coords)
+    gi = GridIndex(ps, eps)
+    counts = gi.count_neighbors()
+    d2 = (
+        (coords[:, 0][:, None] - coords[:, 0][None, :]) ** 2
+        + (coords[:, 1][:, None] - coords[:, 1][None, :]) ** 2
+    )
+    want = np.count_nonzero(d2 <= eps * eps, axis=1)
+    assert np.array_equal(counts, want)

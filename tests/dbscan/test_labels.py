@@ -1,0 +1,93 @@
+"""Direct tests for label canonicalisation / comparison helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dbscan.labels import (
+    border_assignment_valid,
+    canonicalize_labels,
+    clustering_signature,
+    core_sets_equal,
+)
+from repro.points import NOISE
+
+
+def test_canonicalize_first_appearance_order():
+    labels = np.array([7, 7, NOISE, 3, 3, 7, 9])
+    out = canonicalize_labels(labels)
+    assert out.tolist() == [0, 0, NOISE, 1, 1, 0, 2]
+
+
+def test_canonicalize_empty():
+    assert len(canonicalize_labels(np.empty(0, np.int64))) == 0
+
+
+def test_canonicalize_all_noise():
+    out = canonicalize_labels(np.full(4, NOISE))
+    assert np.all(out == NOISE)
+
+
+def test_signature_ignores_label_values():
+    a = np.array([0, 0, 1, NOISE])
+    b = np.array([5, 5, 2, NOISE])
+    assert clustering_signature(a) == clustering_signature(b)
+
+
+def test_signature_differs_on_different_partitions():
+    a = np.array([0, 0, 1])
+    b = np.array([0, 1, 1])
+    assert clustering_signature(a) != clustering_signature(b)
+
+
+def test_core_sets_equal_requires_same_core_mask():
+    labels = np.array([0, 0, 1])
+    assert not core_sets_equal(
+        labels, labels, np.array([True, True, False]), np.array([True, False, False])
+    )
+
+
+def test_core_sets_equal_ignores_border_labels():
+    core = np.array([True, True, False])
+    a = np.array([0, 0, 0])
+    b = np.array([4, 4, NOISE])  # border point labelled differently
+    assert core_sets_equal(a, b, core, core)
+
+
+def test_core_sets_detects_core_split():
+    core = np.array([True, True])
+    a = np.array([0, 0])
+    b = np.array([0, 1])
+    assert not core_sets_equal(a, b, core, core)
+
+
+def test_border_assignment_valid_checks_membership():
+    # point 2 is border; neighbors() says its only core neighbor is 0
+    labels = np.array([0, 1, 0])
+    core = np.array([True, True, False])
+    neighbors = lambda i: {0: [0, 2], 1: [1], 2: [0, 2]}[i]
+    assert border_assignment_valid(labels, core, neighbors)
+    bad = np.array([0, 1, 1])  # border claims a cluster with no core nearby
+    assert not border_assignment_valid(bad, core, neighbors)
+
+
+def test_border_without_core_neighbor_invalid():
+    labels = np.array([0, 5])
+    core = np.array([True, False])
+    neighbors = lambda i: [i]  # nobody near anybody
+    assert not border_assignment_valid(labels, core, neighbors)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(-1, 6), min_size=1, max_size=50))
+def test_property_canonicalize_idempotent(raw):
+    labels = np.asarray(raw)
+    once = canonicalize_labels(labels)
+    twice = canonicalize_labels(once)
+    assert np.array_equal(once, twice)
+    # same partition before and after
+    assert clustering_signature(labels) == clustering_signature(once)
+    # noise positions preserved
+    assert np.array_equal(labels == NOISE, once == NOISE)

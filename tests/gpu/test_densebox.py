@@ -1,0 +1,133 @@
+"""Unit + property tests for the dense-box optimization (§3.2.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import gaussian_blobs, generate_twitter, uniform_noise
+from repro.errors import ConfigError
+from repro.gpu.densebox import (
+    DENSEBOX_EDGE_FACTOR,
+    build_densebox_tree,
+    densebox_edge,
+    find_dense_boxes,
+)
+from repro.points import PointSet
+
+
+def test_edge_factor_is_paper_formula():
+    # 2*Eps / (2*sqrt(2)) == eps / sqrt(2)
+    assert densebox_edge(1.0) == pytest.approx(1.0 / np.sqrt(2))
+    assert DENSEBOX_EDGE_FACTOR == pytest.approx(2.0 / (2.0 * 2.0**0.5))
+
+
+def test_rejects_bad_params():
+    ps = PointSet.from_coords([[0, 0]])
+    with pytest.raises(ConfigError):
+        build_densebox_tree(ps, 0.0)
+    with pytest.raises(ConfigError):
+        find_dense_boxes(ps, 1.0, 0)
+
+
+def test_dense_blob_is_eliminated():
+    """A tight blob with >> MinPts points must land in dense boxes."""
+    ps = gaussian_blobs(2000, centers=np.array([[0.0, 0.0]]), spread=0.05, seed=0)
+    res = find_dense_boxes(ps, eps=1.0, minpts=10)
+    assert res.n_boxes >= 1
+    assert res.n_eliminated > 1000
+
+
+def test_sparse_data_no_boxes():
+    ps = uniform_noise(500, box=(0, 0, 100, 100), seed=1)
+    res = find_dense_boxes(ps, eps=0.5, minpts=10)
+    assert res.n_boxes == 0
+    assert res.n_eliminated == 0
+
+
+def test_box_members_are_mutually_within_eps():
+    """The dense-box guarantee: every pair inside one box is <= eps apart."""
+    ps = generate_twitter(20000, seed=2)
+    eps = 0.1
+    res = find_dense_boxes(ps, eps=eps, minpts=4)
+    assert res.n_boxes > 0
+    for box in range(min(res.n_boxes, 20)):
+        members = res.members(box)
+        coords = ps.coords[members]
+        d2 = np.sum((coords[:, None, :] - coords[None, :, :]) ** 2, axis=2)
+        assert np.all(d2 <= eps * eps + 1e-12)
+
+
+def test_box_members_have_at_least_minpts():
+    ps = generate_twitter(20000, seed=3)
+    res = find_dense_boxes(ps, eps=0.1, minpts=7)
+    for box in range(res.n_boxes):
+        assert len(res.members(box)) >= 7
+
+
+def test_box_members_are_core_points():
+    """Dense-box membership implies core status under exact DBSCAN."""
+    from repro.dbscan import dbscan_reference
+
+    ps = generate_twitter(60000, seed=4)
+    eps, minpts = 0.1, 5
+    res = find_dense_boxes(ps, eps, minpts)
+    ref = dbscan_reference(ps, eps, minpts)
+    in_box = res.box_id >= 0
+    assert in_box.any()
+    assert np.all(ref.core_mask[in_box])
+
+
+def test_elimination_decreases_with_minpts():
+    """The paper: dense box "is not as effective when MinPts is higher"."""
+    ps = generate_twitter(30000, seed=5)
+    fracs = [
+        find_dense_boxes(ps, 0.1, m).eliminated_fraction(len(ps))
+        for m in (4, 40, 400)
+    ]
+    assert fracs[0] > fracs[1] >= fracs[2]
+
+
+def test_eliminated_fraction_zero_points():
+    res = find_dense_boxes(PointSet.empty(), 1.0, 5)
+    assert res.n_boxes == 0
+    assert res.eliminated_fraction(0) == 0.0
+
+
+def test_boxes_are_disjoint():
+    ps = generate_twitter(10000, seed=6)
+    res = find_dense_boxes(ps, 0.1, 4)
+    # box_id assigns each point at most one box by construction; verify
+    # ids are contiguous 0..n_boxes-1.
+    used = np.unique(res.box_id[res.box_id >= 0])
+    assert len(used) == res.n_boxes
+    if res.n_boxes:
+        assert used.min() == 0 and used.max() == res.n_boxes - 1
+
+
+def test_subdivision_count_reported():
+    ps = gaussian_blobs(1000, centers=2, spread=0.2, seed=7)
+    res = find_dense_boxes(ps, 0.5, 5)
+    assert res.n_subdivisions >= 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(50, 400),
+    eps=st.floats(0.2, 2.0),
+    minpts=st.integers(2, 12),
+    seed=st.integers(0, 1000),
+)
+def test_property_box_invariants(n, eps, minpts, seed):
+    """For random blobby data: members mutually within eps, count >= minpts."""
+    rng = np.random.default_rng(seed)
+    ps = PointSet.from_coords(rng.normal(scale=eps, size=(n, 2)))
+    res = find_dense_boxes(ps, eps, minpts)
+    eps2 = eps * eps + 1e-12
+    for box in range(res.n_boxes):
+        members = res.members(box)
+        assert len(members) >= minpts
+        coords = ps.coords[members]
+        d2 = np.sum((coords[:, None, :] - coords[None, :, :]) ** 2, axis=2)
+        assert np.all(d2 <= eps2)

@@ -1,0 +1,121 @@
+"""Unit tests for the simulated GPGPU device."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeviceError, DeviceMemoryError
+from repro.gpu import DeviceConfig, SimulatedDevice
+
+
+def test_default_config_is_k20():
+    dev = SimulatedDevice()
+    assert dev.config.memory_bytes == 6 * 1024**3
+    assert dev.config.name == "tesla-k20"
+
+
+def test_config_validation():
+    with pytest.raises(DeviceError):
+        DeviceConfig(memory_bytes=0)
+    with pytest.raises(DeviceError):
+        DeviceConfig(n_blocks=0)
+
+
+def test_alloc_free_cycle():
+    dev = SimulatedDevice()
+    dev.alloc("a", 1024)
+    assert dev.allocated_bytes == 1024
+    dev.free("a")
+    assert dev.allocated_bytes == 0
+
+
+def test_alloc_over_capacity_raises():
+    dev = SimulatedDevice(DeviceConfig(memory_bytes=1000))
+    dev.alloc("a", 600)
+    with pytest.raises(DeviceMemoryError):
+        dev.alloc("b", 600)
+    # The failed alloc must not leak.
+    assert dev.allocated_bytes == 600
+
+
+def test_double_alloc_same_name_raises():
+    dev = SimulatedDevice()
+    dev.alloc("a", 10)
+    with pytest.raises(DeviceError):
+        dev.alloc("a", 10)
+
+
+def test_free_unknown_raises():
+    with pytest.raises(DeviceError):
+        SimulatedDevice().free("ghost")
+
+
+def test_negative_alloc_raises():
+    with pytest.raises(DeviceError):
+        SimulatedDevice().alloc("a", -1)
+
+
+def test_free_all():
+    dev = SimulatedDevice()
+    dev.alloc("a", 10)
+    dev.alloc("b", 20)
+    dev.free_all()
+    assert dev.allocated_bytes == 0
+
+
+def test_peak_allocated_tracks_high_water():
+    dev = SimulatedDevice()
+    dev.alloc("a", 100)
+    dev.alloc("b", 50)
+    dev.free("a")
+    dev.alloc("c", 10)
+    assert dev.stats.peak_allocated == 150
+
+
+def test_transfer_accounting():
+    dev = SimulatedDevice()
+    dev.h2d(1000)
+    dev.d2h(500)
+    dev.h2d(100, sync=False)
+    s = dev.stats
+    assert s.h2d_ops == 2 and s.h2d_bytes == 1100
+    assert s.d2h_ops == 1 and s.d2h_bytes == 500
+    assert s.sync_points == 2  # async copy creates no round trip
+    assert s.round_trips == 2
+
+
+def test_negative_transfer_raises():
+    with pytest.raises(DeviceError):
+        SimulatedDevice().h2d(-1)
+    with pytest.raises(DeviceError):
+        SimulatedDevice().d2h(-5)
+
+
+def test_launch_accounting():
+    dev = SimulatedDevice()
+    dev.launch(blocks=4, distance_ops=100)
+    dev.launch(blocks=2)
+    assert dev.stats.kernel_launches == 2
+    assert dev.stats.blocks_executed == 6
+    assert dev.stats.distance_ops == 100
+
+
+def test_launch_validation():
+    dev = SimulatedDevice()
+    with pytest.raises(DeviceError):
+        dev.launch(blocks=0)
+    with pytest.raises(DeviceError):
+        dev.launch(blocks=1, distance_ops=-1)
+
+
+def test_reset_stats_returns_old():
+    dev = SimulatedDevice()
+    dev.h2d(10)
+    old = dev.reset_stats()
+    assert old.h2d_ops == 1
+    assert dev.stats.h2d_ops == 0
+
+
+def test_stats_as_dict_keys():
+    d = SimulatedDevice().stats.as_dict()
+    assert {"h2d_bytes", "d2h_bytes", "kernel_launches", "distance_ops"} <= set(d)

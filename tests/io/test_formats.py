@@ -1,0 +1,134 @@
+"""Unit tests for binary/text point-file formats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.io.formats import (
+    MAGIC,
+    POINT_RECORD_BYTES,
+    read_points_binary,
+    read_points_text,
+    write_points_binary,
+    write_points_text,
+)
+from repro.points import PointSet
+
+
+def _sample(n=10, seed=0) -> PointSet:
+    rng = np.random.default_rng(seed)
+    ps = PointSet.from_coords(rng.normal(size=(n, 2)), id_offset=50)
+    ps.weights[:] = rng.uniform(0.5, 2.0, n)
+    return ps
+
+
+def test_binary_roundtrip(tmp_path):
+    ps = _sample(25)
+    path = tmp_path / "pts.bin"
+    nbytes = write_points_binary(path, ps)
+    assert nbytes == len(MAGIC) + 8 + 25 * POINT_RECORD_BYTES
+    back = read_points_binary(path)
+    assert np.array_equal(back.ids, ps.ids)
+    assert np.allclose(back.coords, ps.coords)
+    assert np.allclose(back.weights, ps.weights)
+
+
+def test_binary_slice_read(tmp_path):
+    ps = _sample(30)
+    path = tmp_path / "pts.bin"
+    write_points_binary(path, ps)
+    mid = read_points_binary(path, offset=10, count=5)
+    assert np.array_equal(mid.ids, ps.ids[10:15])
+    assert np.allclose(mid.coords, ps.coords[10:15])
+
+
+def test_binary_slice_to_end(tmp_path):
+    ps = _sample(8)
+    path = tmp_path / "pts.bin"
+    write_points_binary(path, ps)
+    tail = read_points_binary(path, offset=5)
+    assert np.array_equal(tail.ids, ps.ids[5:])
+
+
+def test_binary_bad_magic(tmp_path):
+    path = tmp_path / "bad.bin"
+    path.write_bytes(b"NOTMAGIC" + b"\x00" * 64)
+    with pytest.raises(FormatError, match="magic"):
+        read_points_binary(path)
+
+
+def test_binary_truncated_file(tmp_path):
+    path = tmp_path / "short.bin"
+    path.write_bytes(MAGIC[:4])
+    with pytest.raises(FormatError, match="truncated"):
+        read_points_binary(path)
+
+
+def test_binary_header_body_mismatch(tmp_path):
+    ps = _sample(4)
+    path = tmp_path / "pts.bin"
+    write_points_binary(path, ps)
+    # Chop one record off the body.
+    data = path.read_bytes()
+    path.write_bytes(data[:-POINT_RECORD_BYTES])
+    with pytest.raises(FormatError, match="header says"):
+        read_points_binary(path)
+
+
+def test_binary_out_of_range_slice(tmp_path):
+    ps = _sample(4)
+    path = tmp_path / "pts.bin"
+    write_points_binary(path, ps)
+    with pytest.raises(FormatError, match="out of range"):
+        read_points_binary(path, offset=3, count=5)
+
+
+def test_binary_empty_pointset(tmp_path):
+    path = tmp_path / "empty.bin"
+    write_points_binary(path, PointSet.empty())
+    back = read_points_binary(path)
+    assert len(back) == 0
+
+
+def test_text_roundtrip(tmp_path):
+    ps = _sample(12)
+    path = tmp_path / "pts.txt"
+    write_points_text(path, ps)
+    back = read_points_text(path)
+    assert np.array_equal(back.ids, ps.ids)
+    assert np.allclose(back.coords, ps.coords)
+    assert np.allclose(back.weights, ps.weights)
+
+
+def test_text_weight_column_optional(tmp_path):
+    path = tmp_path / "pts.txt"
+    path.write_text("1 0.5 0.25\n2 1.5 2.5 3.0\n# comment\n\n")
+    ps = read_points_text(path)
+    assert list(ps.ids) == [1, 2]
+    assert ps.weights[0] == 1.0
+    assert ps.weights[1] == 3.0
+
+
+def test_text_bad_column_count(tmp_path):
+    path = tmp_path / "pts.txt"
+    path.write_text("1 2\n")
+    with pytest.raises(FormatError, match="columns"):
+        read_points_text(path)
+
+
+def test_text_bad_number(tmp_path):
+    path = tmp_path / "pts.txt"
+    path.write_text("1 abc 2.0\n")
+    with pytest.raises(FormatError):
+        read_points_text(path)
+
+
+def test_binary_preserves_float_precision(tmp_path):
+    coords = np.array([[1e-15, 1e15], [np.pi, -np.e]])
+    ps = PointSet.from_coords(coords)
+    path = tmp_path / "prec.bin"
+    write_points_binary(path, ps)
+    back = read_points_binary(path)
+    assert np.array_equal(back.coords, coords)  # bit-exact

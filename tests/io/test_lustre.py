@@ -1,0 +1,115 @@
+"""Unit tests for the Lustre performance model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.io.lustre import IOOp, IOTrace, LustreConfig, LustreModel
+
+
+def test_config_defaults_valid():
+    cfg = LustreConfig()
+    assert cfg.aggregate_bandwidth == cfg.n_osts * cfg.ost_bandwidth
+
+
+def test_config_rejects_bad_osts():
+    with pytest.raises(SimulationError):
+        LustreConfig(n_osts=0)
+
+
+def test_config_rejects_bad_bandwidth():
+    with pytest.raises(SimulationError):
+        LustreConfig(ost_bandwidth=-1)
+
+
+def test_client_efficiency_ramps_then_degrades():
+    cfg = LustreConfig()
+    few = cfg.client_efficiency(10)
+    knee = cfg.client_efficiency(cfg.client_knee)
+    beyond = cfg.client_efficiency(cfg.client_knee * 8)
+    assert few < knee  # ramp while clients are scarce
+    assert beyond < knee  # Crosby CUG'09 degradation past the knee
+
+
+def test_client_efficiency_rejects_zero():
+    with pytest.raises(SimulationError):
+        LustreConfig().client_efficiency(0)
+
+
+def test_ioop_validation():
+    with pytest.raises(SimulationError):
+        IOOp(client=0, kind="append", nbytes=10)
+    with pytest.raises(SimulationError):
+        IOOp(client=0, kind="read", nbytes=-1)
+
+
+def test_trace_accounting():
+    t = IOTrace()
+    t.record(0, "read", 100)
+    t.record(1, "write", 200, sequential=False)
+    assert t.n_ops == 2
+    assert t.total_bytes() == 300
+    assert t.total_bytes("write") == 200
+    assert t.clients() == [0, 1]
+
+
+def test_trace_merged():
+    a, b = IOTrace(), IOTrace()
+    a.record(0, "read", 1)
+    b.record(1, "write", 2)
+    assert a.merged(b).n_ops == 2
+    assert a.n_ops == 1  # merged() does not mutate
+
+
+def test_small_random_write_slower_than_streaming():
+    model = LustreModel()
+    small = IOOp(client=0, kind="write", nbytes=64 * 1024, sequential=False)
+    big = IOOp(client=0, kind="write", nbytes=64 * 1024, sequential=True)
+    assert model.op_time(small, 10) > model.op_time(big, 10)
+
+
+def test_small_write_penalty_exceeds_read_penalty():
+    model = LustreModel()
+    w = IOOp(client=0, kind="write", nbytes=256 * 1024, sequential=False)
+    r = IOOp(client=0, kind="read", nbytes=256 * 1024, sequential=False)
+    assert model.op_time(w, 10) > model.op_time(r, 10)
+
+
+def test_phase_time_is_slowest_client():
+    model = LustreModel()
+    t = IOTrace()
+    t.record(0, "write", 10 * 1024 * 1024)
+    for _ in range(10):
+        t.record(1, "write", 10 * 1024 * 1024)
+    per_client = model.client_times(t)
+    assert model.phase_time(t) == pytest.approx(per_client[1])
+    assert per_client[1] > per_client[0]
+
+
+def test_phase_time_empty_trace_is_zero():
+    assert LustreModel().phase_time(IOTrace()) == 0.0
+
+
+def test_breakdown_sums_by_kind():
+    model = LustreModel()
+    t = IOTrace()
+    t.record(0, "read", 1 << 30)
+    t.record(0, "write", 1 << 28, sequential=False)
+    br = model.breakdown(t)
+    assert br["read"] > 0 and br["write"] > 0
+    # A client doing both takes at least the max of the kinds.
+    assert model.phase_time(t) >= max(br.values())
+
+
+def test_latency_dominates_many_tiny_writes():
+    """The paper's partition-write pathology: many small random writes are
+    latency-bound, so halving bytes barely helps but halving op count does."""
+    model = LustreModel()
+    many = IOTrace()
+    few = IOTrace()
+    for _ in range(1000):
+        many.record(0, "write", 4096, sequential=False)
+    for _ in range(10):
+        few.record(0, "write", 409600, sequential=False)
+    assert model.phase_time(many) > model.phase_time(few)

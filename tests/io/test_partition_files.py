@@ -1,0 +1,83 @@
+"""Unit tests for the shared partition file + metadata table."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.io.partition_files import PartitionFileSet, PartitionMeta
+from repro.points import PointSet
+
+
+def _pts(n, offset=0, seed=0):
+    rng = np.random.default_rng(seed + n + offset)
+    return PointSet.from_coords(rng.normal(size=(n, 2)), id_offset=offset)
+
+
+def test_write_and_read_roundtrip(tmp_path):
+    parts = [
+        (_pts(5, 0), _pts(2, 100)),
+        (_pts(3, 10), _pts(0, 200)),
+        (_pts(7, 20), _pts(4, 300)),
+    ]
+    fs = PartitionFileSet(tmp_path / "parts.bin")
+    metas = fs.write(parts)
+    assert [m.offset for m in metas] == [0, 7, 10]
+    for pid, (want_part, want_shadow) in enumerate(parts):
+        part, shadow = fs.read_partition(pid)
+        assert np.array_equal(part.ids, want_part.ids)
+        assert np.array_equal(shadow.ids, want_shadow.ids)
+        assert np.allclose(part.coords, want_part.coords)
+
+
+def test_meta_persisted_and_reloaded(tmp_path):
+    parts = [(_pts(4), _pts(1, 50))]
+    fs = PartitionFileSet(tmp_path / "parts.bin")
+    fs.write(parts)
+    fresh = PartitionFileSet(tmp_path / "parts.bin")
+    metas = fresh.load_meta()
+    assert len(metas) == 1
+    assert metas[0].n_partition_points == 4
+    assert metas[0].n_shadow_points == 1
+    assert metas[0].n_points == 5
+
+
+def test_read_partition_out_of_range(tmp_path):
+    fs = PartitionFileSet(tmp_path / "parts.bin")
+    fs.write([(_pts(2), _pts(0, 10))])
+    with pytest.raises(FormatError, match="out of range"):
+        fs.read_partition(5)
+
+
+def test_missing_meta_raises(tmp_path):
+    fs = PartitionFileSet(tmp_path / "nothing.bin")
+    with pytest.raises(FormatError, match="metadata"):
+        fs.load_meta()
+
+
+def test_parallel_writer_path(tmp_path):
+    """create() + write_slice() at offsets must equal the single-writer path."""
+    parts = [(_pts(5, 0), _pts(2, 100)), (_pts(3, 10), _pts(1, 200))]
+    fs = PartitionFileSet(tmp_path / "parts.bin")
+    metas = fs.layout([(len(p), len(s)) for p, s in parts])
+    fs.create(sum(m.n_points for m in metas))
+    # Write out of order, as parallel partitioner leaves would.
+    for meta, (p, s) in sorted(zip(metas, parts), key=lambda x: -x[0].partition_id):
+        fs.write_slice(meta.offset, p.concat(s))
+    fs.save_meta()
+    part, shadow = fs.read_partition(0)
+    assert np.array_equal(part.ids, parts[0][0].ids)
+    part, shadow = fs.read_partition(1)
+    assert np.array_equal(shadow.ids, parts[1][1].ids)
+
+
+def test_meta_n_points_property():
+    m = PartitionMeta(partition_id=0, offset=10, n_partition_points=3, n_shadow_points=4)
+    assert m.n_points == 7
+
+
+def test_len_counts_partitions(tmp_path):
+    fs = PartitionFileSet(tmp_path / "parts.bin")
+    fs.write([(_pts(1), _pts(0, 10)), (_pts(1, 20), _pts(0, 30))])
+    assert len(fs) == 2

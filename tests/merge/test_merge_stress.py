@@ -1,0 +1,87 @@
+"""Merge stress tests: clusters engineered to span many partitions.
+
+These shapes force the worst case for the distributed merge: a single
+cluster touching every leaf, mergeable only through long transitive
+chains of pairwise overlap evidence accumulated across tree levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import mrscan
+from repro.data import ring_cluster
+from repro.dbscan import dbscan_reference
+from repro.dbscan.labels import clustering_signature
+from repro.points import NOISE, PointSet
+
+
+def _chain_of_rings(n_rings=8, seed=0):
+    """Rings overlapping pairwise into one long connected snake."""
+    rings = []
+    for k in range(n_rings):
+        rings.append(
+            ring_cluster(
+                250,
+                center=(3.0 * k, 0.0),
+                radius=1.8,  # adjacent centers 3.0 apart -> rings overlap
+                thickness=0.06,
+                seed=seed + k,
+            ).coords
+        )
+    return PointSet.from_coords(np.concatenate(rings))
+
+
+@pytest.mark.parametrize("n_leaves,fanout", [(4, 256), (12, 256), (12, 3), (24, 2)])
+def test_ring_snake_single_cluster(n_leaves, fanout):
+    points = _chain_of_rings()
+    eps, minpts = 0.3, 5
+    ref = dbscan_reference(points, eps, minpts)
+    assert ref.n_clusters == 1  # the snake is connected
+    res = mrscan(points, eps, minpts, n_leaves=n_leaves, fanout=fanout)
+    assert res.n_clusters == 1
+    assert np.array_equal(res.labels == NOISE, ref.labels == NOISE)
+
+
+def test_grid_of_boundary_straddling_blobs():
+    """Blobs centred exactly on Eps-cell corners: every blob's points
+    split across up to four partitions' cells."""
+    rng = np.random.default_rng(7)
+    eps = 0.5
+    centers = [(i * eps * 4, j * eps * 4) for i in range(4) for j in range(3)]
+    coords = np.concatenate(
+        [rng.normal(loc=c, scale=0.15, size=(120, 2)) for c in centers]
+    )
+    points = PointSet.from_coords(coords)
+    ref = dbscan_reference(points, eps, 5)
+    res = mrscan(points, eps, 5, n_leaves=10, fanout=3)
+    assert res.n_clusters == ref.n_clusters == len(centers)
+    assert clustering_signature(res.labels) == clustering_signature(ref.labels)
+
+
+def test_dense_line_through_all_partitions():
+    """A dense 1-pixel-wide line crossing the whole domain: one cluster
+    that owns cells in every partition strip."""
+    xs = np.linspace(0.0, 30.0, 4000)
+    rng = np.random.default_rng(8)
+    coords = np.column_stack([xs, rng.normal(scale=0.02, size=len(xs))])
+    points = PointSet.from_coords(coords)
+    res = mrscan(points, 0.5, 4, n_leaves=16)
+    assert res.n_clusters == 1
+    assert res.n_noise == 0
+
+
+def test_two_interleaved_snakes_stay_separate():
+    """Two parallel snakes 2x eps apart must not merge despite sharing
+    shadow cells everywhere."""
+    xs = np.linspace(0.0, 20.0, 2500)
+    rng = np.random.default_rng(9)
+    top = np.column_stack([xs, 1.1 + rng.normal(scale=0.02, size=len(xs))])
+    bottom = np.column_stack([xs, rng.normal(scale=0.02, size=len(xs))])
+    points = PointSet.from_coords(np.concatenate([top, bottom]))
+    eps = 0.5  # gap of ~1.1 > eps
+    ref = dbscan_reference(points, eps, 4)
+    res = mrscan(points, eps, 4, n_leaves=12)
+    assert res.n_clusters == ref.n_clusters == 2
+    assert clustering_signature(res.labels) == clustering_signature(ref.labels)

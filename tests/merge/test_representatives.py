@@ -1,0 +1,113 @@
+"""Tests for representative-point selection, including the Fig 5 lemma."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MergeError
+from repro.merge.representatives import (
+    N_REPRESENTATIVES,
+    representative_targets,
+    select_representatives,
+)
+
+
+def test_targets_geometry():
+    t = representative_targets((0.0, 0.0, 1.0, 1.0))
+    assert t.shape == (8, 2)
+    corners = {(0, 0), (1, 0), (0, 1), (1, 1)}
+    mids = {(0.5, 0), (0.5, 1), (0, 0.5), (1, 0.5)}
+    got = {tuple(row) for row in t}
+    assert got == corners | mids
+
+
+def test_selection_bounds():
+    rng = np.random.default_rng(0)
+    coords = rng.uniform(0, 1, size=(500, 2))
+    idx = select_representatives(coords, (0, 0, 1, 1))
+    assert 1 <= len(idx) <= N_REPRESENTATIVES
+    assert np.array_equal(idx, np.unique(idx))
+
+
+def test_selection_empty():
+    assert len(select_representatives(np.empty((0, 2)), (0, 0, 1, 1))) == 0
+
+
+def test_selection_single_point():
+    idx = select_representatives(np.array([[0.5, 0.5]]), (0, 0, 1, 1))
+    assert np.array_equal(idx, [0])
+
+
+def test_selection_rejects_bad_shape():
+    with pytest.raises(MergeError):
+        select_representatives(np.zeros((3, 3)), (0, 0, 1, 1))
+
+
+def test_selection_prefers_extremes():
+    """Points hugging the corners beat interior points."""
+    coords = np.array(
+        [[0.01, 0.01], [0.99, 0.01], [0.01, 0.99], [0.99, 0.99], [0.5, 0.5]]
+    )
+    idx = select_representatives(coords, (0, 0, 1, 1))
+    assert {0, 1, 2, 3} <= set(idx.tolist())
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    data=st.data(),
+    eps=st.floats(0.1, 10.0),
+    n_a=st.integers(1, 40),
+    n_b=st.integers(1, 40),
+)
+def test_property_fig5_lemma(data, eps, n_a, n_b):
+    """Fig 5: if two clusters share a core point in a grid cell, then some
+    representative of A is within Eps of some representative of B.
+
+    We model cluster core-point sets A and B inside one Eps cell with a
+    shared point, pick representatives for both, and check the merge rule's
+    detection distance.
+    """
+    cell = (0.0, 0.0, eps, eps)
+    draw_pt = st.tuples(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    a_pts = np.array(data.draw(st.lists(draw_pt, min_size=n_a, max_size=n_a))) * eps
+    b_pts = np.array(data.draw(st.lists(draw_pt, min_size=n_b, max_size=n_b))) * eps
+    shared = np.array(data.draw(draw_pt)) * eps
+    a_all = np.vstack([a_pts, shared])
+    b_all = np.vstack([b_pts, shared])
+    rep_a = a_all[select_representatives(a_all, cell)]
+    rep_b = b_all[select_representatives(b_all, cell)]
+    d2 = (
+        (rep_a[:, 0][:, None] - rep_b[:, 0][None, :]) ** 2
+        + (rep_a[:, 1][:, None] - rep_b[:, 1][None, :]) ** 2
+    )
+    assert np.min(d2) <= eps * eps + 1e-9, "Fig 5 lemma violated"
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), eps=st.floats(0.1, 10.0))
+def test_property_every_point_within_halfeps_of_anchor(data, eps):
+    """The covering-radius half of the lemma: any point of an Eps cell is
+    within eps/2 of one of the eight anchors."""
+    pt = np.array(data.draw(st.tuples(st.floats(0.0, 1.0), st.floats(0.0, 1.0)))) * eps
+    targets = representative_targets((0.0, 0.0, eps, eps))
+    d = np.min(np.hypot(targets[:, 0] - pt[0], targets[:, 1] - pt[1]))
+    assert d <= eps / 2 + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_property_representative_close_to_anchor_when_point_is(data):
+    """If some cluster point is within eps/2 of an anchor, the chosen
+    representative for that anchor is at most as far."""
+    eps = 1.0
+    draw_pt = st.tuples(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    pts = np.array(data.draw(st.lists(draw_pt, min_size=1, max_size=30)))
+    targets = representative_targets((0, 0, eps, eps))
+    idx = select_representatives(pts, (0, 0, eps, eps))
+    reps = pts[idx]
+    for t in targets:
+        d_all = np.min(np.hypot(pts[:, 0] - t[0], pts[:, 1] - t[1]))
+        d_rep = np.min(np.hypot(reps[:, 0] - t[0], reps[:, 1] - t[1]))
+        assert d_rep <= d_all + 1e-12

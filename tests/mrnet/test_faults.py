@@ -1,0 +1,120 @@
+"""Failure-injection tests for the MRNet substrate.
+
+MRNet tools must cope with process failures; we simulate crashes via the
+Network's fault injector and verify (a) clean error propagation with no
+partial state leaking, and (b) recovery when retries model MRNet
+restarting the process.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransportError
+from repro.mrnet import Network, SumFilter, Topology
+
+
+class CrashOnce:
+    """Fail a specific node's first attempt in a given phase."""
+
+    def __init__(self, node: int, phase: str) -> None:
+        self.node = node
+        self.phase = phase
+        self.fired = False
+
+    def __call__(self, node: int, phase: str) -> bool:
+        if node == self.node and phase == self.phase and not self.fired:
+            self.fired = True
+            return True
+        return False
+
+
+class AlwaysCrash:
+    def __init__(self, node: int) -> None:
+        self.node = node
+
+    def __call__(self, node: int, phase: str) -> bool:
+        return node == self.node
+
+
+def test_leaf_crash_fails_map():
+    topo = Topology.flat(4)
+    net = Network(topo, fault_injector=AlwaysCrash(topo.leaves()[2]))
+    with pytest.raises(TransportError, match="failed during map"):
+        net.map_leaves(lambda x: x, [1, 2, 3, 4])
+
+
+def test_internal_crash_fails_reduce():
+    topo = Topology.from_fanouts([2, 2])
+    internal = topo.internal_nodes()[0]
+    net = Network(topo, fault_injector=AlwaysCrash(internal))
+    with pytest.raises(TransportError, match="failed during reduce"):
+        net.reduce([1, 2, 3, 4], SumFilter())
+
+
+def test_root_crash_fails_multicast():
+    net = Network(Topology.flat(3), fault_injector=AlwaysCrash(0))
+    with pytest.raises(TransportError, match="failed during multicast"):
+        net.multicast("x")
+
+
+def test_retry_recovers_single_crash():
+    topo = Topology.flat(4)
+    injector = CrashOnce(topo.leaves()[0], "map")
+    net = Network(topo, fault_injector=injector, retries=1)
+    results, _ = net.map_leaves(lambda x: x * 2, [1, 2, 3, 4])
+    assert results == [2, 4, 6, 8]
+    assert net.fault_log == [(topo.leaves()[0], "map")]
+
+
+def test_retry_budget_exhausted():
+    topo = Topology.flat(2)
+    net = Network(topo, fault_injector=AlwaysCrash(topo.leaves()[0]), retries=2)
+    with pytest.raises(TransportError, match="3 attempt"):
+        net.map_leaves(lambda x: x, [1, 2])
+
+
+def test_negative_retries_rejected():
+    from repro.errors import TopologyError
+
+    with pytest.raises(TopologyError):
+        Network(Topology.flat(2), retries=-1)
+
+
+def test_no_injector_no_overhead():
+    net = Network(Topology.flat(3))
+    total, _ = net.reduce([1, 2, 3], SumFilter())
+    assert total == 6
+    assert net.fault_log == []
+
+
+def test_reduce_retry_recovers_and_result_correct():
+    topo = Topology.from_fanouts([2, 3])
+    internal = topo.internal_nodes()[1]
+    net = Network(topo, fault_injector=CrashOnce(internal, "reduce"), retries=1)
+    total, _ = net.reduce([1] * 6, SumFilter())
+    assert total == 6
+    assert (internal, "reduce") in net.fault_log
+
+
+def test_pipeline_surfaces_leaf_failure(blobs_with_noise):
+    """A crashed clustering leaf must abort the whole run cleanly."""
+    from repro.core import MrScanConfig
+    from repro.core.pipeline import run_pipeline
+    from repro.errors import MrScanError
+
+    # Inject through a wrapper network is not exposed by run_pipeline, so
+    # simulate at the transport layer: a transport that raises.
+    class BrokenTransport:
+        def run_batch(self, fn, tasks):
+            raise TransportError("leaf process died")
+
+        def close(self):
+            pass
+
+    with pytest.raises(MrScanError):
+        run_pipeline(
+            blobs_with_noise,
+            MrScanConfig(eps=0.25, minpts=8, n_leaves=2),
+            transport=BrokenTransport(),
+        )

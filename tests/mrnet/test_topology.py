@@ -1,0 +1,131 @@
+"""Unit tests for MRNet tree topologies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TopologyError
+from repro.mrnet import Topology
+
+
+def test_flat_shape():
+    t = Topology.flat(8)
+    assert t.n_nodes == 9
+    assert t.n_leaves == 8
+    assert t.n_internal == 0
+    assert t.depth() == 2
+    assert t.leaves() == list(range(1, 9))
+
+
+def test_flat_rejects_zero_leaves():
+    with pytest.raises(TopologyError):
+        Topology.flat(0)
+
+
+def test_paper_style_small_is_flat():
+    t = Topology.paper_style(128)
+    assert t.n_internal == 0
+    assert t.n_leaves == 128
+    assert t.depth() == 2
+
+
+@pytest.mark.parametrize(
+    "leaves,internals",
+    [(512, 2), (2048, 8), (4096, 16), (8192, 32)],
+)
+def test_paper_style_matches_table1(leaves, internals):
+    t = Topology.paper_style(leaves)
+    assert t.n_leaves == leaves
+    assert t.n_internal == internals
+    assert t.depth() == 3
+    assert t.max_fanout() <= 256
+
+
+def test_paper_style_grows_deeper_beyond_two_internal_levels():
+    # Beyond fanout^2 leaves, an extra internal level appears (the paper
+    # never needed more than 3 levels; the library generalises).
+    t = Topology.paper_style(256 * 256 + 1)
+    assert t.n_leaves == 256 * 256 + 1
+    assert t.depth() == 4
+
+
+def test_paper_style_small_fanout_deep_tree():
+    t = Topology.paper_style(5, fanout=2)
+    assert t.n_leaves == 5
+    assert t.max_fanout() <= 2 + 1  # round-robin may overfill by one
+    lev = t.level_of()
+    for node in range(1, t.n_nodes):
+        assert lev[node] == lev[t.parent[node]] + 1
+
+
+def test_from_fanouts():
+    t = Topology.from_fanouts([2, 3])
+    assert t.n_nodes == 1 + 2 + 6
+    assert t.n_leaves == 6
+    assert t.depth() == 3
+
+
+def test_from_fanouts_rejects_bad():
+    with pytest.raises(TopologyError):
+        Topology.from_fanouts([])
+    with pytest.raises(TopologyError):
+        Topology.from_fanouts([0])
+
+
+def test_custom_parent_array():
+    t = Topology(parent=[-1, 0, 0, 1, 1])
+    assert t.children[0] == [1, 2]
+    assert t.children[1] == [3, 4]
+    assert t.leaves() == [2, 3, 4]
+    assert t.internal_nodes() == [1]
+
+
+def test_rejects_two_roots():
+    with pytest.raises(TopologyError):
+        Topology(parent=[-1, -1])
+
+
+def test_rejects_nonroot_zero():
+    with pytest.raises(TopologyError):
+        Topology(parent=[0, -1])
+
+
+def test_rejects_cycle():
+    with pytest.raises(TopologyError):
+        Topology(parent=[-1, 2, 1])
+
+
+def test_rejects_out_of_range_parent():
+    with pytest.raises(TopologyError):
+        Topology(parent=[-1, 7])
+
+
+def test_levels_partition_nodes():
+    t = Topology.paper_style(512)
+    levels = t.levels()
+    assert [len(l) for l in levels] == [1, 2, 512]
+    assert sorted(n for level in levels for n in level) == list(range(t.n_nodes))
+
+
+def test_level_of():
+    t = Topology.from_fanouts([2, 2])
+    lev = t.level_of()
+    assert lev[0] == 0
+    assert lev[t.leaves()[0]] == 2
+
+
+def test_describe_mentions_counts():
+    d = Topology.paper_style(512).describe()
+    assert "512 leaves" in d and "2 internal" in d
+
+
+@given(n=st.integers(1, 2000))
+def test_property_paper_style_leaf_count(n):
+    t = Topology.paper_style(n)
+    assert t.n_leaves == n
+    assert t.depth() <= 3
+    # every non-root node has its parent at the previous level
+    lev = t.level_of()
+    for node in range(1, t.n_nodes):
+        assert lev[node] == lev[t.parent[node]] + 1

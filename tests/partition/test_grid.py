@@ -1,0 +1,92 @@
+"""Unit tests for the Eps-grid histogram."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.partition.grid import GRID_NEIGHBOR_OFFSETS, GridHistogram, cell_of_coords
+from repro.points import PointSet
+
+
+def test_rejects_bad_eps():
+    with pytest.raises(ConfigError):
+        GridHistogram(eps=0.0)
+    with pytest.raises(ConfigError):
+        cell_of_coords(np.zeros((1, 2)), -1.0)
+
+
+def test_cell_of_coords_global_frame():
+    cells = cell_of_coords(np.array([[0.05, 0.05], [-0.05, 0.05], [0.15, -0.25]]), 0.1)
+    assert cells.tolist() == [[0, 0], [-1, 0], [1, -3]]
+
+
+def test_from_points_counts():
+    ps = PointSet.from_coords([[0.05, 0.05], [0.06, 0.07], [0.95, 0.05], [5.0, 5.0]])
+    hist = GridHistogram.from_points(ps, 0.1)
+    assert hist.count((0, 0)) == 2
+    assert hist.count((9, 0)) == 1
+    assert hist.count((50, 50)) == 1
+    assert hist.count((1, 1)) == 0
+    assert hist.total_points == 4
+    assert hist.n_cells == 3
+
+
+def test_from_points_empty():
+    hist = GridHistogram.from_points(PointSet.empty(), 1.0)
+    assert hist.total_points == 0
+    assert hist.n_cells == 0
+
+
+def test_merge_adds_counts():
+    a = GridHistogram(eps=1.0, counts={(0, 0): 2, (1, 1): 3})
+    b = GridHistogram(eps=1.0, counts={(0, 0): 5, (2, 2): 1})
+    m = a.merge(b)
+    assert m.count((0, 0)) == 7
+    assert m.count((1, 1)) == 3
+    assert m.count((2, 2)) == 1
+    # merge does not mutate inputs
+    assert a.count((0, 0)) == 2
+
+
+def test_merge_rejects_mismatched_eps():
+    with pytest.raises(ConfigError):
+        GridHistogram(eps=1.0).merge(GridHistogram(eps=2.0))
+
+
+def test_merge_is_reduction_equivalent():
+    """Distributed histograms reduce to the same histogram as a single pass."""
+    rng = np.random.default_rng(0)
+    coords = rng.uniform(0, 10, size=(500, 2))
+    full = GridHistogram.from_points(PointSet.from_coords(coords), 0.5)
+    parts = [
+        GridHistogram.from_points(PointSet.from_coords(coords[i::4]), 0.5)
+        for i in range(4)
+    ]
+    merged = parts[0]
+    for p in parts[1:]:
+        merged = merged.merge(p)
+    assert merged.counts == full.counts
+
+
+def test_column_major_order():
+    hist = GridHistogram(eps=1.0, counts={(1, 0): 1, (0, 1): 1, (0, 0): 1, (1, -1): 1})
+    assert hist.column_major_cells() == [(0, 0), (0, 1), (1, -1), (1, 0)]
+
+
+def test_nonempty_neighbors():
+    hist = GridHistogram(eps=1.0, counts={(0, 0): 1, (1, 1): 1, (5, 5): 1})
+    assert hist.nonempty_neighbors((0, 0)) == [(1, 1)]
+    assert hist.nonempty_neighbors((5, 5)) == []
+
+
+def test_neighbor_offsets_exclude_self():
+    assert (0, 0) not in GRID_NEIGHBOR_OFFSETS
+    assert len(GRID_NEIGHBOR_OFFSETS) == 8
+
+
+def test_payload_bytes_scales_with_cells():
+    a = GridHistogram(eps=1.0, counts={(0, 0): 1})
+    b = GridHistogram(eps=1.0, counts={(i, 0): 1 for i in range(10)})
+    assert b.payload_bytes() == 10 * a.payload_bytes()

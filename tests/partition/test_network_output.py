@@ -1,0 +1,94 @@
+"""Tests for the network partition-distribution path (§6 future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MrScanConfig
+from repro.core.pipeline import run_pipeline
+from repro.data import generate_twitter
+from repro.errors import ConfigError, PartitionError
+from repro.partition import DistributedPartitioner
+
+
+def test_rejects_unknown_mode():
+    with pytest.raises(PartitionError):
+        DistributedPartitioner(0.1, 4, 2, output_mode="carrier-pigeon")
+
+
+def test_network_mode_produces_identical_partitions():
+    ps = generate_twitter(5000, seed=0)
+    lustre = DistributedPartitioner(0.1, 4, 3).run(ps, 8)
+    network = DistributedPartitioner(0.1, 4, 3, output_mode="network").run(ps, 8)
+    for (lo, ls), (no, ns) in zip(lustre.partitions, network.partitions):
+        assert np.array_equal(lo.ids, no.ids)
+        assert np.array_equal(ls.ids, ns.ids)
+
+
+def test_network_mode_records_messages_not_writes():
+    ps = generate_twitter(5000, seed=1)
+    result = DistributedPartitioner(0.1, 4, 3, output_mode="network").run(ps, 8)
+    assert result.distribute_trace is not None
+    assert result.distribute_trace.n_packets > 8
+    # No partition writes in the I/O trace — only the input reads remain.
+    writes = [op for op in result.io_trace.ops if op.kind == "write"]
+    assert writes == []
+    reads = [op for op in result.io_trace.ops if op.kind == "read"]
+    assert len(reads) == 3
+
+
+def test_network_message_bytes_cover_payload():
+    ps = generate_twitter(3000, seed=2)
+    result = DistributedPartitioner(0.1, 4, 2, output_mode="network").run(ps, 4)
+    total_pts = sum(len(o) + len(s) for o, s in result.partitions)
+    # Each point moves once as coords+ids+weights (32 B); the trace must
+    # account at least that volume.
+    assert result.distribute_trace.total_bytes >= total_pts * 24
+
+
+def test_network_mode_rejects_workdir(tmp_path):
+    ps = generate_twitter(1000, seed=3)
+    dp = DistributedPartitioner(0.1, 4, 2, output_mode="network")
+    with pytest.raises(PartitionError, match="workdir"):
+        dp.run(ps, 2, workdir=tmp_path)
+
+
+def test_pipeline_network_output_same_clustering():
+    ps = generate_twitter(6000, seed=4)
+    a = run_pipeline(ps, MrScanConfig(eps=0.1, minpts=10, n_leaves=4))
+    b = run_pipeline(
+        ps, MrScanConfig(eps=0.1, minpts=10, n_leaves=4, partition_output="network")
+    )
+    assert np.array_equal(a.labels, b.labels)
+    assert "partition_distribute" in b.network_traces
+    assert "partition_distribute" not in a.network_traces
+    assert b.partition_io.total_bytes("write") == 0
+
+
+def test_config_validates_network_constraints():
+    with pytest.raises(ConfigError):
+        MrScanConfig(eps=1, minpts=1, n_leaves=1, partition_output="avian")
+    with pytest.raises(ConfigError):
+        MrScanConfig(
+            eps=1, minpts=1, n_leaves=1, partition_output="network",
+            materialize_dir="/tmp/x",
+        )
+
+
+def test_costmodel_network_mode_faster_at_scale():
+    from repro.perf.costmodel import TitanCostModel
+
+    cost = TitanCostModel()
+    lustre = cost.time_partition(6_553_600_000, 128, 8192, mode="lustre")
+    network = cost.time_partition(6_553_600_000, 128, 8192, mode="network")
+    assert network["write"] < 0.25 * lustre["write"]
+    assert network["read"] == lustre["read"]  # input still comes from disk
+
+
+def test_costmodel_rejects_unknown_mode():
+    from repro.errors import SimulationError
+    from repro.perf.costmodel import TitanCostModel
+
+    with pytest.raises(SimulationError):
+        TitanCostModel().time_partition(10, 1, 1, mode="smoke-signals")

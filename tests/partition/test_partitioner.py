@@ -1,0 +1,174 @@
+"""Unit + property tests for partition forming and rebalancing (§3.1.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import generate_twitter, uniform_noise
+from repro.errors import PartitionError
+from repro.partition import form_partitions, partition_points
+from repro.partition.grid import GridHistogram
+from repro.points import PointSet
+
+
+def _hist_from_points(points, eps):
+    return GridHistogram.from_points(points, eps)
+
+
+def test_rejects_bad_args():
+    hist = GridHistogram(eps=1.0, counts={(0, 0): 10})
+    with pytest.raises(PartitionError):
+        form_partitions(hist, 0, 5)
+    with pytest.raises(PartitionError):
+        form_partitions(hist, 2, 0)
+
+
+def test_single_partition_takes_everything():
+    ps = uniform_noise(200, box=(0, 0, 5, 5), seed=0)
+    hist = _hist_from_points(ps, 1.0)
+    plan = form_partitions(hist, 1, 4)
+    assert len(plan) == 1
+    assert plan.partitions[0].point_count == 200
+    assert plan.partitions[0].shadow_cells == set()
+
+
+def test_partitions_cover_all_cells_exactly_once():
+    ps = generate_twitter(10000, seed=1)
+    hist = _hist_from_points(ps, 0.1)
+    plan = form_partitions(hist, 8, 4)
+    plan.validate(set(hist.counts), minpts=4)
+
+
+def test_point_counts_conserved():
+    ps = generate_twitter(8000, seed=2)
+    hist = _hist_from_points(ps, 0.1)
+    plan = form_partitions(hist, 6, 4)
+    assert sum(p.point_count for p in plan.partitions) == hist.total_points
+
+
+def test_more_partitions_than_cells():
+    ps = PointSet.from_coords([[0.05, 0.05], [1.5, 1.5]])
+    hist = _hist_from_points(ps, 1.0)
+    plan = form_partitions(hist, 5, 1)
+    assert len(plan) == 5
+    nonempty = plan.nonempty()
+    assert len(nonempty) == 2
+    plan.validate(set(hist.counts))
+
+
+def test_shadow_regions_are_grid_neighbors():
+    ps = uniform_noise(2000, box=(0, 0, 10, 10), seed=3)
+    hist = _hist_from_points(ps, 1.0)
+    plan = form_partitions(hist, 4, 4)
+    for spec in plan.nonempty():
+        cells = spec.cell_set()
+        for sc in spec.shadow_cells:
+            assert sc not in cells
+            assert any(
+                abs(sc[0] - c[0]) <= 1 and abs(sc[1] - c[1]) <= 1 for c in cells
+            )
+            assert hist.count(sc) > 0
+
+
+def test_rebalance_reduces_last_partition_excess():
+    """Fig 2: without rebalancing the last partition absorbs the surplus."""
+    ps = generate_twitter(30000, seed=4)
+    hist = _hist_from_points(ps, 0.1)
+    raw = form_partitions(hist, 16, 4, rebalance=False)
+    reb = form_partitions(hist, 16, 4, rebalance=True)
+    raw_last = raw.nonempty()[-1].total_count
+    reb_last = reb.nonempty()[-1].total_count
+    assert reb_last <= raw_last
+    assert reb.size_imbalance() <= raw.size_imbalance() + 1e-9
+
+
+def test_rebalance_threshold_respected_where_splittable():
+    ps = uniform_noise(20000, box=(0, 0, 20, 20), seed=5)
+    hist = _hist_from_points(ps, 1.0)
+    plan = form_partitions(hist, 8, 4)
+    threshold = 1.075 * plan.final_target_size
+    for spec in plan.nonempty():
+        # single-cell partitions cannot shrink further; others must obey
+        if spec.n_cells > 1:
+            assert spec.total_count <= threshold * 1.5  # loose: moves are cell-granular
+
+
+def test_minpts_floor_respected():
+    ps = generate_twitter(5000, seed=6)
+    hist = _hist_from_points(ps, 0.1)
+    plan = form_partitions(hist, 12, 40)
+    for spec in plan.nonempty():
+        assert spec.point_count >= 40 or spec.n_cells == 1
+
+
+def test_partition_points_materialisation():
+    ps = uniform_noise(1000, box=(0, 0, 6, 6), seed=7)
+    hist = _hist_from_points(ps, 1.0)
+    plan = form_partitions(hist, 4, 4)
+    parts = partition_points(ps, plan)
+    assert len(parts) == 4
+    # every point appears in exactly one partition
+    all_ids = np.concatenate([own.ids for own, _ in parts])
+    assert len(all_ids) == len(ps)
+    assert len(np.unique(all_ids)) == len(ps)
+    # shadow points belong to the partition's shadow cells
+    for spec, (own, shadow) in zip(plan.partitions, parts):
+        assert spec.point_count == len(own)
+        assert spec.shadow_count == len(shadow)
+
+
+def test_partition_points_shadow_completeness():
+    """Every point within eps of a partition point is in partition+shadow —
+    the §3.1.1 correctness property."""
+    ps = uniform_noise(800, box=(0, 0, 5, 5), seed=8)
+    eps = 1.0
+    hist = _hist_from_points(ps, eps)
+    plan = form_partitions(hist, 3, 4)
+    parts = partition_points(ps, plan)
+    for own, shadow in parts:
+        if not len(own):
+            continue
+        view_ids = set(own.ids.tolist()) | set(shadow.ids.tolist())
+        d2 = (
+            (ps.coords[:, 0][:, None] - own.coords[:, 0][None, :]) ** 2
+            + (ps.coords[:, 1][:, None] - own.coords[:, 1][None, :]) ** 2
+        )
+        near = np.unique(np.nonzero(d2 <= eps * eps)[0])
+        for i in near:
+            assert int(ps.ids[i]) in view_ids
+
+
+def test_plan_detects_double_ownership():
+    from repro.partition.plan import PartitionPlan, PartitionSpec
+
+    plan = PartitionPlan(
+        eps=1.0,
+        partitions=[
+            PartitionSpec(0, cells=[(0, 0)]),
+            PartitionSpec(1, cells=[(0, 0)]),
+        ],
+        target_size=1,
+    )
+    with pytest.raises(PartitionError):
+        plan.cell_owner()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(10, 400),
+    n_parts=st.integers(1, 12),
+    minpts=st.integers(1, 10),
+    seed=st.integers(0, 999),
+)
+def test_property_plan_valid_for_random_data(n, n_parts, minpts, seed):
+    rng = np.random.default_rng(seed)
+    ps = PointSet.from_coords(rng.uniform(0, 8, size=(n, 2)))
+    hist = _hist_from_points(ps, 1.0)
+    plan = form_partitions(hist, n_parts, minpts)
+    plan.validate(set(hist.counts))
+    assert sum(p.point_count for p in plan.partitions) == n
+    parts = partition_points(ps, plan)
+    all_ids = np.concatenate([own.ids for own, _ in parts])
+    assert len(np.unique(all_ids)) == n

@@ -1,0 +1,45 @@
+"""Tests for the file-backed distributed partitioner path."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import generate_twitter
+from repro.io.formats import write_points_binary
+from repro.partition import DistributedPartitioner
+
+
+def test_run_from_file_matches_in_memory(tmp_path):
+    points = generate_twitter(5000, seed=31)
+    path = tmp_path / "input.bin"
+    write_points_binary(path, points)
+
+    mem = DistributedPartitioner(0.1, 4, 4).run(points, 8)
+    file = DistributedPartitioner(0.1, 4, 4).run_from_file(path, 8)
+
+    assert [p.cells for p in file.plan.partitions] == [
+        p.cells for p in mem.plan.partitions
+    ]
+    for (mo, ms), (fo, fs) in zip(mem.partitions, file.partitions):
+        assert set(mo.ids.tolist()) == set(fo.ids.tolist())
+        assert set(ms.ids.tolist()) == set(fs.ids.tolist())
+
+
+def test_run_from_file_slice_reads_recorded(tmp_path):
+    points = generate_twitter(4000, seed=32)
+    path = tmp_path / "input.bin"
+    write_points_binary(path, points)
+    result = DistributedPartitioner(0.1, 4, 4).run_from_file(path, 8)
+    reads = [op for op in result.io_trace.ops if op.kind == "read"]
+    assert len(reads) == 4
+    assert sum(op.nbytes for op in reads) == 4000 * 32
+
+
+def test_run_from_file_more_nodes_than_points(tmp_path):
+    points = generate_twitter(3, seed=33)
+    path = tmp_path / "tiny.bin"
+    write_points_binary(path, points)
+    result = DistributedPartitioner(1.0, 1, 50).run_from_file(path, 2)
+    assert result.n_partition_nodes == 3
+    all_ids = np.concatenate([own.ids for own, _ in result.partitions])
+    assert len(np.unique(all_ids)) == 3

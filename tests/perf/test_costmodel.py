@@ -1,0 +1,94 @@
+"""Tests for the Titan cost model's phase laws."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.perf.costmodel import TitanCostModel
+
+
+@pytest.fixture
+def cost():
+    return TitanCostModel()
+
+
+def test_partition_anchor_shares(cost):
+    """The paper's §5.1.1 anchor: at 6.5 B / 128 nodes / 8192 partitions,
+    writes dominate (~65 %) and reads are ~30 % of the partition phase."""
+    t = cost.time_partition(6_553_600_000, 128, 8192, shadow_fraction=0.5)
+    assert t["total"] == pytest.approx(t["read"] + t["histogram"] + t["write"])
+    write_share = t["write"] / t["total"]
+    read_share = t["read"] / t["total"]
+    assert 0.5 < write_share < 0.85
+    assert 0.15 < read_share < 0.45
+    assert write_share > read_share
+
+
+def test_partition_scales_linearly_with_data(cost):
+    """Fig 9a: partition time linear in point count (fixed topology ratio)."""
+    t1 = cost.time_partition(100_000_000, 16, 128)["total"]
+    t4 = cost.time_partition(400_000_000, 32, 512)["total"]
+    t16 = cost.time_partition(1_600_000_000, 64, 2048)["total"]
+    assert t4 > t1 and t16 > t4
+    # 4x data with 4x partitions: between ~2x and ~6x time (linear-ish)
+    assert 1.5 < t4 / t1 < 8
+    assert 1.5 < t16 / t4 < 8
+
+
+def test_partition_more_partitions_cost_more(cost):
+    """Fig 10's note: same data split into more partitions writes slower."""
+    few = cost.time_partition(6_553_600_000, 128, 256)["total"]
+    many = cost.time_partition(6_553_600_000, 128, 8192)["total"]
+    assert many > few
+
+
+def test_partition_rejects_bad_sizes(cost):
+    with pytest.raises(SimulationError):
+        cost.time_partition(0, 1, 1)
+    with pytest.raises(SimulationError):
+        cost.time_partition(10, 0, 1)
+
+
+def test_gpu_leaf_monotonicity(cost):
+    base = cost.time_gpu_leaf(1e9, 1e8, 100, 1e6)
+    assert cost.time_gpu_leaf(2e9, 1e8, 100, 1e6) > base
+    assert cost.time_gpu_leaf(1e9, 2e8, 100, 1e6) > base
+    assert cost.time_gpu_leaf(1e9, 1e8, 100, 2e6) > base
+    assert base > cost.gpu_fixed_overhead
+
+
+def test_gpu_leaf_rejects_negative(cost):
+    with pytest.raises(SimulationError):
+        cost.time_gpu_leaf(-1, 0, 0)
+
+
+def test_startup_linear(cost):
+    t1 = cost.time_startup(1000)
+    t2 = cost.time_startup(2000)
+    assert t2 - t1 == pytest.approx(1000 * cost.process_startup)
+    with pytest.raises(SimulationError):
+        cost.time_startup(-1)
+
+
+def test_merge_depth_scaling(cost):
+    two = cost.time_merge(2, 256, 1e6)
+    three = cost.time_merge(3, 256, 1e6)
+    assert three == pytest.approx(2 * two)
+    with pytest.raises(SimulationError):
+        cost.time_merge(0, 2, 1)
+
+
+def test_sweep_includes_output_write(cost):
+    small = cost.time_sweep(3, 256, 1e4, 1_000_000)
+    big = cost.time_sweep(3, 256, 1e4, 1_000_000_000)
+    assert big > small
+
+
+def test_smallest_config_dominated_by_fixed_overhead(cost):
+    """The paper's growth ratios (4096x data -> only 18.5-31.7x time)
+    require the smallest configuration to be mostly constant overhead."""
+    startup = cost.time_startup(6)
+    part = cost.time_partition(1_600_000, 2, 2)["total"]
+    assert startup > part  # fixed costs dwarf the tiny I/O
+    assert startup >= 25.0

@@ -1,0 +1,49 @@
+"""Consistency checks across the figure builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import figures
+
+
+def test_builders_are_deterministic():
+    a = figures.fig9a()
+    b = figures.fig9a()
+    assert a.as_dict() == b.as_dict()
+
+
+def test_fig8_decomposes_into_9a_plus_9b():
+    """Total = partition + cluster-merge-sweep by construction; the three
+    published figures must stay mutually consistent."""
+    f8 = figures.fig8()
+    f9a = figures.fig9a()
+    f9b = figures.fig9b()
+    for name in f8.series:
+        for total, part, cms in zip(
+            f8.series[name], f9a.series[name], f9b.series[name]
+        ):
+            assert total == pytest.approx(part + cms, rel=1e-9)
+
+
+def test_fig9c_is_within_fig9b():
+    f9b = figures.fig9b()
+    f9c = figures.fig9c()
+    for name in f9b.series:
+        assert all(g <= b + 1e-9 for g, b in zip(f9c.series[name], f9b.series[name]))
+
+
+def test_fig10_endpoint_matches_fig8():
+    """Strong scaling at 8192 leaves is the same configuration as the
+    weak-scaling sweep's 6.5B row (MinPts=400)."""
+    f8 = figures.fig8()
+    f10 = figures.fig10()
+    assert f10.series["total"][-1] == pytest.approx(
+        f8.series["minpts=400"][-1], rel=1e-9
+    )
+
+
+def test_whatif_network_baseline_matches_fig8():
+    w = figures.whatif_network_partition()
+    f8 = figures.fig8()
+    assert w.series["total_lustre"] == f8.series["minpts=400"]

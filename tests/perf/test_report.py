@@ -1,0 +1,67 @@
+"""Tests for modelling real runs at Titan scale (perf.report)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import mrscan
+from repro.data import generate_twitter
+from repro.perf import ModelledRun, model_run
+from repro.perf.costmodel import TitanCostModel
+
+
+@pytest.fixture(scope="module")
+def real_run():
+    pts = generate_twitter(20_000, seed=71)
+    return mrscan(pts, 0.1, 40, n_leaves=8)
+
+
+def test_model_run_fields_positive(real_run):
+    m = model_run(real_run)
+    assert isinstance(m, ModelledRun)
+    assert m.partition_io > 0
+    assert m.gpu > 0
+    assert m.startup > 0
+    assert m.sweep > 0
+    assert m.total == pytest.approx(
+        m.partition_io + m.startup + m.gpu + m.merge + m.sweep
+    )
+    d = m.as_dict()
+    assert d["total"] == pytest.approx(m.total)
+
+
+def test_model_run_write_dominates_read(real_run):
+    """The paper's partition-phase regime must hold for real traces too."""
+    m = model_run(real_run)
+    assert m.partition_write > m.partition_read
+
+
+def test_model_run_gpu_is_slowest_leaf(real_run):
+    cost = TitanCostModel()
+    m = model_run(real_run, cost=cost)
+    expected = max(
+        cost.time_gpu_leaf(
+            s.total_distance_ops,
+            s.device.get("h2d_bytes", 0) + s.device.get("d2h_bytes", 0),
+            s.kernel_launches,
+            s.n_points,
+        )
+        for s in real_run.gpu_stats
+    )
+    assert m.gpu == pytest.approx(expected)
+
+
+def test_model_run_more_leaves_more_io():
+    """More partitions => more small random writes => more modelled I/O."""
+    pts = generate_twitter(20_000, seed=72)
+    few = model_run(mrscan(pts, 0.1, 40, n_leaves=2))
+    many = model_run(mrscan(pts, 0.1, 40, n_leaves=16))
+    assert many.partition_io > few.partition_io
+
+
+def test_model_run_network_output_removes_write_cost():
+    pts = generate_twitter(15_000, seed=73)
+    lustre = model_run(mrscan(pts, 0.1, 40, n_leaves=8))
+    network = model_run(mrscan(pts, 0.1, 40, n_leaves=8, partition_output="network"))
+    assert network.partition_write == 0.0
+    assert network.partition_io < lustre.partition_io

@@ -1,0 +1,185 @@
+"""Tests for whole-run simulation and the figure builders' shapes.
+
+These are the shape assertions EXPERIMENTS.md reports: each paper claim
+about a curve (linear partition growth, dense-box dip, strong-scaling
+plateau, MinPts ordering) is checked against the model output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.perf import figures
+from repro.perf.simulate import simulate_run
+from repro.perf.workload import ScaledWorkload
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    from repro.data import generate_twitter
+
+    return ScaledWorkload.from_sample(
+        generate_twitter(40_000, seed=11), 0.1, 10_000_000
+    )
+
+
+def test_simulate_run_basic(small_workload):
+    run = simulate_run(small_workload, 16, 40)
+    assert run.total > 0
+    assert run.total == pytest.approx(
+        run.t_partition + run.t_startup + run.t_cluster + run.t_merge + run.t_sweep
+    )
+    assert run.t_gpu == run.t_cluster
+    assert 0.0 <= run.densebox_eliminated_fraction <= 1.0
+    d = run.as_dict()
+    assert d["total"] == pytest.approx(run.total)
+
+
+def test_simulate_rejects_bad_leaves(small_workload):
+    with pytest.raises(SimulationError):
+        simulate_run(small_workload, 0, 40)
+
+
+def test_densebox_off_costs_more(small_workload):
+    on = simulate_run(small_workload, 16, 40, use_densebox=True)
+    off = simulate_run(small_workload, 16, 40, use_densebox=False)
+    assert off.t_gpu >= on.t_gpu
+    assert off.densebox_eliminated_fraction == 0.0
+
+
+# --------------------------------------------------------------------- #
+# Figure shapes (the paper's qualitative claims)
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def f8():
+    return figures.fig8()
+
+
+@pytest.fixture(scope="module")
+def f9a():
+    return figures.fig9a()
+
+
+@pytest.fixture(scope="module")
+def f9c():
+    return figures.fig9c()
+
+
+@pytest.fixture(scope="module")
+def f10():
+    return figures.fig10()
+
+
+def test_fig8_top_end_matches_paper_range(f8):
+    """6.5B points must land in the paper's 1040-1401 s window, give or
+    take the model's fidelity (we allow 2x slack)."""
+    for name, values in f8.series.items():
+        assert 520 <= values[-1] <= 2800, (name, values[-1])
+
+
+def test_fig8_weak_scaling_sublinear(f8):
+    """4096x data grows time far less than 4096x (paper: 18.5-31.7x)."""
+    for name, values in f8.series.items():
+        growth = values[-1] / values[0]
+        assert 5 <= growth <= 100, (name, growth)
+
+
+def test_fig8_monotone_total(f8):
+    for values in f8.series.values():
+        assert all(b >= a * 0.8 for a, b in zip(values, values[1:]))
+
+
+def test_fig9a_linear_in_data(f9a):
+    """Partition time roughly doubles when data doubles (weak scaling)."""
+    for values in f9a.series.values():
+        assert values[-1] / values[-2] == pytest.approx(2.0, rel=0.4)
+        assert values[-1] > 10 * values[2]
+
+
+def test_fig9a_partition_is_majority_at_scale(f8, f9a):
+    """Paper: partition is ~68% of total time at the top end."""
+    share = f9a.series["minpts=400"][-1] / f8.series["minpts=400"][-1]
+    assert 0.45 <= share <= 0.85
+
+
+def test_fig9c_minpts4000_slower(f9c):
+    """Paper: MinPts=4000 takes longer (dense box less effective)."""
+    m4000 = f9c.series["minpts=4000"]
+    m40 = f9c.series["minpts=40"]
+    mid = len(m40) // 2
+    assert m4000[mid] > m40[mid]
+    assert sum(m4000) > sum(m40)
+
+
+def test_fig9c_densebox_dip(f9c):
+    """Paper: GPU time decreases at one point for MinPts in {4,40,400}."""
+    dipped = 0
+    for name in ("minpts=4", "minpts=40", "minpts=400"):
+        v = f9c.series[name]
+        if any(b < a for a, b in zip(v, v[1:])):
+            dipped += 1
+    assert dipped >= 1  # at least one curve shows the dense-box dip
+
+
+def test_fig9c_final_upward_trend(f9c):
+    """Paper: the 6.5B point suggests a further linear trend upward."""
+    for name in ("minpts=4", "minpts=40", "minpts=400"):
+        v = f9c.series[name]
+        assert v[-1] > v[-3]
+
+
+def test_fig10_speedup_then_plateau(f10):
+    """Paper: GPU improves with leaves then flattens (slowest leaf = one
+    dense cell that cannot be subdivided)."""
+    gpu = f10.series["gpu_dbscan"]
+    assert gpu[0] > gpu[-1]  # speedup from 256 to 8192
+    assert gpu[0] / gpu[-1] >= 1.5
+    # plateau: the last two configurations are within 5%
+    assert gpu[-1] == pytest.approx(gpu[-2], rel=0.05)
+
+
+def test_fig10_partition_grows_with_leaf_count(f10):
+    part = f10.series["partition"]
+    assert part[-1] > part[0]
+
+
+def test_fig12_monotone_and_io_dominated():
+    f12 = figures.fig12()
+    f13 = figures.fig13()
+    total = f12.series["total"]
+    part = f13.series["partition"]
+    assert all(b >= a for a, b in zip(total, total[1:]))
+    # at the top end the partitioner dominates the increase
+    assert (part[-1] - part[0]) / (total[-1] - total[0]) > 0.5
+
+
+def test_table1_matches_paper():
+    t1 = figures.table1()
+    assert t1.x[0] == 1_600_000 and t1.x[-1] == 6_553_600_000
+    assert t1.series["leaves"] == [2, 8, 32, 128, 512, 2048, 4096, 8192]
+    assert t1.series["partition_nodes"][-1] == 128
+
+
+def test_fig11_expected_envelope():
+    f11 = figures.fig11_expected()
+    assert all(q == 0.995 for q in f11.series["paper_min_quality"])
+
+
+def test_figure_series_render_and_dict(f10):
+    text = f10.render()
+    assert "Fig 10" in text and "gpu_dbscan" in text
+    d = f10.as_dict()
+    assert d["x"] == list(figures.FIG10_LEAVES)
+
+
+def test_figure_series_to_csv(f10):
+    csv = f10.to_csv()
+    lines = csv.strip().splitlines()
+    assert lines[0].startswith("leaves,")
+    assert len(lines) == 1 + len(f10.x)
+    first_row = lines[1].split(",")
+    assert int(first_row[0]) == f10.x[0]
+    assert float(first_row[1]) == f10.series[lines[0].split(",")[1]][0]

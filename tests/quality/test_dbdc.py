@@ -1,0 +1,118 @@
+"""Tests for the DBDC quality metric (Fig 11's measure)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.points import NOISE
+from repro.quality import dbdc_quality_score
+
+
+def test_identical_labelings_score_one():
+    labels = np.array([0, 0, 1, 1, NOISE, 2])
+    rep = dbdc_quality_score(labels, labels.copy())
+    assert rep.score == 1.0
+    assert rep.n_perfect == len(labels)
+    assert rep.n_label_mismatch == 0
+
+
+def test_renumbered_clusters_score_one():
+    """Cluster IDs are arbitrary; only the partition matters."""
+    a = np.array([0, 0, 1, 1, NOISE])
+    b = np.array([5, 5, 3, 3, NOISE])
+    assert dbdc_quality_score(a, b).score == 1.0
+
+
+def test_noise_mismatch_scores_zero():
+    a = np.array([0, NOISE])
+    b = np.array([0, 0])
+    rep = dbdc_quality_score(a, b)
+    assert rep.n_label_mismatch == 1
+    # point 0: A={0,?}, in a |A|=1 vs |B|=2 ... point 1 contributes 0.
+    assert rep.score < 1.0
+
+
+def test_split_cluster_partial_credit():
+    """One reference cluster split in two: each point gets |A∩B|/|A∪B|."""
+    a = np.array([0, 0, 0, 0])
+    b = np.array([0, 0, 1, 1])
+    rep = dbdc_quality_score(a, b)
+    # each point: |A∩B| = 2, |A∪B| = 4 -> 0.5
+    assert rep.score == pytest.approx(0.5)
+
+
+def test_merged_clusters_partial_credit():
+    a = np.array([0, 0, 1, 1])
+    b = np.array([0, 0, 0, 0])
+    assert dbdc_quality_score(a, b).score == pytest.approx(0.5)
+
+
+def test_all_noise_agreement():
+    a = np.full(5, NOISE)
+    assert dbdc_quality_score(a, a.copy()).score == 1.0
+
+
+def test_empty_labelings():
+    rep = dbdc_quality_score(np.empty(0, np.int64), np.empty(0, np.int64))
+    assert rep.score == 1.0
+    assert rep.n_points == 0
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ConfigError):
+        dbdc_quality_score(np.zeros(2), np.zeros(3))
+
+
+def test_asymmetric_sizes_use_full_clusters():
+    """|A| and |B| are full cluster sizes, including points the other
+    output called noise."""
+    a = np.array([0, 0, 0, NOISE])
+    b = np.array([0, 0, NOISE, 0])
+    rep = dbdc_quality_score(a, b)
+    # points 0,1: A has 3 members, B has 3 members, intersection = 2
+    # -> 2 / (3+3-2) = 0.5; points 2,3 mismatch -> 0
+    assert rep.score == pytest.approx((0.5 + 0.5 + 0 + 0) / 4)
+
+
+def test_report_str():
+    rep = dbdc_quality_score(np.array([0]), np.array([0]))
+    assert "DBDC quality" in str(rep)
+
+
+def test_mrscan_quality_on_real_run(small_twitter):
+    from repro.core.pipeline import mrscan
+    from repro.dbscan import dbscan_reference
+
+    ref = dbscan_reference(small_twitter, 0.1, 10)
+    res = mrscan(small_twitter, 0.1, 10, n_leaves=6)
+    rep = dbdc_quality_score(ref.labels, res.labels)
+    assert rep.score >= 0.995  # the Fig 11 envelope
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    labels=st.lists(st.integers(-1, 4), min_size=1, max_size=60),
+    perm=st.permutations(range(5)),
+)
+def test_property_invariant_under_relabeling(labels, perm):
+    a = np.asarray(labels)
+    b = np.array([perm[x] if x != NOISE else NOISE for x in a])
+    assert dbdc_quality_score(a, b).score == pytest.approx(1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a=st.lists(st.integers(-1, 3), min_size=2, max_size=40),
+    b=st.lists(st.integers(-1, 3), min_size=2, max_size=40),
+)
+def test_property_score_bounds_and_symmetry(a, b):
+    n = min(len(a), len(b))
+    a = np.asarray(a[:n])
+    b = np.asarray(b[:n])
+    fwd = dbdc_quality_score(a, b).score
+    rev = dbdc_quality_score(b, a).score
+    assert 0.0 <= fwd <= 1.0
+    assert fwd == pytest.approx(rev)  # |A∩B|/|A∪B| is symmetric

@@ -1,0 +1,160 @@
+"""Tests for the sweep phase (§3.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MergeError
+from repro.points import NOISE, PointSet
+from repro.sweep import SweepResult, combine_leaf_outputs, sweep_leaf
+
+
+def _view(ids):
+    return PointSet(
+        ids=np.asarray(ids, dtype=np.int64),
+        coords=np.zeros((len(ids), 2)),
+    )
+
+
+def test_sweep_leaf_relabels():
+    view = _view([0, 1, 2, 3])
+    local = np.array([0, 0, 1, NOISE])
+    res = sweep_leaf(0, view, local, n_owned=3, local_to_global={0: 7, 1: 9})
+    assert np.array_equal(res.owned_ids, [0, 1, 2])
+    assert np.array_equal(res.owned_labels, [7, 7, 9])
+    assert len(res.claimed_ids) == 0  # shadow point 3 was noise
+
+
+def test_sweep_leaf_claims_shadow_members():
+    view = _view([5, 6, 7])
+    local = np.array([NOISE, 0, 0])
+    res = sweep_leaf(1, view, local, n_owned=1, local_to_global={0: 3})
+    assert np.array_equal(res.owned_ids, [5])
+    assert res.owned_labels[0] == NOISE
+    assert np.array_equal(res.claimed_ids, [6, 7])
+    assert np.array_equal(res.claimed_labels, [3, 3])
+
+
+def test_sweep_leaf_rejects_unknown_cluster():
+    view = _view([0, 1])
+    with pytest.raises(MergeError, match="no global id"):
+        sweep_leaf(0, view, np.array([4, NOISE]), 2, {})
+
+
+def test_sweep_leaf_rejects_bad_lengths():
+    with pytest.raises(MergeError):
+        sweep_leaf(0, _view([0]), np.array([0, 1]), 1, {0: 0, 1: 1})
+    with pytest.raises(MergeError):
+        sweep_leaf(0, _view([0]), np.array([0]), 5, {0: 0})
+
+
+def test_combine_owner_labels_win():
+    a = SweepResult(
+        leaf_id=0,
+        owned_ids=np.array([0, 1]),
+        owned_labels=np.array([4, NOISE]),
+        claimed_ids=np.array([2]),
+        claimed_labels=np.array([9]),
+    )
+    b = SweepResult(
+        leaf_id=1,
+        owned_ids=np.array([2, 3]),
+        owned_labels=np.array([5, NOISE]),
+        claimed_ids=np.array([0]),
+        claimed_labels=np.array([8]),
+    )
+    labels = combine_leaf_outputs([a, b], 4)
+    # point 2 is owned with label 5; leaf 0's claim must not override it
+    assert labels[2] == 5
+    # point 0 is owned with label 4; claim 8 must not override
+    assert labels[0] == 4
+    assert labels[1] == NOISE
+    assert labels[3] == NOISE
+
+
+def test_combine_claims_fill_owner_noise():
+    a = SweepResult(
+        leaf_id=0,
+        owned_ids=np.array([0]),
+        owned_labels=np.array([NOISE]),
+        claimed_ids=np.empty(0, dtype=np.int64),
+        claimed_labels=np.empty(0, dtype=np.int64),
+    )
+    b = SweepResult(
+        leaf_id=1,
+        owned_ids=np.array([1]),
+        owned_labels=np.array([2]),
+        claimed_ids=np.array([0]),
+        claimed_labels=np.array([2]),
+    )
+    labels = combine_leaf_outputs([a, b], 2)
+    assert labels[0] == 2  # shadow view legitimately claimed the border
+
+
+def test_combine_competing_claims_take_smallest():
+    a = SweepResult(
+        leaf_id=0,
+        owned_ids=np.array([0]),
+        owned_labels=np.array([NOISE]),
+        claimed_ids=np.empty(0, dtype=np.int64),
+        claimed_labels=np.empty(0, dtype=np.int64),
+    )
+    b = SweepResult(
+        leaf_id=1,
+        owned_ids=np.array([1]),
+        owned_labels=np.array([7]),
+        claimed_ids=np.array([0]),
+        claimed_labels=np.array([7]),
+    )
+    c = SweepResult(
+        leaf_id=2,
+        owned_ids=np.array([2]),
+        owned_labels=np.array([3]),
+        claimed_ids=np.array([0]),
+        claimed_labels=np.array([3]),
+    )
+    assert combine_leaf_outputs([a, b, c], 3)[0] == 3
+    assert combine_leaf_outputs([a, c, b], 3)[0] == 3  # order-independent
+
+
+def test_combine_rejects_double_ownership():
+    a = SweepResult(
+        leaf_id=0,
+        owned_ids=np.array([0]),
+        owned_labels=np.array([1]),
+        claimed_ids=np.empty(0, dtype=np.int64),
+        claimed_labels=np.empty(0, dtype=np.int64),
+    )
+    b = SweepResult(
+        leaf_id=1,
+        owned_ids=np.array([0]),
+        owned_labels=np.array([2]),
+        claimed_ids=np.empty(0, dtype=np.int64),
+        claimed_labels=np.empty(0, dtype=np.int64),
+    )
+    with pytest.raises(MergeError, match="re-writes"):
+        combine_leaf_outputs([a, b], 1)
+
+
+def test_combine_rejects_orphan_points():
+    a = SweepResult(
+        leaf_id=0,
+        owned_ids=np.array([0]),
+        owned_labels=np.array([1]),
+        claimed_ids=np.empty(0, dtype=np.int64),
+        claimed_labels=np.empty(0, dtype=np.int64),
+    )
+    with pytest.raises(MergeError, match="written by no leaf"):
+        combine_leaf_outputs([a], 2)
+
+
+def test_payload_bytes():
+    res = SweepResult(
+        leaf_id=0,
+        owned_ids=np.arange(10),
+        owned_labels=np.arange(10),
+        claimed_ids=np.arange(2),
+        claimed_labels=np.arange(2),
+    )
+    assert res.payload_bytes() == 10 * 16 + 2 * 16

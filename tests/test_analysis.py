@@ -1,0 +1,82 @@
+"""Tests for the cluster-analysis helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import cluster_table, noise_summary
+from repro.errors import ConfigError
+from repro.points import NOISE, PointSet
+
+
+def _two_clusters():
+    coords = np.array(
+        [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [10.0, 10.0], [10.5, 10.0], [50.0, 50.0]]
+    )
+    ps = PointSet.from_coords(coords)
+    ps.weights[:] = [1, 1, 1, 1, 3, 3, 7]
+    labels = np.array([0, 0, 0, 0, 1, 1, NOISE])
+    return ps, labels
+
+
+def test_cluster_table_basic():
+    ps, labels = _two_clusters()
+    table = cluster_table(ps, labels)
+    assert [s.label for s in table] == [0, 1]  # sorted by size desc
+    big = table[0]
+    assert big.size == 4
+    assert big.centroid == (0.5, 0.5)
+    assert big.bbox == (0.0, 0.0, 1.0, 1.0)
+    assert big.density == pytest.approx(4.0)
+    assert big.total_weight == pytest.approx(4.0)
+    assert big.rms_radius == pytest.approx(np.sqrt(0.5))
+
+
+def test_cluster_table_degenerate_bbox_density_inf():
+    ps = PointSet.from_coords([[2.0, 2.0], [2.0, 2.0]])
+    labels = np.array([0, 0])
+    (stats,) = cluster_table(ps, labels)
+    assert stats.density == float("inf")
+
+
+def test_cluster_table_empty_labels():
+    ps = PointSet.from_coords([[0, 0]])
+    assert cluster_table(ps, np.array([NOISE])) == []
+
+
+def test_cluster_table_length_mismatch():
+    ps = PointSet.from_coords([[0, 0]])
+    with pytest.raises(ConfigError):
+        cluster_table(ps, np.array([0, 1]))
+
+
+def test_noise_summary():
+    ps, labels = _two_clusters()
+    ns = noise_summary(ps, labels)
+    assert ns["count"] == 1
+    assert ns["fraction"] == pytest.approx(1 / 7)
+    assert ns["total_weight"] == pytest.approx(7.0)
+
+
+def test_noise_summary_mismatch():
+    ps = PointSet.from_coords([[0, 0]])
+    with pytest.raises(ConfigError):
+        noise_summary(ps, np.array([0, 1]))
+
+
+def test_as_dict_roundtrip():
+    ps, labels = _two_clusters()
+    d = cluster_table(ps, labels)[0].as_dict()
+    assert d["size"] == 4 and len(d["bbox"]) == 4
+
+
+def test_analysis_on_real_pipeline_output(small_twitter):
+    from repro.core.pipeline import mrscan
+
+    res = mrscan(small_twitter, 0.1, 10, n_leaves=4)
+    table = cluster_table(small_twitter, res.labels)
+    assert len(table) == res.n_clusters
+    assert sum(s.size for s in table) + res.n_noise == len(small_twitter)
+    sizes = [s.size for s in table]
+    assert sizes == sorted(sizes, reverse=True)

@@ -1,0 +1,57 @@
+"""Golden regression tests: fixed seeds must keep producing fixed outputs.
+
+These pin down end-to-end determinism across refactors: generator
+distributions, partition plans, cluster counts and noise counts for known
+seeds.  If a change legitimately alters one of these (e.g. a generator
+retune), update the constants deliberately — the diff is the review.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import mrscan
+from repro.data import generate_sdss, generate_twitter
+from repro.partition import form_partitions
+from repro.partition.grid import GridHistogram
+
+
+def test_twitter_generator_golden():
+    pts = generate_twitter(10_000, seed=12345)
+    assert len(pts) == 10_000
+    # spot-check exact coordinates (bit-stable across numpy's PCG64)
+    assert pts.coords[0] == pytest.approx(
+        [-73.43595466, 41.64844923], abs=1e-6
+    )
+    assert float(pts.xs.mean()) == pytest.approx(-93.13344565, abs=1e-5)
+
+
+def test_sdss_generator_golden():
+    pts = generate_sdss(5_000, seed=777)
+    assert float(pts.xs.mean()) == pytest.approx(150.9239, abs=0.01)
+    assert float(pts.weights.mean()) == pytest.approx(1.68522, abs=0.01)
+
+
+def test_twitter_clustering_golden():
+    pts = generate_twitter(12_000, seed=2013)
+    res = mrscan(pts, 0.1, 10, n_leaves=6)
+    assert res.n_clusters == 91
+    assert res.n_noise == 4577
+    assert int(res.core_mask.sum()) == 5350
+
+
+def test_partition_plan_golden():
+    pts = generate_twitter(12_000, seed=2013)
+    hist = GridHistogram.from_points(pts, 0.1)
+    plan = form_partitions(hist, 6, 10)
+    sizes = [p.point_count for p in plan.partitions]
+    assert sum(sizes) == 12_000
+    assert sizes == [2000, 2000, 2000, 1999, 1995, 2006]
+
+
+def test_sdss_clustering_golden():
+    pts = generate_sdss(8_000, seed=2013)
+    res = mrscan(pts, 0.00015, 5, n_leaves=4)
+    assert res.n_clusters == 679
+    assert res.n_noise == 428
