@@ -23,6 +23,7 @@ Finer-grained control lives in the subpackages:
 ``repro.data``      synthetic Twitter / SDSS / shape generators
 ``repro.quality``   the DBDC quality metric (Fig 11)
 ``repro.perf``      Titan-calibrated performance model (Figs 8-10,12,13)
+``repro.telemetry`` spans, metrics, Chrome-trace/JSONL exporters
 ==================  ====================================================
 """
 
@@ -49,11 +50,26 @@ def __getattr__(name: str):
     # API.  Resolved once, then cached on the module.
     import importlib
 
-    lazy = {"core", "gpu", "partition", "mrnet", "merge", "sweep", "quality", "perf"}
+    lazy = {
+        "core",
+        "gpu",
+        "partition",
+        "mrnet",
+        "merge",
+        "sweep",
+        "quality",
+        "perf",
+        "telemetry",
+    }
     if name in lazy:
         mod = importlib.import_module(f".{name}", __name__)
         globals()[name] = mod
         return mod
+    if name == "Telemetry":
+        from .telemetry import Telemetry as cls
+
+        globals()["Telemetry"] = cls
+        return cls
     if name == "mrscan":
         from .core.pipeline import mrscan as fn
 

@@ -55,6 +55,26 @@ def build_parser() -> argparse.ArgumentParser:
     clu.add_argument("--output", type=Path, default=None, help="labels file (text)")
     clu.add_argument("--json", action="store_true", help="print a JSON report")
     clu.add_argument("--verbose", action="store_true", help="log phase progress")
+    clu.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="record telemetry and write a Chrome trace_event JSON file "
+        "(open in chrome://tracing or https://ui.perfetto.dev)",
+    )
+    clu.add_argument(
+        "--trace-jsonl",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="record telemetry and write a flat JSONL span/metric log",
+    )
+    clu.add_argument(
+        "--trace-summary",
+        action="store_true",
+        help="record telemetry and print the span/metric summary table",
+    )
 
     ana = sub.add_parser("analyze", help="per-cluster statistics of a clustering")
     ana.add_argument("input", type=Path, help="point file")
@@ -119,7 +139,18 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
     if args.verbose:
         logging.basicConfig(level=logging.INFO, format="%(name)s: %(message)s")
+    # Fail fast on unwritable trace paths, before the (expensive) run.
+    for opt, path in (("--trace-out", args.trace_out), ("--trace-jsonl", args.trace_jsonl)):
+        if path is None:
+            continue
+        if path.is_dir():
+            print(f"error: {opt} {path} is a directory", file=sys.stderr)
+            return 2
+        if not path.parent.exists():
+            print(f"error: {opt}: directory {path.parent} does not exist", file=sys.stderr)
+            return 2
     points = _load_points(args.input)
+    trace_enabled = bool(args.trace_out or args.trace_jsonl or args.trace_summary)
     result = mrscan(
         points,
         args.eps,
@@ -130,6 +161,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         use_densebox=not args.no_densebox,
         leaf_algorithm=args.algorithm,
         partition_output=args.partition_output,
+        telemetry=trace_enabled,
     )
     if args.json:
         print(
@@ -152,6 +184,19 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             for pid, lab in zip(points.ids, result.labels):
                 fh.write(f"{int(pid)} {int(lab)}\n")
         print(f"labels written to {args.output}")
+    if trace_enabled:
+        telemetry = result.telemetry
+        if args.trace_out is not None:
+            n_events = telemetry.write_chrome_trace(args.trace_out)
+            print(
+                f"chrome trace ({n_events} events) written to {args.trace_out} "
+                "- open in chrome://tracing or https://ui.perfetto.dev"
+            )
+        if args.trace_jsonl is not None:
+            n_lines = telemetry.write_jsonl(args.trace_jsonl)
+            print(f"telemetry JSONL ({n_lines} lines) written to {args.trace_jsonl}")
+        if args.trace_summary:
+            print(telemetry.summary())
     return 0
 
 

@@ -77,6 +77,11 @@ class MrScanConfig:
     leaf_algorithm: str = "mrscan"  # or "cuda-dclust" (the §3.2.1 baseline)
     device: DeviceConfig = field(default_factory=DeviceConfig)
     materialize_dir: str | None = None
+    #: Collect spans/metrics for this run (repro.telemetry).  Off by
+    #: default: the pipeline then uses the shared no-op tracer and pays
+    #: nothing.  ``run_pipeline(..., telemetry=...)`` can also supply a
+    #: pre-built Telemetry, which takes precedence over this flag.
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.eps <= 0:

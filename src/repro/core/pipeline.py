@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import logging
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -26,6 +26,8 @@ from ..mrnet import Network, Topology, Transport
 from ..partition.distributed import DistributedPartitioner, RECORD_BYTES
 from ..points import PointSet
 from ..sweep.sweep import combine_core_masks, combine_leaf_outputs, sweep_leaf
+from ..telemetry import Telemetry, record_result
+from ..telemetry.tracer import NOOP_TRACER, PID_DRIVER, PID_GPU, PID_TREE, Tracer
 from .config import MrScanConfig
 from .result import MrScanResult, PhaseBreakdown, VirtualBreakdown
 from .timing import PhaseTimer
@@ -44,6 +46,7 @@ class _ClusterLeafTask:
     shadow: PointSet
     owned_cells: frozenset
     config: MrScanConfig
+    trace: bool = False
 
 
 @dataclass
@@ -54,6 +57,7 @@ class _ClusterLeafOutput:
     stats: object
     summary: LeafSummary
     n_owned: int
+    spans: list = field(default_factory=list)
 
 
 def _cluster_leaf(task: _ClusterLeafTask) -> _ClusterLeafOutput:
@@ -62,44 +66,67 @@ def _cluster_leaf(task: _ClusterLeafTask) -> _ClusterLeafOutput:
     ``config.leaf_algorithm`` picks Mr. Scan's two-pass GPU DBSCAN
     (default) or the CUDA-DClust baseline — the end-to-end ablation of
     the paper's §3.2.2/§3.2.3 extensions.
+
+    When ``task.trace`` is set the leaf records into its *own* tracer and
+    ships the drained spans back with the result — the worker-safe way to
+    trace leaves that may run in another process.
     """
     cfg = task.config
     view = task.own.concat(task.shadow)
-    device = SimulatedDevice(cfg.device)
-    if cfg.leaf_algorithm == "cuda-dclust":
-        from ..gpu.cuda_dclust import cuda_dclust
-        from ..gpu.mrscan_gpu import MrScanGPUStats
+    tracer = Tracer() if task.trace else NOOP_TRACER
+    device = SimulatedDevice(cfg.device, tracer=tracer, trace_tid=task.leaf_id)
+    with tracer.span(
+        "leaf.cluster",
+        cat="gpu",
+        pid=PID_GPU,
+        tid=task.leaf_id,
+        algorithm=cfg.leaf_algorithm,
+        n_points=len(view),
+    ) as leaf_span:
+        if cfg.leaf_algorithm == "cuda-dclust":
+            from ..gpu.cuda_dclust import cuda_dclust
+            from ..gpu.mrscan_gpu import MrScanGPUStats
 
-        labels, core_mask, base = cuda_dclust(view, cfg.eps, cfg.minpts, device=device)
-        stats = MrScanGPUStats(
-            n_points=base.n_points,
-            n_core=int(core_mask.sum()),
-            n_boxes=0,
-            n_eliminated=0,
-            pass1_ops=0,
-            pass2_ops=base.distance_ops,
-            kernel_launches=device.stats.kernel_launches,
-            sync_round_trips=base.sync_round_trips,
-            device=device.stats.as_dict(),
+            labels, core_mask, base = cuda_dclust(
+                view, cfg.eps, cfg.minpts, device=device
+            )
+            stats = MrScanGPUStats(
+                n_points=base.n_points,
+                n_core=int(core_mask.sum()),
+                n_boxes=0,
+                n_eliminated=0,
+                pass1_ops=0,
+                pass2_ops=base.distance_ops,
+                kernel_launches=device.stats.kernel_launches,
+                sync_round_trips=base.sync_round_trips,
+                device=device.stats.as_dict(),
+            )
+        else:
+            result = mrscan_gpu(
+                view,
+                cfg.eps,
+                cfg.minpts,
+                device=device,
+                use_densebox=cfg.use_densebox,
+                claim_box_borders=cfg.claim_box_borders,
+            )
+            labels, core_mask, stats = result.labels, result.core_mask, result.stats
+        leaf_span.set(
+            n_core=stats.n_core,
+            distance_ops=stats.total_distance_ops,
+            kernel_launches=stats.kernel_launches,
         )
-    else:
-        result = mrscan_gpu(
+    with tracer.span(
+        "leaf.summarize", cat="gpu", pid=PID_GPU, tid=task.leaf_id
+    ):
+        summary = summarize_leaf(
+            task.leaf_id,
             view,
+            labels,
+            core_mask,
             cfg.eps,
-            cfg.minpts,
-            device=device,
-            use_densebox=cfg.use_densebox,
-            claim_box_borders=cfg.claim_box_borders,
+            set(task.owned_cells),
         )
-        labels, core_mask, stats = result.labels, result.core_mask, result.stats
-    summary = summarize_leaf(
-        task.leaf_id,
-        view,
-        labels,
-        core_mask,
-        cfg.eps,
-        set(task.owned_cells),
-    )
     return _ClusterLeafOutput(
         leaf_id=task.leaf_id,
         labels=labels,
@@ -107,6 +134,7 @@ def _cluster_leaf(task: _ClusterLeafTask) -> _ClusterLeafOutput:
         stats=stats,
         summary=summary,
         n_owned=len(task.own),
+        spans=tracer.drain(),
     )
 
 
@@ -115,11 +143,22 @@ def run_pipeline(
     config: MrScanConfig,
     *,
     transport: Transport | None = None,
+    telemetry: Telemetry | None = None,
 ) -> MrScanResult:
-    """Run all four Mr. Scan phases and return the global clustering."""
+    """Run all four Mr. Scan phases and return the global clustering.
+
+    ``telemetry`` supplies a live :class:`repro.telemetry.Telemetry` to
+    record into; when omitted, one is created if ``config.telemetry`` is
+    set and the shared no-op bundle is used otherwise (zero overhead).
+    The bundle — spans for every phase, node and leaf, plus the metrics
+    fed from the run's stat objects — is attached to the result.
+    """
     n = len(points)
     points.validate_unique_ids()
     points.validate_finite()
+    if telemetry is None:
+        telemetry = Telemetry() if config.telemetry else Telemetry.disabled()
+    tracer = telemetry.tracer
     # Normalise ids to 0..n-1 (input order); merge/sweep set logic keys on
     # them, and the final labels align with input order.
     internal = PointSet(
@@ -130,7 +169,9 @@ def run_pipeline(
     timings = PhaseBreakdown()
 
     # ----------------------------- partition --------------------------- #
-    with timer.phase("partition"):
+    with timer.phase("partition"), tracer.span(
+        "partition", cat="phase", pid=PID_DRIVER, n_points=n
+    ):
         partitioner = DistributedPartitioner(
             config.eps,
             config.minpts,
@@ -139,6 +180,7 @@ def run_pipeline(
             rebalance=config.rebalance_partitions,
             shadow_representatives=config.shadow_representatives,
             output_mode=config.partition_output,
+            tracer=tracer,
         )
         phase1 = partitioner.run(
             internal, config.n_leaves, workdir=config.materialize_dir
@@ -155,7 +197,7 @@ def run_pipeline(
 
     # ----------------------------- cluster ----------------------------- #
     topology = Topology.paper_style(config.n_leaves, config.fanout)
-    network = Network(topology, transport)
+    network = Network(topology, transport, tracer=tracer, trace_pid=PID_TREE)
     tasks = [
         _ClusterLeafTask(
             leaf_id=pid,
@@ -163,62 +205,89 @@ def run_pipeline(
             shadow=shadow,
             owned_cells=frozenset(phase1.plan.partitions[pid].cells),
             config=config,
+            trace=telemetry.enabled,
         )
         for pid, (own, shadow) in enumerate(phase1.partitions)
     ]
-    with timer.phase("cluster"):
-        outputs, map_trace = network.map_leaves(_cluster_leaf, tasks)
-    logger.info(
-        "cluster: %s over %s (%s leaves); slowest leaf %s distance ops",
-        config.leaf_algorithm,
-        topology.describe(),
-        config.n_leaves,
-        max((o.stats.total_distance_ops for o in outputs), default=0),
-    )
-
-    # ------------------------------ merge ------------------------------ #
-    merge_filter = MergeFilter(config.eps)
-    with timer.phase("merge"):
-        root_summary, reduce_trace = network.reduce(
-            [o.summary for o in outputs], merge_filter
-        )
-        assignment = assign_global_ids(root_summary)
-    logger.info(
-        "merge: %d leaf clusters -> %d global clusters (%d bytes up the tree)",
-        sum(o.summary.n_clusters for o in outputs),
-        assignment.n_clusters,
-        reduce_trace.total_bytes,
-    )
-
-    # ------------------------------ sweep ------------------------------ #
-    output_io = IOTrace()
-    sweep_leaf_seconds: dict[int, float] = {}
-    with timer.phase("sweep"):
-        assignments, sweep_trace = network.multicast(assignment)
-        sweep_results = []
-        for out, asg, (own, shadow) in zip(outputs, assignments, phase1.partitions):
-            view = own.concat(shadow)
-            t_leaf = time.perf_counter()
-            res = sweep_leaf(
-                out.leaf_id,
-                view,
-                out.labels,
-                out.n_owned,
-                asg.for_leaf(out.leaf_id),
-                core_mask=out.core_mask,
+    # A crashed phase must still release the transport's worker pools —
+    # everything from here to the end of the sweep runs under one
+    # try/finally so ``network.close()`` is unconditional.
+    try:
+        with timer.phase("cluster"), tracer.span(
+            "cluster", cat="phase", pid=PID_DRIVER, n_leaves=config.n_leaves
+        ):
+            outputs, map_trace = network.map_leaves(
+                _cluster_leaf, tasks, name="cluster"
             )
-            sweep_leaf_seconds[out.leaf_id] = time.perf_counter() - t_leaf
-            sweep_results.append(res)
-            if len(res.owned_ids):
-                output_io.record(
+            for out in outputs:
+                tracer.ingest(out.spans)
+        logger.info(
+            "cluster: %s over %s (%s leaves); slowest leaf %s distance ops",
+            config.leaf_algorithm,
+            topology.describe(),
+            config.n_leaves,
+            max((o.stats.total_distance_ops for o in outputs), default=0),
+        )
+
+        # ------------------------------ merge -------------------------- #
+        merge_filter = MergeFilter(config.eps, tracer=tracer)
+        with timer.phase("merge"), tracer.span(
+            "merge", cat="phase", pid=PID_DRIVER
+        ):
+            root_summary, reduce_trace = network.reduce(
+                [o.summary for o in outputs], merge_filter, name="merge"
+            )
+            assignment = assign_global_ids(root_summary)
+        logger.info(
+            "merge: %d leaf clusters -> %d global clusters (%d bytes up the tree)",
+            sum(o.summary.n_clusters for o in outputs),
+            assignment.n_clusters,
+            reduce_trace.total_bytes,
+        )
+
+        # ------------------------------ sweep -------------------------- #
+        output_io = IOTrace()
+        sweep_leaf_seconds: dict[int, float] = {}
+        with timer.phase("sweep"), tracer.span(
+            "sweep", cat="phase", pid=PID_DRIVER
+        ):
+            assignments, sweep_trace = network.multicast(assignment, name="sweep")
+            sweep_results = []
+            for out, asg, (own, shadow) in zip(
+                outputs, assignments, phase1.partitions
+            ):
+                view = own.concat(shadow)
+                t_leaf = time.perf_counter()
+                res = sweep_leaf(
                     out.leaf_id,
-                    "write",
-                    len(res.owned_ids) * (RECORD_BYTES + 8),
-                    sequential=True,
+                    view,
+                    out.labels,
+                    out.n_owned,
+                    asg.for_leaf(out.leaf_id),
+                    core_mask=out.core_mask,
                 )
-        labels = combine_leaf_outputs(sweep_results, n)
-        core_mask = combine_core_masks(sweep_results, n)
-    network.close()
+                sweep_leaf_seconds[out.leaf_id] = time.perf_counter() - t_leaf
+                tracer.add_span(
+                    "sweep.leaf",
+                    t_leaf,
+                    t_leaf + sweep_leaf_seconds[out.leaf_id],
+                    cat="sweep",
+                    pid=PID_GPU,
+                    tid=out.leaf_id,
+                    n_owned=out.n_owned,
+                )
+                sweep_results.append(res)
+                if len(res.owned_ids):
+                    output_io.record(
+                        out.leaf_id,
+                        "write",
+                        len(res.owned_ids) * (RECORD_BYTES + 8),
+                        sequential=True,
+                    )
+            labels = combine_leaf_outputs(sweep_results, n)
+            core_mask = combine_core_masks(sweep_results, n)
+    finally:
+        network.close()
     logger.info(
         "sweep: wrote %d points (%d noise) in %.3fs wall",
         n,
@@ -244,7 +313,7 @@ def run_pipeline(
     )
 
     n_clusters = int(len(np.unique(labels[labels >= 0])))
-    return MrScanResult(
+    result = MrScanResult(
         labels=labels,
         core_mask=core_mask,
         n_clusters=n_clusters,
@@ -270,7 +339,11 @@ def run_pipeline(
             "sweep_multicast": sweep_trace,
         },
         leaf_point_counts=[len(own) + len(shadow) for own, shadow in phase1.partitions],
+        telemetry=telemetry,
     )
+    if telemetry.enabled:
+        record_result(telemetry.metrics, result)
+    return result
 
 
 def mrscan(
@@ -280,6 +353,7 @@ def mrscan(
     *,
     n_leaves: int = 4,
     transport: Transport | None = None,
+    telemetry: Telemetry | bool | None = None,
     **config_kwargs,
 ) -> MrScanResult:
     """One-call Mr. Scan: cluster ``points`` with DBSCAN semantics.
@@ -288,12 +362,18 @@ def mrscan(
 
         result = mrscan(points, eps=0.1, minpts=40, n_leaves=8)
 
+    ``telemetry=True`` records spans and metrics for the run (see
+    :mod:`repro.telemetry`; the bundle lands on ``result.telemetry``), or
+    pass a pre-built :class:`~repro.telemetry.Telemetry` to record into.
     Additional keyword arguments go to :class:`MrScanConfig` (``fanout``,
     ``use_densebox``, ``n_partition_nodes``, ...).
     """
     if len(points) == 0:
         raise ConfigError("cannot cluster an empty point set")
+    telemetry_obj = telemetry if isinstance(telemetry, Telemetry) else None
+    if telemetry_obj is None and telemetry is not None:
+        config_kwargs.setdefault("telemetry", bool(telemetry))
     config = MrScanConfig(
         eps=eps, minpts=minpts, n_leaves=n_leaves, **config_kwargs
     )
-    return run_pipeline(points, config, transport=transport)
+    return run_pipeline(points, config, transport=transport, telemetry=telemetry_obj)

@@ -11,6 +11,7 @@ from ..io.lustre import IOTrace
 from ..merge.merger import MergeOutcome
 from ..mrnet.packets import NetworkTrace
 from ..points import NOISE
+from ..telemetry import Telemetry
 
 __all__ = ["PhaseBreakdown", "VirtualBreakdown", "MrScanResult"]
 
@@ -102,6 +103,9 @@ class MrScanResult:
     merge_outcomes: list[MergeOutcome] = field(default_factory=list)
     network_traces: dict[str, NetworkTrace] = field(default_factory=dict)
     leaf_point_counts: list[int] = field(default_factory=list)
+    #: The run's telemetry bundle (spans + metrics); the shared no-op
+    #: bundle when the run was not instrumented.
+    telemetry: Telemetry | None = None
 
     @property
     def n_points(self) -> int:

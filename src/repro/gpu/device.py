@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import DeviceError, DeviceMemoryError
+from ..telemetry.tracer import NOOP_TRACER, PID_GPU
 
 __all__ = ["DeviceConfig", "DeviceStats", "SimulatedDevice"]
 
@@ -73,11 +74,20 @@ class DeviceStats:
 
 
 class SimulatedDevice:
-    """One simulated accelerator attached to a Mr. Scan leaf process."""
+    """One simulated accelerator attached to a Mr. Scan leaf process.
 
-    def __init__(self, config: DeviceConfig | None = None) -> None:
+    Pass a :class:`repro.telemetry.Tracer` to emit an instant event per
+    transfer and kernel launch on the GPU track (``trace_tid`` labels the
+    leaf); the default no-op tracer makes the hooks free.
+    """
+
+    def __init__(
+        self, config: DeviceConfig | None = None, *, tracer=None, trace_tid: int = 0
+    ) -> None:
         self.config = config or DeviceConfig()
         self.stats = DeviceStats()
+        self.tracer = tracer or NOOP_TRACER
+        self.trace_tid = int(trace_tid)
         self._allocations: dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
@@ -128,6 +138,9 @@ class SimulatedDevice:
         self.stats.h2d_bytes += int(nbytes)
         if sync:
             self.stats.sync_points += 1
+        self.tracer.instant(
+            "h2d", cat="gpu", pid=PID_GPU, tid=self.trace_tid, bytes=int(nbytes), sync=sync
+        )
 
     def d2h(self, nbytes: int, *, sync: bool = True) -> None:
         """Record a device→host copy."""
@@ -137,6 +150,9 @@ class SimulatedDevice:
         self.stats.d2h_bytes += int(nbytes)
         if sync:
             self.stats.sync_points += 1
+        self.tracer.instant(
+            "d2h", cat="gpu", pid=PID_GPU, tid=self.trace_tid, bytes=int(nbytes), sync=sync
+        )
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -157,6 +173,14 @@ class SimulatedDevice:
         self.stats.kernel_launches += 1
         self.stats.blocks_executed += int(blocks)
         self.stats.distance_ops += int(distance_ops)
+        self.tracer.instant(
+            "kernel",
+            cat="gpu",
+            pid=PID_GPU,
+            tid=self.trace_tid,
+            blocks=int(blocks),
+            distance_ops=int(distance_ops),
+        )
 
     def reset_stats(self) -> DeviceStats:
         """Zero the counters, returning the previous values."""

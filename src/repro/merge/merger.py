@@ -224,13 +224,42 @@ class MergeFilter:
     local transport; the process transport gets fresh copies, so outcome
     collection is a local-transport observability feature, not state the
     algorithm depends on).
+
+    An optional tracer receives one ``merge.outcome`` instant per filter
+    application carrying the outcome counters — the per-node *span* for
+    the same application is recorded by ``Network.reduce``, which knows
+    the node id this filter cannot see.  Like outcome collection, the
+    tracer is a local-transport feature: pickling the filter (process
+    transport) drops it to the no-op, since events recorded in a worker's
+    copy could never reach the parent's tracer anyway.
     """
 
-    def __init__(self, eps: float) -> None:
+    def __init__(self, eps: float, *, tracer=None) -> None:
+        from ..telemetry.tracer import NOOP_TRACER, PID_TREE
+
         self.eps = float(eps)
         self.outcomes: list[MergeOutcome] = []
+        self.tracer = tracer or NOOP_TRACER
+        self._trace_pid = PID_TREE
+
+    def __getstate__(self) -> dict:
+        from ..telemetry.tracer import NOOP_TRACER
+
+        state = self.__dict__.copy()
+        state["tracer"] = NOOP_TRACER
+        return state
 
     def combine(self, payloads: Sequence[LeafSummary]) -> LeafSummary:
         merged, outcome = merge_summaries(payloads, self.eps)
         self.outcomes.append(outcome)
+        self.tracer.instant(
+            "merge.outcome",
+            cat="merge",
+            pid=self._trace_pid,
+            n_input_clusters=outcome.n_input_clusters,
+            n_output_clusters=outcome.n_output_clusters,
+            n_cell_pairs_checked=outcome.n_cell_pairs_checked,
+            n_core_merges=outcome.n_core_merges,
+            n_noncore_core_merges=outcome.n_noncore_core_merges,
+        )
         return merged

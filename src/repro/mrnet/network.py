@@ -20,7 +20,9 @@ three collective operations Mr. Scan is built from:
 
 Every operation returns ``(result, NetworkTrace)``; traces capture packet
 counts, byte volumes, and per-node filter compute seconds for the perf
-model.
+model.  Pass a :class:`repro.telemetry.Tracer` to additionally record
+per-node compute *spans* (one per leaf task / per internal filter
+application, on the network's logical pid track) and fault instants.
 """
 
 from __future__ import annotations
@@ -29,19 +31,23 @@ import time
 from typing import Any, Callable, Sequence
 
 from ..errors import TopologyError
+from ..telemetry.tracer import NOOP_TRACER, PID_TREE
 from .filters import Filter
-from .packets import NetworkTrace
+from .packets import NetworkTrace, payload_nbytes
 from .topology import Topology
 from .transport import LocalTransport, Transport
 
 __all__ = ["Network"]
 
 
-def _timed_apply(args: tuple[Callable[[Any], Any], Any]) -> tuple[Any, float]:
+def _timed_apply(args: tuple[Callable[[Any], Any], Any]) -> tuple[Any, float, float]:
+    """Run one node's work, returning (result, start, end) on the
+    monotonic clock — the interval becomes both a compute-seconds trace
+    entry and (when tracing) a retroactive per-node span."""
     fn, payload = args
     t0 = time.perf_counter()
     out = fn(payload)
-    return out, time.perf_counter() - t0
+    return out, t0, time.perf_counter()
 
 
 class Network:
@@ -54,9 +60,13 @@ class Network:
         makes that node's computation fail with :class:`TransportError`
         (a simulated process crash).  Used by the robustness tests.
     retries:
-        How many times a failed node computation is re-attempted before
-        the phase aborts — the stand-in for MRNet restarting a tool
-        process.  Default 0 (fail fast).
+        How many times a crashed node is re-admitted before the phase
+        aborts — the stand-in for MRNet restarting a tool process.
+        Default 0 (fail fast).  See :meth:`_poll_faults` for exactly what
+        a "retry" means here.
+    tracer:
+        Optional :class:`repro.telemetry.Tracer`; per-node compute spans
+        land on pid ``trace_pid`` with the node id as tid.
     """
 
     def __init__(
@@ -66,18 +76,38 @@ class Network:
         *,
         fault_injector=None,
         retries: int = 0,
+        tracer=None,
+        trace_pid: int = PID_TREE,
     ) -> None:
         if retries < 0:
             raise TopologyError("retries must be >= 0")
         self.topology = topology
-        self.transport = transport or LocalTransport()
+        self.tracer = tracer or NOOP_TRACER
+        self.trace_pid = trace_pid
+        self.transport = transport or LocalTransport(tracer=self.tracer)
         self.fault_injector = fault_injector
         self.retries = int(retries)
         self.fault_log: list[tuple[int, str]] = []
         self._leaves = topology.leaves()
 
-    def _check_faults(self, nodes: Sequence[int], phase: str) -> None:
-        """Raise if any node crashes this attempt; honours retries."""
+    def _poll_faults(self, nodes: Sequence[int], phase: str) -> None:
+        """Poll the fault injector for each node; raise when the retry
+        budget is exhausted.
+
+        Retry semantics — read this before writing a robustness test:
+        faults are polled *before* the node work runs, and a "retry"
+        simply **re-polls the injector** (modelling MRNet restarting the
+        process and re-admitting it to the phase).  The node's work is
+        never executed for a crashed attempt, and it runs **exactly
+        once** after the final successful poll — a recovered retry does
+        not imply the work function was invoked multiple times.  An
+        injector must therefore maintain its own attempt state (e.g.
+        "crash only the first poll"); an injector that always returns
+        True exhausts any retry budget.
+
+        Every crashed attempt is appended to :attr:`fault_log` as
+        ``(node, phase)``.
+        """
         from ..errors import TransportError
 
         if self.fault_injector is None:
@@ -86,6 +116,9 @@ class Network:
             attempts = 0
             while self.fault_injector(node, phase):
                 self.fault_log.append((node, phase))
+                self.tracer.instant(
+                    "fault", cat="mrnet", pid=self.trace_pid, tid=node, phase=phase
+                )
                 attempts += 1
                 if attempts > self.retries:
                     raise TransportError(
@@ -98,7 +131,7 @@ class Network:
     # ------------------------------------------------------------------ #
 
     def map_leaves(
-        self, fn: Callable[[Any], Any], inputs: Sequence[Any]
+        self, fn: Callable[[Any], Any], inputs: Sequence[Any], *, name: str = "map"
     ) -> tuple[list[Any], NetworkTrace]:
         """Apply ``fn`` to one input per leaf; results in leaf order."""
         if len(inputs) != len(self._leaves):
@@ -106,13 +139,16 @@ class Network:
                 f"{len(inputs)} inputs for {len(self._leaves)} leaves"
             )
         trace = NetworkTrace()
-        self._check_faults(self._leaves, "map")
-        pairs = self.transport.run_batch(
+        self._poll_faults(self._leaves, "map")
+        triples = self.transport.run_batch(
             _timed_apply, [(fn, inp) for inp in inputs]
         )
         results = []
-        for leaf, (out, seconds) in zip(self._leaves, pairs):
-            trace.add_compute(leaf, seconds)
+        for leaf, (out, t0, t1) in zip(self._leaves, triples):
+            trace.add_compute(leaf, t1 - t0)
+            self.tracer.add_span(
+                f"{name}.leaf", t0, t1, cat="mrnet", pid=self.trace_pid, tid=leaf
+            )
             results.append(out)
         return results, trace
 
@@ -121,7 +157,7 @@ class Network:
     # ------------------------------------------------------------------ #
 
     def reduce(
-        self, leaf_payloads: Sequence[Any], filt: Filter
+        self, leaf_payloads: Sequence[Any], filt: Filter, *, name: str = "reduce"
     ) -> tuple[Any, NetworkTrace]:
         """Reduce leaf payloads to a single root value through ``filt``.
 
@@ -141,18 +177,31 @@ class Network:
             batch_nodes = [n for n in level_nodes if topo.children[n]]
             if not batch_nodes:
                 continue
-            self._check_faults(batch_nodes, "reduce")
+            self._poll_faults(batch_nodes, "reduce")
             tasks = []
+            bytes_in: dict[int, int] = {}
             for node in batch_nodes:
                 child_payloads = [value[c] for c in topo.children[node]]
                 for child, payload in zip(topo.children[node], child_payloads):
                     trace.record(child, node, "reduce", payload)
+                if self.tracer.enabled:
+                    bytes_in[node] = sum(payload_nbytes(p) for p in child_payloads)
                 tasks.append(child_payloads)
-            pairs = self.transport.run_batch(
+            triples = self.transport.run_batch(
                 _timed_apply, [(filt.combine, t) for t in tasks]
             )
-            for node, (out, seconds) in zip(batch_nodes, pairs):
-                trace.add_compute(node, seconds)
+            for node, task, (out, t0, t1) in zip(batch_nodes, tasks, triples):
+                trace.add_compute(node, t1 - t0)
+                self.tracer.add_span(
+                    f"{name}.filter",
+                    t0,
+                    t1,
+                    cat="mrnet",
+                    pid=self.trace_pid,
+                    tid=node,
+                    n_children=len(task),
+                    bytes_in=bytes_in.get(node, 0),
+                )
                 value[node] = out
         return value[topo.root], trace
 
@@ -164,6 +213,8 @@ class Network:
         self,
         root_payload: Any,
         split: Callable[[Any, int], Sequence[Any]] | None = None,
+        *,
+        name: str = "multicast",
     ) -> tuple[list[Any], NetworkTrace]:
         """Send a payload from the root down to every leaf.
 
@@ -175,7 +226,7 @@ class Network:
         trace = NetworkTrace()
         value: dict[int, Any] = {topo.root: root_payload}
         for level_nodes in topo.levels():
-            self._check_faults(
+            self._poll_faults(
                 [n for n in level_nodes if topo.children[n]], "multicast"
             )
             for node in level_nodes:
@@ -194,6 +245,13 @@ class Network:
                 for child, part in zip(kids, parts):
                     trace.record(node, child, "multicast", part)
                     value[child] = part
+                self.tracer.instant(
+                    f"{name}.send",
+                    cat="mrnet",
+                    pid=self.trace_pid,
+                    tid=node,
+                    n_children=len(kids),
+                )
         return [value[leaf] for leaf in self._leaves], trace
 
     def close(self) -> None:

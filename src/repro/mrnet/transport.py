@@ -15,6 +15,7 @@ import multiprocessing as mp
 from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
 from ..errors import TransportError
+from ..telemetry.tracer import NOOP_TRACER
 
 __all__ = ["Transport", "LocalTransport", "ProcessTransport"]
 
@@ -33,10 +34,21 @@ class Transport(Protocol):
 
 
 class LocalTransport:
-    """Sequential in-process execution (deterministic)."""
+    """Sequential in-process execution (deterministic).
+
+    An optional tracer records one ``transport.batch`` span per
+    ``run_batch`` call — the host-side cost of dispatching a level of
+    tree-node work, as opposed to the per-node spans the Network records.
+    """
+
+    def __init__(self, *, tracer=None) -> None:
+        self.tracer = tracer or NOOP_TRACER
 
     def run_batch(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
-        return [fn(task) for task in tasks]
+        with self.tracer.span(
+            "transport.batch", cat="transport", n_tasks=len(tasks), backend="local"
+        ):
+            return [fn(task) for task in tasks]
 
     def close(self) -> None:  # nothing to release
         pass
@@ -55,15 +67,19 @@ class ProcessTransport:
     called (or use as a context manager) to reap workers.
     """
 
-    def __init__(self, n_workers: int | None = None) -> None:
+    def __init__(self, n_workers: int | None = None, *, tracer=None) -> None:
         if n_workers is not None and n_workers < 1:
             raise TransportError("n_workers must be >= 1")
         self.n_workers = n_workers or mp.cpu_count()
+        self.tracer = tracer or NOOP_TRACER
         self._pool: mp.pool.Pool | None = None
 
     def _ensure_pool(self) -> "mp.pool.Pool":
         if self._pool is None:
-            self._pool = mp.get_context("spawn").Pool(self.n_workers)
+            with self.tracer.span(
+                "transport.pool_start", cat="transport", n_workers=self.n_workers
+            ):
+                self._pool = mp.get_context("spawn").Pool(self.n_workers)
         return self._pool
 
     def run_batch(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
@@ -71,7 +87,10 @@ class ProcessTransport:
             return []
         try:
             pool = self._ensure_pool()
-            return pool.map(_invoke, [(fn, task) for task in tasks])
+            with self.tracer.span(
+                "transport.batch", cat="transport", n_tasks=len(tasks), backend="process"
+            ):
+                return pool.map(_invoke, [(fn, task) for task in tasks])
         except Exception as exc:  # pool failure or unpicklable payloads
             raise TransportError(f"process transport batch failed: {exc}") from exc
 

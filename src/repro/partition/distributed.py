@@ -35,6 +35,7 @@ from ..merge.representatives import select_representatives
 from ..merge.summary import cell_bounds
 from ..mrnet import FunctionFilter, Network, NetworkTrace, Topology, Transport
 from ..points import PointSet
+from ..telemetry.tracer import NOOP_TRACER, PID_PARTITION
 from .grid import GridHistogram, cell_of_coords
 from .partitioner import form_partitions, partition_points
 from .plan import PartitionPlan
@@ -124,11 +125,13 @@ class DistributedPartitioner:
         shadow_representatives: bool = False,
         shadow_rep_threshold: int = 64,
         output_mode: str = "lustre",
+        tracer=None,
     ) -> None:
         if n_partition_nodes < 1:
             raise PartitionError("need at least one partitioner node")
         if output_mode not in ("lustre", "network"):
             raise PartitionError(f"unknown output_mode {output_mode!r}")
+        self.tracer = tracer or NOOP_TRACER
         self.eps = float(eps)
         self.minpts = int(minpts)
         self.n_partition_nodes = int(n_partition_nodes)
@@ -192,36 +195,66 @@ class DistributedPartitioner:
     ) -> PartitionPhaseResult:
         io = IOTrace()
         n_nodes = len(leaf_points)
-        network = Network(Topology.flat(n_nodes), self.transport)
-
-        # 1. Each leaf reads its contiguous slice of the input file.
-        for leaf, lp in enumerate(leaf_points):
-            io.record(leaf, "read", len(lp) * RECORD_BYTES, sequential=True)
-
-        # 2. Local histograms, reduced to the root.
-        tasks = [_LeafHistogramTask(points=lp, eps=self.eps) for lp in leaf_points]
-        histograms, map_trace = network.map_leaves(_leaf_histogram, tasks)
-        histogram, reduce_trace = network.reduce(histograms, FunctionFilter(_merge_histograms))
-
-        # 3. Root forms partitions serially (§3.1.2).
-        t0 = time.perf_counter()
-        plan = form_partitions(
-            histogram, n_partitions, self.minpts, rebalance=self.rebalance
+        tracer = self.tracer
+        network = Network(
+            Topology.flat(n_nodes),
+            self.transport,
+            tracer=tracer,
+            trace_pid=PID_PARTITION,
         )
-        root_form_seconds = time.perf_counter() - t0
+        try:
+            # 1. Each leaf reads its contiguous slice of the input file.
+            for leaf, lp in enumerate(leaf_points):
+                io.record(leaf, "read", len(lp) * RECORD_BYTES, sequential=True)
 
-        # 4. Boundaries broadcast back to the leaves.
-        plans, multicast_trace = network.multicast(plan)
+            # 2. Local histograms, reduced to the root.
+            tasks = [_LeafHistogramTask(points=lp, eps=self.eps) for lp in leaf_points]
+            histograms, map_trace = network.map_leaves(
+                _leaf_histogram, tasks, name="partition.histogram"
+            )
+            histogram, reduce_trace = network.reduce(
+                histograms,
+                FunctionFilter(_merge_histograms),
+                name="partition.histogram",
+            )
 
-        # 5. Leaves emit their contributions: either offset writes to the
-        #    shared partition file (the paper's path) or messages straight
-        #    to the clustering leaves (the §6 future-work path).
-        contributions = []
-        route_seconds: dict[int, float] = {}
-        for leaf, (lp, p) in enumerate(zip(leaf_points, plans)):
+            # 3. Root forms partitions serially (§3.1.2).
             t0 = time.perf_counter()
-            contributions.append(partition_points(lp, p))
-            route_seconds[leaf] = time.perf_counter() - t0
+            with tracer.span(
+                "partition.form",
+                cat="partition",
+                pid=PID_PARTITION,
+                tid=0,
+                n_partitions=n_partitions,
+            ):
+                plan = form_partitions(
+                    histogram, n_partitions, self.minpts, rebalance=self.rebalance
+                )
+            root_form_seconds = time.perf_counter() - t0
+
+            # 4. Boundaries broadcast back to the leaves.
+            plans, multicast_trace = network.multicast(plan, name="partition.plan")
+
+            # 5. Leaves emit their contributions: either offset writes to the
+            #    shared partition file (the paper's path) or messages straight
+            #    to the clustering leaves (the §6 future-work path).
+            contributions = []
+            route_seconds: dict[int, float] = {}
+            for leaf, (lp, p) in enumerate(zip(leaf_points, plans)):
+                t0 = time.perf_counter()
+                contributions.append(partition_points(lp, p))
+                route_seconds[leaf] = time.perf_counter() - t0
+                tracer.add_span(
+                    "partition.route",
+                    t0,
+                    t0 + route_seconds[leaf],
+                    cat="partition",
+                    pid=PID_PARTITION,
+                    tid=leaf,
+                    n_points=len(lp),
+                )
+        finally:
+            network.close()
         distribute = NetworkTrace() if self.output_mode == "network" else None
         partitions: list[tuple[PointSet, PointSet]] = []
         saved = 0
@@ -263,7 +296,6 @@ class DistributedPartitioner:
             file_set = PartitionFileSet(workdir / "partitions.bin")
             file_set.write(partitions)
 
-        network.close()
         return PartitionPhaseResult(
             plan=plan,
             partitions=partitions,

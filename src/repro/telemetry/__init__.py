@@ -1,0 +1,79 @@
+"""Observability for the Mr. Scan pipeline: spans, metrics, exporters.
+
+The paper's whole evaluation is a story about where time and bytes go in
+partition → cluster → merge → sweep (Figs 8–13, Table 1); this package is
+the live-run counterpart of those figures.  Three pieces:
+
+* :class:`Tracer` — nested, thread/worker-safe spans and instant events
+  on logical (pid, tid) tracks mirroring the simulated machine, with a
+  shared zero-overhead no-op (:data:`NOOP_TRACER`) as the default;
+* :class:`Metrics` — a counter/gauge/histogram registry the existing stat
+  objects feed through :mod:`repro.telemetry.adapters`;
+* exporters — Chrome ``trace_event`` JSON (open in ``chrome://tracing``
+  or Perfetto), flat JSONL, and a human summary table.
+
+Enable per run with ``mrscan(..., telemetry=True)`` or build a
+:class:`Telemetry` yourself and pass it to ``run_pipeline``; the CLI's
+``cluster --trace-out trace.json`` wires it end to end.
+"""
+
+from .adapters import (
+    record_device_stats,
+    record_gpu_stats,
+    record_io_trace,
+    record_merge_outcomes,
+    record_network_trace,
+    record_result,
+)
+from .export import (
+    chrome_trace_events,
+    jsonl_lines,
+    summary_table,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import NOOP_METRICS, Counter, Gauge, Histogram, Metrics, NoopMetrics
+from .runtime import Telemetry
+from .tracer import (
+    NOOP_TRACER,
+    PID_DRIVER,
+    PID_GPU,
+    PID_PARTITION,
+    PID_TREE,
+    TRACK_NAMES,
+    NoopTracer,
+    SpanRecord,
+    Tracer,
+)
+
+__all__ = [
+    "Telemetry",
+    "Tracer",
+    "NoopTracer",
+    "NOOP_TRACER",
+    "SpanRecord",
+    "Metrics",
+    "NoopMetrics",
+    "NOOP_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "PID_DRIVER",
+    "PID_PARTITION",
+    "PID_TREE",
+    "PID_GPU",
+    "TRACK_NAMES",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "jsonl_lines",
+    "write_jsonl",
+    "summary_table",
+    "record_device_stats",
+    "record_gpu_stats",
+    "record_network_trace",
+    "record_io_trace",
+    "record_merge_outcomes",
+    "record_result",
+]

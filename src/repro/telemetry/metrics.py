@@ -1,0 +1,216 @@
+"""Metrics: counters, gauges, and histograms with a named registry.
+
+Where spans answer *when*, metrics answer *how much*: bytes up the merge
+tree, kernel launches per leaf, distance ops, I/O volume.  The existing
+stat objects (``DeviceStats``, ``NetworkTrace``, ``IOTrace``,
+``MrScanGPUStats``, ``MergeOutcome``) feed the registry through the
+adapter hooks in :mod:`repro.telemetry.adapters`.
+
+The registry is thread-safe (instrument creation and updates take a
+lock-free fast path where possible — plain float/int adds under a lock is
+plenty at the rates the pipeline records).  A shared no-op registry,
+:data:`NOOP_METRICS`, mirrors the tracer's zero-overhead off mode.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "NoopMetrics",
+    "NOOP_METRICS",
+]
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {n})")
+        self.value += n
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value (e.g. peak device allocation, leaf count)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, v: int | float) -> None:
+        self.value = v
+
+    def max(self, v: int | float) -> None:
+        """Keep the maximum of the written values."""
+        if v > self.value:
+            self.value = v
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/mean).
+
+    Deliberately not bucketed: the pipeline's distributions are small
+    (one observation per leaf or node), so the exporters print the full
+    five-number summary from the raw moments.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, v: int | float) -> None:
+        v = float(v)
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+        }
+
+
+class Metrics:
+    """Named instrument registry.
+
+    ``counter``/``gauge``/``histogram`` create on first use and return the
+    existing instrument afterwards; asking for the same name with a
+    different type is an error (it would silently split the data).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls: type) -> Any:
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = self._instruments[name] = cls(name)
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(inst).__name__}, requested {cls.__name__}"
+                )
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        with self._lock:
+            return iter(sorted(self._instruments.values(), key=lambda i: i.name))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        return self._instruments.get(name)
+
+    def as_dict(self) -> dict[str, dict[str, Any]]:
+        return {inst.name: inst.as_dict() for inst in self}
+
+
+class _NoopInstrument:
+    """One object that answers every instrument method with nothing."""
+
+    __slots__ = ()
+    name = "noop"
+    value = 0
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def inc(self, n: int | float = 1) -> None:
+        return None
+
+    def set(self, v: int | float) -> None:
+        return None
+
+    def max(self, v: int | float) -> None:
+        return None
+
+    def observe(self, v: int | float) -> None:
+        return None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {}
+
+
+_NOOP_INSTRUMENT = _NoopInstrument()
+
+
+class NoopMetrics:
+    """Registry whose instruments discard everything (the off mode)."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def gauge(self, name: str) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def histogram(self, name: str) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def get(self, name: str) -> None:
+        return None
+
+    def as_dict(self) -> dict[str, dict[str, Any]]:
+        return {}
+
+
+#: Shared no-op registry — the default everywhere metrics are optional.
+NOOP_METRICS = NoopMetrics()

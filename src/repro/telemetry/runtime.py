@@ -1,0 +1,55 @@
+"""The :class:`Telemetry` bundle: one tracer + one metrics registry.
+
+Everything the pipeline threads around is this pair.  ``Telemetry()`` is
+the live collector; ``Telemetry.disabled()`` is a shared singleton whose
+tracer and metrics are the zero-overhead no-ops — the default for every
+run, so un-instrumented users pay nothing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .export import summary_table, write_chrome_trace, write_jsonl
+from .metrics import NOOP_METRICS, Metrics, NoopMetrics
+from .tracer import NOOP_TRACER, NoopTracer, Tracer
+
+__all__ = ["Telemetry"]
+
+
+class Telemetry:
+    """A tracer and a metrics registry travelling together."""
+
+    _disabled_singleton: "Telemetry | None" = None
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        if enabled:
+            self.tracer: Tracer | NoopTracer = Tracer()
+            self.metrics: Metrics | NoopMetrics = Metrics()
+        else:
+            self.tracer = NOOP_TRACER
+            self.metrics = NOOP_METRICS
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """The shared no-op bundle (allocation-free after first use)."""
+        if cls._disabled_singleton is None:
+            cls._disabled_singleton = cls(enabled=False)
+        return cls._disabled_singleton
+
+    # ------------------------------------------------------------------ #
+    # Export conveniences
+    # ------------------------------------------------------------------ #
+
+    def write_chrome_trace(self, path: str | Path) -> int:
+        return write_chrome_trace(path, self)
+
+    def write_jsonl(self, path: str | Path) -> int:
+        return write_jsonl(path, self)
+
+    def summary(self) -> str:
+        return summary_table(self)

@@ -81,6 +81,52 @@ def test_negative_retries_rejected():
         Network(Topology.flat(2), retries=-1)
 
 
+def test_retry_does_not_rerun_node_work():
+    """A recovered retry re-polls the injector, it does NOT re-run work.
+
+    Faults are polled before the phase's node work executes
+    (``Network._poll_faults``), so the work function runs exactly once
+    per leaf regardless of how many crashed attempts preceded it.  A
+    robustness test that needs at-least-once *re-execution* semantics
+    cannot get them from ``retries`` — this pins that down.
+    """
+    topo = Topology.flat(3)
+    injector = CrashOnce(topo.leaves()[1], "map")
+    net = Network(topo, fault_injector=injector, retries=2)
+    calls: list[int] = []
+
+    def work(x):
+        calls.append(x)
+        return x
+
+    results, _ = net.map_leaves(work, [10, 20, 30])
+    assert results == [10, 20, 30]
+    assert calls == [10, 20, 30]  # one execution per leaf, no re-runs
+    assert net.fault_log == [(topo.leaves()[1], "map")]
+
+
+def test_fault_log_counts_every_crashed_attempt():
+    """Each crashed poll lands in fault_log, so attempt counts are visible."""
+
+    class CrashTwice:
+        def __init__(self, node: int) -> None:
+            self.node = node
+            self.crashes = 0
+
+        def __call__(self, node: int, phase: str) -> bool:
+            if node == self.node and self.crashes < 2:
+                self.crashes += 1
+                return True
+            return False
+
+    topo = Topology.flat(2)
+    target = topo.leaves()[0]
+    net = Network(topo, fault_injector=CrashTwice(target), retries=2)
+    results, _ = net.map_leaves(lambda x: x, [1, 2])
+    assert results == [1, 2]
+    assert net.fault_log == [(target, "map"), (target, "map")]
+
+
 def test_no_injector_no_overhead():
     net = Network(Topology.flat(3))
     total, _ = net.reduce([1, 2, 3], SumFilter())

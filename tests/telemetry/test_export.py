@@ -1,0 +1,102 @@
+"""Exporters: Chrome trace_event schema, JSONL round-trip, summary table."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.telemetry import Telemetry, chrome_trace_events
+from repro.telemetry.tracer import PID_GPU
+
+
+def _sample_telemetry() -> Telemetry:
+    t = Telemetry()
+    with t.tracer.span("partition", cat="phase"):
+        with t.tracer.span("partition.form", cat="partition", n_partitions=4):
+            pass
+    t.tracer.instant("kernel", cat="gpu", pid=PID_GPU, tid=2, blocks=np.int64(8))
+    t.metrics.counter("gpu.device.kernel_launches").inc(3)
+    t.metrics.histogram("ops").observe(1.5)
+    return t
+
+
+def test_chrome_trace_event_schema():
+    t = _sample_telemetry()
+    events = chrome_trace_events(t.tracer.records, origin=t.tracer.origin)
+    assert events, "no events exported"
+    for ev in events:
+        assert ev["ph"] in ("X", "i", "M")
+        assert isinstance(ev["name"], str)
+        assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+        if ev["ph"] == "M":
+            assert ev["name"] in ("process_name", "thread_name")
+            assert "name" in ev["args"]
+            continue
+        assert isinstance(ev["ts"], float) and ev["ts"] >= 0  # µs from origin
+        assert isinstance(ev["args"], dict)
+        if ev["ph"] == "X":
+            assert ev["dur"] >= 0
+        else:
+            assert ev["s"] == "t"
+    # Metadata names every (pid, tid) track that appears.
+    tracks = {(e["pid"], e["tid"]) for e in events if e["ph"] not in ("M",)}
+    named = {(e["pid"], e["tid"]) for e in events if e["name"] == "thread_name"}
+    assert tracks <= named
+
+
+def test_write_chrome_trace_is_valid_json(tmp_path):
+    t = _sample_telemetry()
+    path = tmp_path / "trace.json"
+    n = t.write_chrome_trace(path)
+    doc = json.loads(path.read_text())
+    assert len(doc["traceEvents"]) == n
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["otherData"]["metrics"]["gpu.device.kernel_launches"]["value"] == 3
+    # numpy attribute values must have been coerced to plain ints.
+    kernel = [e for e in doc["traceEvents"] if e["name"] == "kernel"]
+    assert kernel and kernel[0]["args"]["blocks"] == 8
+
+
+def test_spans_nest_in_chrome_timeline():
+    """Child X-events must sit inside the parent's [ts, ts+dur] window."""
+    t = _sample_telemetry()
+    events = [e for e in chrome_trace_events(t.tracer.records) if e["ph"] == "X"]
+    by_name = {e["name"]: e for e in events}
+    outer, inner = by_name["partition"], by_name["partition.form"]
+    assert outer["ts"] <= inner["ts"]
+    assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+
+
+def test_jsonl_round_trip(tmp_path):
+    t = _sample_telemetry()
+    path = tmp_path / "events.jsonl"
+    n = t.write_jsonl(path)
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(lines) == n
+    kinds = {line["type"] for line in lines}
+    assert kinds == {"span", "instant", "metric"}
+    spans = {line["name"]: line for line in lines if line["type"] == "span"}
+    assert spans["partition.form"]["parent"] == spans["partition"]["id"]
+    assert spans["partition.form"]["depth"] == 1
+    metrics = {line["name"] for line in lines if line["type"] == "metric"}
+    assert "gpu.device.kernel_launches" in metrics
+
+
+def test_summary_table_mentions_spans_and_metrics():
+    t = _sample_telemetry()
+    text = t.summary()
+    assert "partition.form" in text
+    assert "gpu.device.kernel_launches" in text
+    assert "instant events: 1" in text
+
+
+def test_disabled_telemetry_exports_empty(tmp_path):
+    t = Telemetry.disabled()
+    assert Telemetry.disabled() is t  # shared singleton
+    assert not t.enabled
+    path = tmp_path / "empty.json"
+    t.write_chrome_trace(path)
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"] == []
+    assert t.write_jsonl(tmp_path / "empty.jsonl") == 0

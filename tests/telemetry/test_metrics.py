@@ -1,0 +1,113 @@
+"""Metrics registry: instruments, registry semantics, adapters, no-op."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.device import DeviceStats
+from repro.io.lustre import IOTrace
+from repro.mrnet.packets import NetworkTrace
+from repro.telemetry import (
+    NOOP_METRICS,
+    Metrics,
+    record_device_stats,
+    record_io_trace,
+    record_network_trace,
+)
+
+
+def test_counter_accumulates_and_rejects_decrease():
+    m = Metrics()
+    c = m.counter("bytes")
+    c.inc(10)
+    c.inc(5)
+    assert c.value == 15
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_set_and_max():
+    m = Metrics()
+    g = m.gauge("peak")
+    g.set(5)
+    g.max(3)
+    assert g.value == 5
+    g.max(9)
+    assert g.value == 9
+
+
+def test_histogram_summary_stats():
+    m = Metrics()
+    h = m.histogram("ops")
+    for v in (1, 2, 3, 10):
+        h.observe(v)
+    assert h.count == 4
+    assert h.min == 1 and h.max == 10
+    assert h.mean == 4.0
+    d = h.as_dict()
+    assert d["type"] == "histogram" and d["sum"] == 16.0
+
+
+def test_registry_returns_same_instrument_and_rejects_type_conflicts():
+    m = Metrics()
+    assert m.counter("x") is m.counter("x")
+    with pytest.raises(TypeError):
+        m.gauge("x")
+    assert len(m) == 1
+    assert m.get("x").value == 0
+    assert m.get("missing") is None
+
+
+def test_as_dict_sorted_and_typed():
+    m = Metrics()
+    m.counter("b").inc(2)
+    m.gauge("a").set(1.5)
+    d = m.as_dict()
+    assert list(d) == ["a", "b"]
+    assert d["a"] == {"type": "gauge", "value": 1.5}
+    assert d["b"] == {"type": "counter", "value": 2}
+
+
+def test_noop_metrics_discard_everything():
+    NOOP_METRICS.counter("c").inc(5)
+    NOOP_METRICS.gauge("g").set(1)
+    NOOP_METRICS.histogram("h").observe(2)
+    assert len(NOOP_METRICS) == 0
+    assert NOOP_METRICS.as_dict() == {}
+    assert not NOOP_METRICS.enabled
+
+
+def test_device_stats_adapter():
+    m = Metrics()
+    stats = DeviceStats(h2d_ops=2, h2d_bytes=100, kernel_launches=3, peak_allocated=50)
+    record_device_stats(m, stats, leaf_id=0)
+    assert m.get("gpu.device.h2d_bytes").value == 100
+    assert m.get("gpu.device.kernel_launches").value == 3
+    assert m.get("gpu.device.peak_allocated").value == 50
+    # A second leaf accumulates counters and maxes the gauge.
+    record_device_stats(m, DeviceStats(h2d_bytes=1, peak_allocated=20), leaf_id=1)
+    assert m.get("gpu.device.h2d_bytes").value == 101
+    assert m.get("gpu.device.peak_allocated").value == 50
+    assert m.get("gpu.device.kernel_launches_per_leaf").count == 2
+
+
+def test_network_trace_adapter():
+    m = Metrics()
+    trace = NetworkTrace()
+    trace.record(1, 0, "reduce", b"abcd")
+    trace.add_compute(0, 0.25)
+    record_network_trace(m, "merge_reduce", trace)
+    assert m.get("mrnet.merge_reduce.packets").value == 1
+    assert m.get("mrnet.merge_reduce.bytes").value == 4
+    assert m.get("mrnet.merge_reduce.node_seconds").count == 1
+
+
+def test_io_trace_adapter_counts_random_ops():
+    m = Metrics()
+    trace = IOTrace()
+    trace.record(0, "read", 1024, sequential=True)
+    trace.record(1, "write", 64, sequential=False)
+    record_io_trace(m, "partition", trace)
+    assert m.get("io.partition.read_bytes").value == 1024
+    assert m.get("io.partition.write_ops").value == 1
+    assert m.get("io.partition.random_ops").value == 1

@@ -1,0 +1,165 @@
+"""Tracer: span nesting, ordering, worker merging, and the no-op mode."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.telemetry import NOOP_TRACER, NoopTracer, Tracer
+from repro.telemetry.tracer import PID_GPU, PID_TREE
+
+
+def test_span_records_name_cat_and_duration():
+    tr = Tracer()
+    with tr.span("work", cat="test", answer=42):
+        time.sleep(0.001)
+    (rec,) = tr.records
+    assert rec.name == "work"
+    assert rec.cat == "test"
+    assert rec.ph == "X"
+    assert rec.dur >= 0.001
+    assert rec.args == {"answer": 42}
+
+
+def test_span_nesting_parent_and_depth():
+    tr = Tracer()
+    with tr.span("outer"):
+        with tr.span("middle"):
+            with tr.span("inner"):
+                pass
+        with tr.span("middle2"):
+            pass
+    by_name = {r.name: r for r in tr.records}
+    assert by_name["outer"].depth == 0
+    assert by_name["outer"].parent == -1
+    assert by_name["middle"].depth == 1
+    assert by_name["middle"].parent == by_name["outer"].span_id
+    assert by_name["inner"].depth == 2
+    assert by_name["inner"].parent == by_name["middle"].span_id
+    assert by_name["middle2"].parent == by_name["outer"].span_id
+
+
+def test_span_ordering_children_close_before_parents():
+    tr = Tracer()
+    with tr.span("outer"):
+        with tr.span("inner"):
+            pass
+    inner, outer = tr.records
+    assert inner.name == "inner" and outer.name == "outer"
+    assert outer.ts <= inner.ts
+    assert outer.ts + outer.dur >= inner.ts + inner.dur
+
+
+def test_set_attaches_attributes_while_open():
+    tr = Tracer()
+    with tr.span("work") as sp:
+        sp.set(found=3)
+    assert tr.records[0].args == {"found": 3}
+
+
+def test_add_span_retroactive():
+    tr = Tracer()
+    t0 = time.perf_counter()
+    tr.add_span("node", t0, t0 + 0.5, pid=PID_TREE, tid=7, bytes_in=128)
+    (rec,) = tr.records
+    assert rec.tid == 7 and rec.pid == PID_TREE
+    assert abs(rec.dur - 0.5) < 1e-9
+    assert rec.args["bytes_in"] == 128
+
+
+def test_instant_events():
+    tr = Tracer()
+    tr.instant("kernel", cat="gpu", pid=PID_GPU, tid=3, blocks=64)
+    (rec,) = tr.records
+    assert rec.ph == "i"
+    assert rec.dur == 0.0
+    assert rec.args["blocks"] == 64
+    assert tr.instants() == [rec] and tr.spans() == []
+
+
+def test_drain_and_ingest_merges_worker_spans():
+    worker = Tracer()
+    with worker.span("leaf.outer", pid=PID_GPU, tid=5):
+        with worker.span("leaf.inner", pid=PID_GPU, tid=5):
+            pass
+    shipped = worker.drain()
+    assert worker.records == []
+
+    parent = Tracer()
+    with parent.span("driver"):
+        pass
+    parent.ingest(shipped)
+    by_name = {r.name: r for r in parent.records}
+    assert set(by_name) == {"driver", "leaf.outer", "leaf.inner"}
+    # Parent links survive the id remap; ids stay unique.
+    assert by_name["leaf.inner"].parent == by_name["leaf.outer"].span_id
+    ids = [r.span_id for r in parent.records]
+    assert len(ids) == len(set(ids))
+
+
+def test_ingest_can_rehome_tracks():
+    worker = Tracer()
+    worker.instant("kernel", pid=PID_GPU, tid=0)
+    parent = Tracer()
+    parent.ingest(worker.drain(), tid=9)
+    assert parent.records[0].tid == 9
+
+
+def test_threaded_spans_do_not_interleave_stacks():
+    tr = Tracer()
+    errors: list[Exception] = []
+
+    def worker(tid: int) -> None:
+        try:
+            for _ in range(50):
+                with tr.span("outer", tid=tid):
+                    with tr.span("inner", tid=tid):
+                        pass
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    inner = [r for r in tr.records if r.name == "inner"]
+    # Each thread's stack is thread-local: every inner nests under an
+    # outer of the same logical tid.
+    by_id = {r.span_id: r for r in tr.records}
+    assert len(inner) == 200
+    for r in inner:
+        assert r.depth == 1
+        assert by_id[r.parent].name == "outer"
+        assert by_id[r.parent].tid == r.tid
+
+
+def test_noop_tracer_records_nothing():
+    tr = NoopTracer()
+    with tr.span("x", whatever=1) as sp:
+        sp.set(more=2)
+        tr.instant("y")
+        tr.add_span("z", 0.0, 1.0)
+    assert tr.records == []
+    assert tr.drain() == []
+    assert not tr.enabled
+
+
+def test_noop_tracer_is_allocation_free_shared_handle():
+    h1 = NOOP_TRACER.span("a", k=1)
+    h2 = NOOP_TRACER.span("b")
+    assert h1 is h2  # one shared handle, no per-call allocation
+
+
+def test_noop_tracer_overhead_is_negligible():
+    """The off mode must be cheap enough to leave on every hot path."""
+    n = 200_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with NOOP_TRACER.span("hot", bytes=123):
+            pass
+    per_call = (time.perf_counter() - t0) / n
+    # Generous bound (5µs/call) so slow CI cannot flake; the real cost is
+    # tens of nanoseconds.
+    assert per_call < 5e-6
