@@ -24,6 +24,7 @@ Finer-grained control lives in the subpackages:
 ``repro.quality``   the DBDC quality metric (Fig 11)
 ``repro.perf``      Titan-calibrated performance model (Figs 8-10,12,13)
 ``repro.telemetry`` spans, metrics, Chrome-trace/JSONL exporters
+``repro.resilience`` fault plans, retries/failover, checkpoints, chaos
 ==================  ====================================================
 """
 
@@ -60,6 +61,7 @@ def __getattr__(name: str):
         "quality",
         "perf",
         "telemetry",
+        "resilience",
     }
     if name in lazy:
         mod = importlib.import_module(f".{name}", __name__)

@@ -75,6 +75,36 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record telemetry and print the span/metric summary table",
     )
+    clu.add_argument(
+        "--faults",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="inject faults from a FaultPlan JSON file (chaos testing); "
+        "the run recovers via retries/failover and reports every event",
+    )
+    clu.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="per-node retry budget before failover (default 2)",
+    )
+    clu.add_argument(
+        "--leaf-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="deadline per leaf attempt; a straggler exceeding it fails "
+        "with LeafTimeoutError and is retried (default: none)",
+    )
+    clu.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="checkpoint each leaf's clustering output so retried or "
+        "failed-over leaves resume without re-clustering",
+    )
 
     ana = sub.add_parser("analyze", help="per-cluster statistics of a clustering")
     ana.add_argument("input", type=Path, help="point file")
@@ -149,6 +179,15 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         if not path.parent.exists():
             print(f"error: {opt}: directory {path.parent} does not exist", file=sys.stderr)
             return 2
+    fault_plan = None
+    if args.faults is not None:
+        from .resilience import FaultPlan
+
+        if not args.faults.exists():
+            print(f"error: --faults {args.faults} does not exist", file=sys.stderr)
+            return 2
+        fault_plan = FaultPlan.load(args.faults)
+        print(f"injecting {fault_plan.describe()}")
     points = _load_points(args.input)
     trace_enabled = bool(args.trace_out or args.trace_jsonl or args.trace_summary)
     result = mrscan(
@@ -162,7 +201,29 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         leaf_algorithm=args.algorithm,
         partition_output=args.partition_output,
         telemetry=trace_enabled,
+        fault_plan=fault_plan,
+        max_retries=args.max_retries,
+        leaf_timeout=args.leaf_timeout,
+        checkpoint_dir=(
+            str(args.checkpoint_dir) if args.checkpoint_dir is not None else None
+        ),
     )
+    if result.fault_summary.get("total"):
+        print(
+            "faults survived: "
+            + ", ".join(
+                f"{k}={v}" for k, v in result.fault_summary["by_kind"].items()
+            )
+            + " | actions: "
+            + ", ".join(
+                f"{k}={v}" for k, v in result.fault_summary["by_action"].items()
+            )
+            + (
+                f" | checkpoint hits: {result.checkpoint_hits}"
+                if result.checkpoint_hits
+                else ""
+            )
+        )
     if args.json:
         print(
             json.dumps(
@@ -173,6 +234,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                     "n_leaves": result.n_leaves,
                     "timings": result.timings.as_dict(),
                     "densebox_eliminated": result.total_densebox_eliminated,
+                    "faults": result.fault_summary,
+                    "checkpoint_hits": result.checkpoint_hits,
                 },
                 indent=1,
             )

@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 from ..errors import ConfigError
 from ..gpu.device import DeviceConfig
 from ..mrnet.topology import PAPER_FANOUT
+from ..resilience.faults import FaultPlan
+from ..resilience.policy import ResiliencePolicy, RetryPolicy
 
 __all__ = ["MrScanConfig", "table1_partition_nodes", "TABLE1_CONFIGS"]
 
@@ -82,6 +84,23 @@ class MrScanConfig:
     #: nothing.  ``run_pipeline(..., telemetry=...)`` can also supply a
     #: pre-built Telemetry, which takes precedence over this flag.
     telemetry: bool = False
+    #: Faults to inject (chaos testing): a :class:`repro.resilience.FaultPlan`
+    #: consulted per (node, phase, attempt) across both MRNet trees.
+    fault_plan: FaultPlan | None = None
+    #: Retry budget per tree node before it is declared dead.
+    max_retries: int = 2
+    #: First backoff sleep between retry rounds (doubles per round; 0
+    #: disables sleeping, which chaos tests use to stay fast).
+    backoff_base: float = 0.05
+    #: Seconds one leaf attempt may take before it fails with
+    #: LeafTimeoutError (None = no deadline).
+    leaf_timeout: float | None = None
+    #: Re-host a dead node's work (leaf -> surviving sibling, internal ->
+    #: live ancestor) instead of aborting once retries are exhausted.
+    failover: bool = True
+    #: Directory for per-leaf output checkpoints; a retried or failed-over
+    #: leaf resumes from its spill file instead of re-clustering.
+    checkpoint_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.eps <= 0:
@@ -106,6 +125,16 @@ class MrScanConfig:
                 f"leaf_algorithm must be 'mrscan' or 'cuda-dclust', got "
                 f"{self.leaf_algorithm!r}"
             )
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.backoff_base < 0:
+            raise ConfigError("backoff_base must be >= 0")
+        if self.leaf_timeout is not None and self.leaf_timeout <= 0:
+            raise ConfigError("leaf_timeout must be positive (or None)")
+        if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
+            raise ConfigError(
+                f"fault_plan must be a FaultPlan, got {type(self.fault_plan)!r}"
+            )
 
     @property
     def partition_nodes(self) -> int:
@@ -113,3 +142,14 @@ class MrScanConfig:
         if self.n_partition_nodes is not None:
             return self.n_partition_nodes
         return table1_partition_nodes(self.n_leaves)
+
+    def resilience_policy(self) -> ResiliencePolicy:
+        """The :class:`~repro.resilience.ResiliencePolicy` both MRNet
+        trees run under, assembled from the retry/timeout/failover knobs."""
+        return ResiliencePolicy(
+            retry=RetryPolicy(
+                max_retries=self.max_retries, backoff_base=self.backoff_base
+            ),
+            leaf_timeout=self.leaf_timeout,
+            failover=self.failover,
+        )

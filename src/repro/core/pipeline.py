@@ -11,11 +11,11 @@ from __future__ import annotations
 
 import logging
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from ..errors import ConfigError
+from ..errors import CheckpointError, ConfigError, DeviceMemoryError
 from ..gpu.device import SimulatedDevice
 from ..gpu.mrscan_gpu import mrscan_gpu
 from ..io.lustre import IOTrace
@@ -25,6 +25,8 @@ from ..merge.summary import LeafSummary, summarize_leaf
 from ..mrnet import Network, Topology, Transport
 from ..partition.distributed import DistributedPartitioner, RECORD_BYTES
 from ..points import PointSet
+from ..resilience.checkpoint import LeafCheckpointStore
+from ..resilience.faults import FaultLog
 from ..sweep.sweep import combine_core_masks, combine_leaf_outputs, sweep_leaf
 from ..telemetry import Telemetry, record_result
 from ..telemetry.tracer import NOOP_TRACER, PID_DRIVER, PID_GPU, PID_TREE, Tracer
@@ -37,6 +39,15 @@ __all__ = ["mrscan", "run_pipeline"]
 logger = logging.getLogger("repro.pipeline")
 
 
+#: Cap on OOM-degradation splitting: beyond this many chunks the
+#: partition genuinely does not fit and the leaf fails for real.
+MAX_MEMORY_CHUNKS = 256
+
+#: Rough per-point device footprint in bytes (coords + labels/flags/queue
+#: state) — the cost model leaf failover uses to respect device capacity.
+_DEVICE_BYTES_PER_POINT = 33
+
+
 @dataclass
 class _ClusterLeafTask:
     """Everything one clustering leaf needs (picklable)."""
@@ -47,6 +58,16 @@ class _ClusterLeafTask:
     owned_cells: frozenset
     config: MrScanConfig
     trace: bool = False
+    #: Directory of per-leaf spill checkpoints (None = no checkpointing).
+    checkpoint_dir: str | None = None
+    #: Device-buffer streaming factor (doubled on DeviceMemoryError).
+    memory_chunks: int = 1
+
+    def device_cost(self) -> float:
+        """Estimated device-memory footprint of this task in bytes."""
+        return float(
+            (len(self.own) + len(self.shadow)) * _DEVICE_BYTES_PER_POINT
+        ) / max(self.memory_chunks, 1)
 
 
 @dataclass
@@ -58,6 +79,9 @@ class _ClusterLeafOutput:
     summary: LeafSummary
     n_owned: int
     spans: list = field(default_factory=list)
+    #: True when the output was recovered from a spill checkpoint (the
+    #: GPU clustering pass did not run).
+    from_checkpoint: bool = False
 
 
 def _cluster_leaf(task: _ClusterLeafTask) -> _ClusterLeafOutput:
@@ -70,62 +94,125 @@ def _cluster_leaf(task: _ClusterLeafTask) -> _ClusterLeafOutput:
     When ``task.trace`` is set the leaf records into its *own* tracer and
     ships the drained spans back with the result — the worker-safe way to
     trace leaves that may run in another process.
+
+    Resilience: with ``task.checkpoint_dir`` set the leaf first looks for
+    a valid spill checkpoint (a retried or failed-over leaf resumes
+    without re-clustering — a corrupt checkpoint is treated as a miss);
+    its fresh output is checkpointed before returning.  A
+    ``DeviceMemoryError`` mid-run degrades gracefully: the device is
+    reset and the run retried with the partition streamed in twice as
+    many memory chunks (identical labels, more transfers), up to
+    :data:`MAX_MEMORY_CHUNKS`.
     """
     cfg = task.config
+    store = (
+        LeafCheckpointStore(task.checkpoint_dir) if task.checkpoint_dir else None
+    )
+    if store is not None and store.has(task.leaf_id):
+        try:
+            ckpt = store.load(task.leaf_id)
+        except CheckpointError:
+            pass  # corrupt or torn checkpoint: recompute from scratch
+        else:
+            return _ClusterLeafOutput(
+                leaf_id=task.leaf_id,
+                labels=ckpt.labels,
+                core_mask=ckpt.core_mask,
+                stats=ckpt.stats,
+                summary=ckpt.summary,
+                n_owned=ckpt.n_owned,
+                from_checkpoint=True,
+            )
     view = task.own.concat(task.shadow)
     tracer = Tracer() if task.trace else NOOP_TRACER
     device = SimulatedDevice(cfg.device, tracer=tracer, trace_tid=task.leaf_id)
-    with tracer.span(
-        "leaf.cluster",
-        cat="gpu",
-        pid=PID_GPU,
-        tid=task.leaf_id,
-        algorithm=cfg.leaf_algorithm,
-        n_points=len(view),
-    ) as leaf_span:
-        if cfg.leaf_algorithm == "cuda-dclust":
-            from ..gpu.cuda_dclust import cuda_dclust
-            from ..gpu.mrscan_gpu import MrScanGPUStats
+    try:
+        with tracer.span(
+            "leaf.cluster",
+            cat="gpu",
+            pid=PID_GPU,
+            tid=task.leaf_id,
+            algorithm=cfg.leaf_algorithm,
+            n_points=len(view),
+        ) as leaf_span:
+            if cfg.leaf_algorithm == "cuda-dclust":
+                from ..gpu.cuda_dclust import cuda_dclust
+                from ..gpu.mrscan_gpu import MrScanGPUStats
 
-            labels, core_mask, base = cuda_dclust(
-                view, cfg.eps, cfg.minpts, device=device
+                labels, core_mask, base = cuda_dclust(
+                    view, cfg.eps, cfg.minpts, device=device
+                )
+                stats = MrScanGPUStats(
+                    n_points=base.n_points,
+                    n_core=int(core_mask.sum()),
+                    n_boxes=0,
+                    n_eliminated=0,
+                    pass1_ops=0,
+                    pass2_ops=base.distance_ops,
+                    kernel_launches=device.stats.kernel_launches,
+                    sync_round_trips=base.sync_round_trips,
+                    device=device.stats.as_dict(),
+                )
+            else:
+                chunks = max(1, int(task.memory_chunks))
+                while True:
+                    try:
+                        result = mrscan_gpu(
+                            view,
+                            cfg.eps,
+                            cfg.minpts,
+                            device=device,
+                            use_densebox=cfg.use_densebox,
+                            claim_box_borders=cfg.claim_box_borders,
+                            memory_chunks=chunks,
+                        )
+                        break
+                    except DeviceMemoryError:
+                        if chunks >= MAX_MEMORY_CHUNKS:
+                            raise
+                        chunks *= 2
+                        device.reset()
+                        tracer.instant(
+                            "oom.split",
+                            cat="gpu",
+                            pid=PID_GPU,
+                            tid=task.leaf_id,
+                            memory_chunks=chunks,
+                        )
+                labels, core_mask, stats = (
+                    result.labels,
+                    result.core_mask,
+                    result.stats,
+                )
+            leaf_span.set(
+                n_core=stats.n_core,
+                distance_ops=stats.total_distance_ops,
+                kernel_launches=stats.kernel_launches,
             )
-            stats = MrScanGPUStats(
-                n_points=base.n_points,
-                n_core=int(core_mask.sum()),
-                n_boxes=0,
-                n_eliminated=0,
-                pass1_ops=0,
-                pass2_ops=base.distance_ops,
-                kernel_launches=device.stats.kernel_launches,
-                sync_round_trips=base.sync_round_trips,
-                device=device.stats.as_dict(),
-            )
-        else:
-            result = mrscan_gpu(
+        with tracer.span(
+            "leaf.summarize", cat="gpu", pid=PID_GPU, tid=task.leaf_id
+        ):
+            summary = summarize_leaf(
+                task.leaf_id,
                 view,
+                labels,
+                core_mask,
                 cfg.eps,
-                cfg.minpts,
-                device=device,
-                use_densebox=cfg.use_densebox,
-                claim_box_borders=cfg.claim_box_borders,
+                set(task.owned_cells),
             )
-            labels, core_mask, stats = result.labels, result.core_mask, result.stats
-        leaf_span.set(
-            n_core=stats.n_core,
-            distance_ops=stats.total_distance_ops,
-            kernel_launches=stats.kernel_launches,
-        )
-    with tracer.span(
-        "leaf.summarize", cat="gpu", pid=PID_GPU, tid=task.leaf_id
-    ):
-        summary = summarize_leaf(
+    finally:
+        # Never leak device allocations, whatever path exits the leaf —
+        # a retried leaf reuses a fresh device, but an injected crash
+        # "after" the work would otherwise leave buffers accounted.
+        device.free_all()
+    if store is not None:
+        store.save(
             task.leaf_id,
-            view,
-            labels,
-            core_mask,
-            cfg.eps,
-            set(task.owned_cells),
+            labels=labels,
+            core_mask=core_mask,
+            n_owned=len(task.own),
+            summary=summary,
+            stats=stats,
         )
     return _ClusterLeafOutput(
         leaf_id=task.leaf_id,
@@ -167,6 +254,7 @@ def run_pipeline(
 
     timer = PhaseTimer()
     timings = PhaseBreakdown()
+    resilience = config.resilience_policy()
 
     # ----------------------------- partition --------------------------- #
     with timer.phase("partition"), tracer.span(
@@ -181,6 +269,8 @@ def run_pipeline(
             shadow_representatives=config.shadow_representatives,
             output_mode=config.partition_output,
             tracer=tracer,
+            fault_injector=config.fault_plan,
+            resilience=resilience,
         )
         phase1 = partitioner.run(
             internal, config.n_leaves, workdir=config.materialize_dir
@@ -197,7 +287,14 @@ def run_pipeline(
 
     # ----------------------------- cluster ----------------------------- #
     topology = Topology.paper_style(config.n_leaves, config.fanout)
-    network = Network(topology, transport, tracer=tracer, trace_pid=PID_TREE)
+    network = Network(
+        topology,
+        transport,
+        tracer=tracer,
+        trace_pid=PID_TREE,
+        fault_injector=config.fault_plan,
+        resilience=resilience,
+    )
     tasks = [
         _ClusterLeafTask(
             leaf_id=pid,
@@ -206,9 +303,19 @@ def run_pipeline(
             owned_cells=frozenset(phase1.plan.partitions[pid].cells),
             config=config,
             trace=telemetry.enabled,
+            checkpoint_dir=config.checkpoint_dir,
         )
         for pid, (own, shadow) in enumerate(phase1.partitions)
     ]
+
+    def _split_on_oom(task: _ClusterLeafTask, message: str):
+        """OOM recovery hook: re-run the leaf with the partition streamed
+        in twice as many device-memory chunks (labels are unchanged)."""
+        new_chunks = max(1, task.memory_chunks) * 2
+        if new_chunks > MAX_MEMORY_CHUNKS:
+            return None
+        return replace(task, memory_chunks=new_chunks)
+
     # A crashed phase must still release the transport's worker pools —
     # everything from here to the end of the sweep runs under one
     # try/finally so ``network.close()`` is unconditional.
@@ -217,7 +324,12 @@ def run_pipeline(
             "cluster", cat="phase", pid=PID_DRIVER, n_leaves=config.n_leaves
         ):
             outputs, map_trace = network.map_leaves(
-                _cluster_leaf, tasks, name="cluster"
+                _cluster_leaf,
+                tasks,
+                name="cluster",
+                recover=_split_on_oom,
+                cost=_ClusterLeafTask.device_cost,
+                capacity=float(config.device.memory_bytes),
             )
             for out in outputs:
                 tracer.ingest(out.spans)
@@ -312,6 +424,21 @@ def run_pipeline(
         sweep=max(sweep_leaf_seconds.values(), default=0.0),
     )
 
+    # Faults from both trees, in phase order, with exact aggregates.
+    fault_log = FaultLog()
+    fault_log.extend(phase1.fault_events)
+    fault_log.extend(network.fault_log.events)
+    checkpoint_hits = sum(1 for o in outputs if o.from_checkpoint)
+    if fault_log.total or checkpoint_hits:
+        logger.info(
+            "resilience: %d fault(s) (%s), %d checkpoint hit(s), %d dead node(s)",
+            fault_log.total,
+            ", ".join(f"{k}={v}" for k, v in sorted(fault_log.by_kind.items()))
+            or "none",
+            checkpoint_hits,
+            len(network.dead_nodes),
+        )
+
     n_clusters = int(len(np.unique(labels[labels >= 0])))
     result = MrScanResult(
         labels=labels,
@@ -340,6 +467,9 @@ def run_pipeline(
         },
         leaf_point_counts=[len(own) + len(shadow) for own, shadow in phase1.partitions],
         telemetry=telemetry,
+        faults=fault_log.events,
+        fault_summary=fault_log.summary(),
+        checkpoint_hits=checkpoint_hits,
     )
     if telemetry.enabled:
         record_result(telemetry.metrics, result)

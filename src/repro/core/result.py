@@ -11,6 +11,7 @@ from ..io.lustre import IOTrace
 from ..merge.merger import MergeOutcome
 from ..mrnet.packets import NetworkTrace
 from ..points import NOISE
+from ..resilience.faults import FaultEvent
 from ..telemetry import Telemetry
 
 __all__ = ["PhaseBreakdown", "VirtualBreakdown", "MrScanResult"]
@@ -106,6 +107,16 @@ class MrScanResult:
     #: The run's telemetry bundle (spans + metrics); the shared no-op
     #: bundle when the run was not instrumented.
     telemetry: Telemetry | None = None
+    #: Every fault observed across both MRNet trees (injected or real)
+    #: and the recovery action taken, in occurrence order (capped — see
+    #: ``fault_summary`` for exact totals).
+    faults: list[FaultEvent] = field(default_factory=list)
+    #: Exact aggregate fault counts (``total``/``dropped``/``by_kind``/
+    #: ``by_action``) that survive the event-list cap.
+    fault_summary: dict = field(default_factory=dict)
+    #: Leaves whose output was recovered from a checkpoint instead of
+    #: re-running the GPU clustering pass.
+    checkpoint_hits: int = 0
 
     @property
     def n_points(self) -> int:

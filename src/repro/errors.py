@@ -4,6 +4,30 @@ Every error raised by :mod:`repro` derives from :class:`MrScanError`, so
 callers can catch one type at the pipeline boundary.  Subsystems raise the
 narrower classes below; constructors accept plain messages and the classes
 carry no state beyond them.
+
+Hierarchy::
+
+    MrScanError
+    ├── ConfigError (also ValueError)
+    ├── PartitionError
+    ├── DeviceError
+    │   └── DeviceMemoryError
+    ├── TransportError
+    │   ├── LeafTimeoutError
+    │   └── RetryExhaustedError
+    ├── TopologyError (also ValueError)
+    ├── MergeError
+    ├── FormatError (also ValueError)
+    ├── CheckpointError
+    └── SimulationError
+
+The resilience layer (:mod:`repro.resilience`) raises the three newest
+members: :class:`LeafTimeoutError` when a node exceeds its per-attempt
+deadline, :class:`RetryExhaustedError` when retry + failover budgets are
+spent, and :class:`CheckpointError` when a persisted leaf checkpoint is
+missing or fails its integrity check.  The first two subclass
+:class:`TransportError` so pre-existing ``except TransportError`` sites
+(and tests) treat them as the process failures they model.
 """
 
 from __future__ import annotations
@@ -33,6 +57,14 @@ class TransportError(MrScanError):
     """MRNet transport failure (dead endpoint, undeliverable packet)."""
 
 
+class LeafTimeoutError(TransportError):
+    """A tree node's work exceeded its per-attempt deadline (straggler)."""
+
+
+class RetryExhaustedError(TransportError):
+    """A node kept failing after its full retry (and failover) budget."""
+
+
 class TopologyError(MrScanError, ValueError):
     """Invalid MRNet tree topology specification."""
 
@@ -43,6 +75,10 @@ class MergeError(MrScanError):
 
 class FormatError(MrScanError, ValueError):
     """Malformed point file or partition metadata."""
+
+
+class CheckpointError(MrScanError):
+    """Leaf checkpoint is missing, unreadable, or fails its digest check."""
 
 
 class SimulationError(MrScanError):

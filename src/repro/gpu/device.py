@@ -187,3 +187,18 @@ class SimulatedDevice:
         old = self.stats
         self.stats = DeviceStats()
         return old
+
+    def reset(self) -> DeviceStats:
+        """Release all buffers and zero the counters — the state a retried
+        or failed-over leaf expects after its predecessor died mid-run."""
+        self.free_all()
+        return self.reset_stats()
+
+    # The device is a context manager so leaf bodies cannot leak
+    # allocations on error paths: ``with SimulatedDevice(...) as dev``
+    # guarantees every buffer is released however the block exits.
+    def __enter__(self) -> "SimulatedDevice":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.free_all()

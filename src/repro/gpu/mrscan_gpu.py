@@ -54,6 +54,7 @@ class MrScanGPUStats:
     pass2_ops: int = 0
     kernel_launches: int = 0
     sync_round_trips: int = 0
+    memory_chunks: int = 1
     device: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -84,6 +85,12 @@ class GPUClusterResult:
         return int(len(np.unique(labs)))
 
 
+def _chunk_sizes(total: int, k: int) -> list[int]:
+    """Split ``total`` bytes into ``k`` near-equal positive parts."""
+    base, extra = divmod(int(total), k)
+    return [base + (1 if i < extra else 0) for i in range(k)]
+
+
 def mrscan_gpu(
     points: PointSet,
     eps: float,
@@ -92,6 +99,7 @@ def mrscan_gpu(
     device: SimulatedDevice | None = None,
     use_densebox: bool = True,
     claim_box_borders: bool = False,
+    memory_chunks: int = 1,
 ) -> GPUClusterResult:
     """Cluster one partition with Mr. Scan's GPU DBSCAN.
 
@@ -107,14 +115,22 @@ def mrscan_gpu(
         When True, border points may also be claimed by dense-box cores,
         which makes the output exactly equal to reference DBSCAN; the
         paper-faithful default is False (box members are not expanded).
+    memory_chunks:
+        Stream the per-point device buffers in this many slices instead of
+        resident all at once — graceful degradation for partitions that do
+        not fit device memory whole.  Each extra chunk costs additional
+        transfers and synchronous round trips; the arithmetic (and the
+        labels) are bit-identical regardless of chunking.
     """
     if eps <= 0:
         raise ConfigError(f"eps must be positive, got {eps}")
     if minpts < 1:
         raise ConfigError(f"minpts must be >= 1, got {minpts}")
+    if memory_chunks < 1:
+        raise ConfigError(f"memory_chunks must be >= 1, got {memory_chunks}")
     device = device or SimulatedDevice()
     n = len(points)
-    stats = MrScanGPUStats(n_points=n)
+    stats = MrScanGPUStats(n_points=n, memory_chunks=int(memory_chunks))
     if n == 0:
         empty = DenseBoxResult(box_id=np.empty(0, dtype=np.int64), n_boxes=0, n_subdivisions=0)
         return GPUClusterResult(
@@ -124,12 +140,23 @@ def mrscan_gpu(
             stats=stats,
         )
 
-    # --- single host->device copy of the raw input (round trip 1 of 2) --
+    # --- host->device copy of the raw input (round trip 1 of 2) ---------
+    # With memory_chunks == 1 this is Mr. Scan's single bulk copy; with
+    # more chunks only one slice of the per-point buffers is resident at a
+    # time (the kd-tree stays resident throughout), trading extra
+    # transfers/round trips for a smaller device footprint.
     tree = build_densebox_tree(points, eps, minpts)
-    device.alloc("points", points.coords.nbytes)
+    k = int(memory_chunks)
     device.alloc("kdtree", 32 * max(len(tree.nodes), 1))
-    device.alloc("state", 17 * n)  # labels + core flags + queue bitmap
-    device.h2d(points.coords.nbytes + 32 * len(tree.nodes))
+    points_slices = _chunk_sizes(points.coords.nbytes, k)
+    state_slices = _chunk_sizes(17 * n, k)  # labels + core flags + queue bitmap
+    for c in range(k):
+        device.alloc("points", points_slices[c])
+        device.alloc("state", state_slices[c])
+        device.h2d(points_slices[c] + (32 * len(tree.nodes) if c == 0 else 0))
+        if c < k - 1:
+            device.free("points")
+            device.free("state")
 
     if use_densebox:
         densebox = find_dense_boxes(points, eps, minpts, tree=tree)
@@ -170,8 +197,9 @@ def mrscan_gpu(
         claimable = None if claim_box_borders else nonbox
         assign_border_points(index, labels, core_mask, claimable_mask=claimable)
 
-    # --- single device->host copy of the clustered result ---------------
-    device.d2h(9 * n)
+    # --- device->host copy of the clustered result (chunked to match) ---
+    for nbytes in _chunk_sizes(9 * n, k):
+        device.d2h(nbytes)
     device.free_all()
 
     # Canonical dense numbering by first appearance.

@@ -23,6 +23,32 @@ counts, byte volumes, and per-node filter compute seconds for the perf
 model.  Pass a :class:`repro.telemetry.Tracer` to additionally record
 per-node compute *spans* (one per leaf task / per internal filter
 application, on the network's logical pid track) and fault instants.
+
+Fault tolerance
+---------------
+Node work runs under the attached :class:`~repro.resilience.ResiliencePolicy`:
+
+* a :class:`~repro.resilience.FaultInjector` (or legacy callable) is
+  polled per ``(node, phase, attempt)`` and its fault — crash, straggler
+  slowdown, or device OOM — is applied around the node's work;
+* a failed attempt is retried with exponential backoff up to the policy's
+  retry budget, each attempt bounded by ``leaf_timeout`` (preemptive
+  under :class:`ProcessTransport`, cooperative post-work otherwise);
+* a node that exhausts its budget is declared **dead** and, when failover
+  is enabled, its work is *re-hosted*: a leaf task moves to the
+  least-loaded surviving sibling (subject to an optional capacity check),
+  an internal node's filter work is adopted by its nearest live ancestor.
+  Payload routing never changes — only which process executes — so the
+  collective's result is invariant under any recoverable fault schedule;
+* every fault and recovery action lands in :attr:`Network.fault_log` (a
+  capped :class:`~repro.resilience.FaultLog`) and, when tracing, as
+  ``fault``/``failover`` instants on the network's track.
+
+Crashed attempts never deliver work: a ``point="before"`` crash fails
+before the work runs, a ``point="after"`` crash runs the work (so leaf
+checkpoints are written) but fails before the result is delivered — the
+retried attempt is what returns it, typically straight from the
+checkpoint.
 """
 
 from __future__ import annotations
@@ -30,24 +56,88 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Sequence
 
-from ..errors import TopologyError
+from ..errors import (
+    DeviceMemoryError,
+    LeafTimeoutError,
+    RetryExhaustedError,
+    TopologyError,
+    TransportError,
+)
+from ..resilience.faults import FaultEvent, FaultLog, as_injector
+from ..resilience.policy import ResiliencePolicy
 from ..telemetry.tracer import NOOP_TRACER, PID_TREE
 from .filters import Filter
 from .packets import NetworkTrace, payload_nbytes
 from .topology import Topology
-from .transport import LocalTransport, Transport
+from .transport import TIMED_OUT, LocalTransport, Transport
 
 __all__ = ["Network"]
 
 
-def _timed_apply(args: tuple[Callable[[Any], Any], Any]) -> tuple[Any, float, float]:
-    """Run one node's work, returning (result, start, end) on the
-    monotonic clock — the interval becomes both a compute-seconds trace
-    entry and (when tracing) a retroactive per-node span."""
-    fn, payload = args
+def _failure_category(exc: BaseException) -> str:
+    if isinstance(exc, DeviceMemoryError):
+        return "oom"
+    if isinstance(exc, LeafTimeoutError):
+        return "timeout"
+    if isinstance(exc, TransportError):
+        return "crash"
+    return "error"
+
+
+def _guarded_apply(
+    args: tuple[Callable[[Any], Any], Any, dict | None, float | None]
+) -> tuple:
+    """Run one node's work under an injected fault spec and a deadline.
+
+    Returns a picklable marker (worker processes ship it back):
+
+    * ``("ok", result, t0, t1, applied)`` — ``applied`` is the injected
+      non-fatal fault kind (``"slowdown"``) or ``None``;
+    * ``("err", exc_type_name, message, category, t0, t1)`` — category is
+      ``crash`` / ``oom`` / ``timeout`` / ``error``.
+    """
+    fn, payload, spec, timeout = args
     t0 = time.perf_counter()
-    out = fn(payload)
-    return out, t0, time.perf_counter()
+    applied = None
+    try:
+        if spec is not None:
+            kind = spec["kind"]
+            if kind == "slowdown":
+                applied = "slowdown"
+                time.sleep(spec["delay_seconds"])
+            elif kind == "oom":
+                raise DeviceMemoryError(
+                    f"injected device OOM at node {spec['node']} "
+                    f"(attempt {spec['attempt']})"
+                )
+            elif spec["point"] == "before":
+                raise TransportError(
+                    f"injected crash at node {spec['node']} before work "
+                    f"(attempt {spec['attempt']})"
+                )
+        out = fn(payload)
+        if spec is not None and spec["kind"] == "crash" and spec["point"] == "after":
+            # The work ran (side effects such as checkpoints are durable)
+            # but the process dies before delivering the result.
+            raise TransportError(
+                f"injected crash at node {spec['node']} after work "
+                f"(attempt {spec['attempt']})"
+            )
+        t1 = time.perf_counter()
+        if timeout is not None and (t1 - t0) > timeout:
+            raise LeafTimeoutError(
+                f"node work took {t1 - t0:.3f}s, exceeding the {timeout:.3f}s deadline"
+            )
+        return ("ok", out, t0, t1, applied)
+    except BaseException as exc:
+        return (
+            "err",
+            type(exc).__name__,
+            str(exc),
+            _failure_category(exc),
+            t0,
+            time.perf_counter(),
+        )
 
 
 class Network:
@@ -56,14 +146,18 @@ class Network:
     Parameters
     ----------
     fault_injector:
-        Optional callable ``(node_id, phase) -> bool``; returning True
-        makes that node's computation fail with :class:`TransportError`
-        (a simulated process crash).  Used by the robustness tests.
+        Optional fault source: a :class:`~repro.resilience.FaultPlan`, a
+        :class:`~repro.resilience.FaultInjector`, or a legacy callable
+        ``(node_id, phase) -> bool`` (True = simulated crash).
     retries:
-        How many times a crashed node is re-admitted before the phase
-        aborts — the stand-in for MRNet restarting a tool process.
-        Default 0 (fail fast).  See :meth:`_poll_faults` for exactly what
-        a "retry" means here.
+        Legacy knob: how many times a failed node is re-attempted before
+        the phase aborts.  Building a :class:`Network` with ``retries``
+        alone gets the seed-era fail-fast policy (no backoff sleeps, no
+        failover); pass ``resilience`` for the full behaviour.
+    resilience:
+        A :class:`~repro.resilience.ResiliencePolicy` (retry/backoff
+        budget, per-attempt deadline, failover).  Takes precedence over
+        ``retries``.
     tracer:
         Optional :class:`repro.telemetry.Tracer`; per-node compute spans
         land on pid ``trace_pid`` with the node id as tid.
@@ -75,79 +169,345 @@ class Network:
         transport: Transport | None = None,
         *,
         fault_injector=None,
-        retries: int = 0,
+        retries: int | None = None,
+        resilience: ResiliencePolicy | None = None,
         tracer=None,
         trace_pid: int = PID_TREE,
     ) -> None:
-        if retries < 0:
+        if retries is not None and retries < 0:
             raise TopologyError("retries must be >= 0")
         self.topology = topology
         self.tracer = tracer or NOOP_TRACER
         self.trace_pid = trace_pid
         self.transport = transport or LocalTransport(tracer=self.tracer)
-        self.fault_injector = fault_injector
-        self.retries = int(retries)
-        self.fault_log: list[tuple[int, str]] = []
+        self.injector = as_injector(fault_injector)
+        self.resilience = resilience or ResiliencePolicy.fail_fast(retries or 0)
+        self.retries = self.resilience.retry.max_retries
+        self.fault_log = FaultLog()
+        #: Nodes declared permanently dead (retry budget exhausted).
+        self.dead_nodes: set[int] = set()
+        #: Logical node -> node now hosting its work (failover re-homing).
+        self._hosts: dict[int, int] = {}
+        #: Extra work cost adopted per node by leaf failover.
+        self._adopted: dict[int, float] = {}
+        self._sleep = time.sleep  # overridable in tests
         self._leaves = topology.leaves()
 
-    def _poll_faults(self, nodes: Sequence[int], phase: str) -> None:
-        """Poll the fault injector for each node; raise when the retry
-        budget is exhausted.
+    # ------------------------------------------------------------------ #
+    # Fault bookkeeping
+    # ------------------------------------------------------------------ #
 
-        Retry semantics — read this before writing a robustness test:
-        faults are polled *before* the node work runs, and a "retry"
-        simply **re-polls the injector** (modelling MRNet restarting the
-        process and re-admitting it to the phase).  The node's work is
-        never executed for a crashed attempt, and it runs **exactly
-        once** after the final successful poll — a recovered retry does
-        not imply the work function was invoked multiple times.  An
-        injector must therefore maintain its own attempt state (e.g.
-        "crash only the first poll"); an injector that always returns
-        True exhausts any retry budget.
+    def host_of(self, node: int) -> int:
+        """The node currently executing ``node``'s work (itself if live)."""
+        while node in self._hosts:
+            node = self._hosts[node]
+        return node
 
-        Every crashed attempt is appended to :attr:`fault_log` as
-        ``(node, phase)``.
+    def _record_fault(
+        self, node: int, phase: str, name: str, attempt: int, kind: str, action: str,
+        detail: str = "",
+    ) -> None:
+        self.fault_log.append(
+            FaultEvent(
+                node=node, phase=phase, name=name, attempt=attempt,
+                kind=kind, action=action, detail=detail,
+            )
+        )
+        self.tracer.instant(
+            "fault" if action != "failover" else "failover",
+            cat="mrnet",
+            pid=self.trace_pid,
+            tid=node,
+            phase=name,
+            kind=kind,
+            action=action,
+            attempt=attempt,
+        )
+
+    def _mark_dead(self, node: int, host: int) -> None:
+        self.dead_nodes.add(node)
+        self._hosts[node] = host
+
+    def _live_ancestor(self, node: int) -> int | None:
+        """Nearest live proper ancestor of ``node`` (None if all dead)."""
+        parent = self.topology.parent[node]
+        while parent != -1:
+            if parent not in self.dead_nodes:
+                return parent
+            parent = self.topology.parent[parent]
+        return None
+
+    def _pick_leaf_failover(
+        self,
+        dead: int,
+        base_load: dict[int, float],
+        task_cost: float | None,
+        capacity: float | None,
+    ) -> int | None:
+        """Least-loaded surviving sibling leaf with capacity to spare."""
+        best: int | None = None
+        best_load = float("inf")
+        for leaf in self._leaves:
+            if leaf == dead or leaf in self.dead_nodes:
+                continue
+            load = base_load.get(leaf, 0.0) + self._adopted.get(leaf, 0.0)
+            if (
+                capacity is not None
+                and task_cost is not None
+                and load + task_cost > capacity
+            ):
+                continue
+            if load < best_load:
+                best, best_load = leaf, load
+        return best
+
+    # ------------------------------------------------------------------ #
+    # The resilient execution engine
+    # ------------------------------------------------------------------ #
+
+    def _run_tasks(
+        self,
+        nodes: Sequence[int],
+        fn: Callable[[Any], Any],
+        payloads: list[Any],
+        *,
+        phase: str,
+        name: str,
+        recover: Callable[[Any, str], Any] | None = None,
+        cost: Callable[[Any], float] | None = None,
+        capacity: float | None = None,
+    ) -> tuple[list[tuple[Any, float, float]], list[int]]:
+        """Execute ``payloads[i]`` for logical node ``nodes[i]`` under the
+        resilience policy.  Returns ``(timing triples, executing hosts)``
+        in input order.
+
+        ``recover(payload, message) -> new payload | None`` is consulted
+        on device-OOM failures — the pipeline uses it to split the leaf's
+        partition before re-execution.  ``cost``/``capacity`` guard leaf
+        failover placement (a sibling must fit the adopted partition in
+        device memory).
         """
-        from ..errors import TransportError
-
-        if self.fault_injector is None:
-            return
-        for node in nodes:
-            attempts = 0
-            while self.fault_injector(node, phase):
-                self.fault_log.append((node, phase))
-                self.tracer.instant(
-                    "fault", cat="mrnet", pid=self.trace_pid, tid=node, phase=phase
+        policy = self.resilience
+        n = len(payloads)
+        pending = list(range(n))
+        host = {i: self.host_of(nodes[i]) for i in pending}
+        attempt = dict.fromkeys(pending, 0)
+        failovers = dict.fromkeys(pending, 0)
+        results: dict[int, tuple[Any, float, float]] = {}
+        base_load: dict[int, float] = {}
+        if cost is not None and phase == "map":
+            for i in pending:
+                base_load[host[i]] = float(cost(payloads[i]))
+        max_failovers = (
+            policy.max_failovers
+            if policy.max_failovers is not None
+            else max(len(nodes) - 1, self.topology.depth())
+        )
+        round_index = 0
+        while pending:
+            batch = []
+            for i in pending:
+                spec = None
+                if self.injector is not None:
+                    spec = self.injector.check(host[i], phase, name, attempt[i])
+                batch.append(
+                    (fn, payloads[i], spec.as_dict() if spec else None, policy.leaf_timeout)
                 )
-                attempts += 1
-                if attempts > self.retries:
-                    raise TransportError(
-                        f"node {node} failed during {phase} "
-                        f"({attempts} attempt(s), {self.retries} retr(ies))"
+            markers = self.transport.run_batch(
+                _guarded_apply, batch, timeout=policy.leaf_timeout
+            )
+            still_pending: list[int] = []
+            exhausted: list[tuple[int, str, str, str]] = []
+            for i, marker in zip(pending, markers):
+                if marker is TIMED_OUT:
+                    now = time.perf_counter()
+                    marker = (
+                        "err",
+                        "LeafTimeoutError",
+                        f"worker missed the {policy.leaf_timeout}s deadline "
+                        "(preempted by the transport)",
+                        "timeout",
+                        now,
+                        now,
                     )
+                if marker[0] == "ok":
+                    _, out, t0, t1, applied = marker
+                    if applied is not None:  # non-fatal injected fault
+                        self._record_fault(
+                            host[i], phase, name, attempt[i], applied, "delayed"
+                        )
+                    results[i] = (out, t0, t1)
+                    continue
+                _, etype, message, category, _t0, _t1 = marker
+                kind = {"oom": "oom", "timeout": "timeout"}.get(category, "crash")
+                if category == "oom" and recover is not None:
+                    replacement = recover(payloads[i], message)
+                    if replacement is not None:
+                        payloads[i] = replacement
+                        self._record_fault(
+                            host[i], phase, name, attempt[i], kind, "recovered",
+                            detail=f"{etype}: {message}",
+                        )
+                        attempt[i] += 1
+                        still_pending.append(i)
+                        continue
+                self._record_fault(
+                    host[i], phase, name, attempt[i], kind, "retry",
+                    detail=f"{etype}: {message}",
+                )
+                attempt[i] += 1
+                if attempt[i] > policy.retry.max_retries:
+                    exhausted.append((i, kind, etype, message))
+                    continue
+                still_pending.append(i)
+            # Declare every host that exhausted its budget this round dead
+            # *before* choosing failover targets, so a dying sibling is
+            # never picked to adopt another dying sibling's task.
+            for i, _kind, _etype, _message in exhausted:
+                self.dead_nodes.add(host[i])
+            for i, kind, etype, message in exhausted:
+                target: int | None = None
+                if policy.failover and failovers[i] < max_failovers:
+                    if phase == "map":
+                        task_cost = float(cost(payloads[i])) if cost is not None else None
+                        target = self._pick_leaf_failover(
+                            host[i], base_load, task_cost, capacity
+                        )
+                        if target is not None and task_cost is not None:
+                            self._adopted[target] = (
+                                self._adopted.get(target, 0.0) + task_cost
+                            )
+                    else:
+                        target = self._live_ancestor(host[i])
+                if target is not None:
+                    self._mark_dead(host[i], target)
+                    self._record_fault(
+                        host[i], phase, name, attempt[i] - 1, kind, "failover",
+                        detail=f"re-hosted on node {target}",
+                    )
+                    host[i] = target
+                    attempt[i] = 0
+                    failovers[i] += 1
+                    still_pending.append(i)
+                    continue
+                self._record_fault(
+                    host[i], phase, name, attempt[i] - 1, kind, "abort",
+                    detail=f"{etype}: {message}",
+                )
+                # Deadline misses surface as LeafTimeoutError (still a
+                # TransportError) so callers can tell a straggler from
+                # a crash loop.
+                exc_cls = (
+                    LeafTimeoutError if kind == "timeout" else RetryExhaustedError
+                )
+                raise exc_cls(
+                    f"node {host[i]} failed during {phase} "
+                    f"({attempt[i]} attempt(s), {policy.retry.max_retries} "
+                    f"retr(ies)): {etype}: {message}"
+                )
+            pending = still_pending
+            if pending:
+                delay = policy.retry.backoff_seconds(round_index)
+                round_index += 1
+                if delay > 0:
+                    self._sleep(delay)
+        return [results[i] for i in range(n)], [host[i] for i in range(n)]
+
+    def _survive(self, node: int, *, phase: str, name: str) -> None:
+        """Retry/backoff/failover loop for nodes whose phase work executes
+        inline (multicast routing) — only the fault poll matters."""
+        if self.injector is None:
+            return
+        policy = self.resilience
+        host = self.host_of(node)
+        attempt = 0
+        failovers = 0
+        round_index = 0
+        max_failovers = (
+            policy.max_failovers
+            if policy.max_failovers is not None
+            else self.topology.depth()
+        )
+        while True:
+            spec = self.injector.check(host, phase, name, attempt)
+            if spec is None:
+                return
+            if spec.kind == "slowdown":
+                self._record_fault(
+                    host, phase, name, attempt, "slowdown", "delayed",
+                    detail=f"{spec.delay_seconds:.3f}s",
+                )
+                self._sleep(spec.delay_seconds)
+                return
+            self._record_fault(host, phase, name, attempt, spec.kind, "retry")
+            attempt += 1
+            if attempt > policy.retry.max_retries:
+                target = (
+                    self._live_ancestor(host)
+                    if policy.failover and failovers < max_failovers
+                    else None
+                )
+                if target is not None:
+                    self._mark_dead(host, target)
+                    self._record_fault(
+                        host, phase, name, attempt - 1, spec.kind, "failover",
+                        detail=f"re-hosted on node {target}",
+                    )
+                    host = target
+                    attempt = 0
+                    failovers += 1
+                    continue
+                self._record_fault(host, phase, name, attempt - 1, spec.kind, "abort")
+                raise RetryExhaustedError(
+                    f"node {host} failed during {phase} "
+                    f"({attempt} attempt(s), {policy.retry.max_retries} retr(ies))"
+                )
+            delay = policy.retry.backoff_seconds(round_index)
+            round_index += 1
+            if delay > 0:
+                self._sleep(delay)
 
     # ------------------------------------------------------------------ #
     # Leaf computation
     # ------------------------------------------------------------------ #
 
     def map_leaves(
-        self, fn: Callable[[Any], Any], inputs: Sequence[Any], *, name: str = "map"
+        self,
+        fn: Callable[[Any], Any],
+        inputs: Sequence[Any],
+        *,
+        name: str = "map",
+        recover: Callable[[Any, str], Any] | None = None,
+        cost: Callable[[Any], float] | None = None,
+        capacity: float | None = None,
     ) -> tuple[list[Any], NetworkTrace]:
-        """Apply ``fn`` to one input per leaf; results in leaf order."""
+        """Apply ``fn`` to one input per leaf; results in leaf order.
+
+        ``recover``/``cost``/``capacity`` feed the resilience engine: OOM
+        recovery rewrites, and capacity-aware failover placement (see
+        :meth:`_run_tasks`).
+        """
         if len(inputs) != len(self._leaves):
             raise TopologyError(
                 f"{len(inputs)} inputs for {len(self._leaves)} leaves"
             )
         trace = NetworkTrace()
-        self._poll_faults(self._leaves, "map")
-        triples = self.transport.run_batch(
-            _timed_apply, [(fn, inp) for inp in inputs]
+        triples, hosts = self._run_tasks(
+            self._leaves,
+            fn,
+            list(inputs),
+            phase="map",
+            name=name,
+            recover=recover,
+            cost=cost,
+            capacity=capacity,
         )
         results = []
-        for leaf, (out, t0, t1) in zip(self._leaves, triples):
-            trace.add_compute(leaf, t1 - t0)
+        for leaf, host, (out, t0, t1) in zip(self._leaves, hosts, triples):
+            trace.add_compute(host, t1 - t0)
             self.tracer.add_span(
-                f"{name}.leaf", t0, t1, cat="mrnet", pid=self.trace_pid, tid=leaf
+                f"{name}.leaf", t0, t1, cat="mrnet", pid=self.trace_pid, tid=host,
+                **({"adopted_from": leaf} if host != leaf else {}),
             )
             results.append(out)
         return results, trace
@@ -163,7 +523,10 @@ class Network:
 
         The filter runs at every node with children (internal nodes and
         the root), level by level from the bottom; nodes within a level
-        are independent and go through the transport as one batch.
+        are independent and go through the transport as one batch.  A
+        failing internal node is retried per the resilience policy and
+        finally re-hosted on its nearest live ancestor — the child
+        payloads it combines never change, so the root value is invariant.
         """
         if len(leaf_payloads) != len(self._leaves):
             raise TopologyError(
@@ -177,7 +540,6 @@ class Network:
             batch_nodes = [n for n in level_nodes if topo.children[n]]
             if not batch_nodes:
                 continue
-            self._poll_faults(batch_nodes, "reduce")
             tasks = []
             bytes_in: dict[int, int] = {}
             for node in batch_nodes:
@@ -187,18 +549,20 @@ class Network:
                 if self.tracer.enabled:
                     bytes_in[node] = sum(payload_nbytes(p) for p in child_payloads)
                 tasks.append(child_payloads)
-            triples = self.transport.run_batch(
-                _timed_apply, [(filt.combine, t) for t in tasks]
+            triples, hosts = self._run_tasks(
+                batch_nodes, filt.combine, tasks, phase="reduce", name=name
             )
-            for node, task, (out, t0, t1) in zip(batch_nodes, tasks, triples):
-                trace.add_compute(node, t1 - t0)
+            for node, host, task, (out, t0, t1) in zip(
+                batch_nodes, hosts, tasks, triples
+            ):
+                trace.add_compute(host, t1 - t0)
                 self.tracer.add_span(
                     f"{name}.filter",
                     t0,
                     t1,
                     cat="mrnet",
                     pid=self.trace_pid,
-                    tid=node,
+                    tid=host,
                     n_children=len(task),
                     bytes_in=bytes_in.get(node, 0),
                 )
@@ -226,13 +590,11 @@ class Network:
         trace = NetworkTrace()
         value: dict[int, Any] = {topo.root: root_payload}
         for level_nodes in topo.levels():
-            self._poll_faults(
-                [n for n in level_nodes if topo.children[n]], "multicast"
-            )
             for node in level_nodes:
                 kids = topo.children[node]
                 if not kids:
                     continue
+                self._survive(node, phase="multicast", name=name)
                 payload = value[node]
                 if split is None:
                     parts: Sequence[Any] = [payload] * len(kids)
@@ -249,7 +611,7 @@ class Network:
                     f"{name}.send",
                     cat="mrnet",
                     pid=self.trace_pid,
-                    tid=node,
+                    tid=self.host_of(node),
                     n_children=len(kids),
                 )
         return [value[leaf] for leaf in self._leaves], trace

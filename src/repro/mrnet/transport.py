@@ -7,25 +7,61 @@ decides *how*: :class:`LocalTransport` runs tasks sequentially in-process
 ``multiprocessing`` pool, which is the honest stand-in for MRNet's
 process-per-node when real process isolation matters (failure injection,
 pickling discipline, genuinely parallel hosts).
+
+Timeouts
+--------
+``run_batch`` accepts an optional per-task ``timeout`` (seconds).  The
+process transport enforces it *preemptively*: a worker that has not
+delivered its result within the deadline (plus a small grace period, so
+cooperative in-worker detection wins when the work does finish) has its
+slot filled with the :data:`TIMED_OUT` sentinel instead of blocking the
+batch forever.  The abandoned worker keeps running until it finishes —
+``multiprocessing.Pool`` cannot kill one member — so its eventual result
+is discarded; the Network turns the sentinel into a
+:class:`~repro.errors.LeafTimeoutError` and applies its retry policy.
+The local transport runs everything on the calling thread and cannot
+preempt; it relies on the Network's cooperative post-work deadline check.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
 from ..errors import TransportError
 from ..telemetry.tracer import NOOP_TRACER
 
-__all__ = ["Transport", "LocalTransport", "ProcessTransport"]
+__all__ = ["Transport", "LocalTransport", "ProcessTransport", "TIMED_OUT"]
+
+#: Extra seconds past ``timeout`` before the process transport gives up on
+#: a worker — lets a worker that finishes just past the deadline report a
+#: cooperative (and more informative) timeout itself.
+TIMEOUT_GRACE = 0.25
+
+
+class _TimedOut:
+    """Sentinel batch slot: the worker missed its deadline."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<TIMED_OUT>"
+
+
+TIMED_OUT = _TimedOut()
 
 
 @runtime_checkable
 class Transport(Protocol):
-    """Run a batch of independent node tasks, returning results in order."""
+    """Run a batch of independent node tasks, returning results in order.
+
+    ``timeout`` bounds one task's execution in seconds (best effort —
+    see the module docstring); a timed-out slot holds :data:`TIMED_OUT`.
+    """
 
     def run_batch(
-        self, fn: Callable[[Any], Any], tasks: Sequence[Any]
+        self, fn: Callable[[Any], Any], tasks: Sequence[Any], *, timeout: float | None = None
     ) -> list[Any]:
         ...
 
@@ -44,7 +80,12 @@ class LocalTransport:
     def __init__(self, *, tracer=None) -> None:
         self.tracer = tracer or NOOP_TRACER
 
-    def run_batch(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
+    def run_batch(
+        self, fn: Callable[[Any], Any], tasks: Sequence[Any], *, timeout: float | None = None
+    ) -> list[Any]:
+        # ``timeout`` is accepted for protocol parity but cannot be
+        # enforced preemptively on the calling thread; the Network's
+        # cooperative post-work check covers local runs.
         with self.tracer.span(
             "transport.batch", cat="transport", n_tasks=len(tasks), backend="local"
         ):
@@ -73,6 +114,7 @@ class ProcessTransport:
         self.n_workers = n_workers or mp.cpu_count()
         self.tracer = tracer or NOOP_TRACER
         self._pool: mp.pool.Pool | None = None
+        self._abandoned = False  # a worker missed a deadline and may hang
 
     def _ensure_pool(self) -> "mp.pool.Pool":
         if self._pool is None:
@@ -82,7 +124,9 @@ class ProcessTransport:
                 self._pool = mp.get_context("spawn").Pool(self.n_workers)
         return self._pool
 
-    def run_batch(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
+    def run_batch(
+        self, fn: Callable[[Any], Any], tasks: Sequence[Any], *, timeout: float | None = None
+    ) -> list[Any]:
         if not tasks:
             return []
         try:
@@ -90,15 +134,35 @@ class ProcessTransport:
             with self.tracer.span(
                 "transport.batch", cat="transport", n_tasks=len(tasks), backend="process"
             ):
-                return pool.map(_invoke, [(fn, task) for task in tasks])
+                if timeout is None:
+                    return pool.map(_invoke, [(fn, task) for task in tasks])
+                handles = [pool.apply_async(_invoke, ((fn, task),)) for task in tasks]
+                deadline = time.monotonic() + timeout + TIMEOUT_GRACE
+                results: list[Any] = []
+                for handle in handles:
+                    remaining = max(0.0, deadline - time.monotonic())
+                    try:
+                        results.append(handle.get(remaining))
+                    except mp.TimeoutError:
+                        self._abandoned = True
+                        results.append(TIMED_OUT)
+                return results
+        except TransportError:
+            raise
         except Exception as exc:  # pool failure or unpicklable payloads
             raise TransportError(f"process transport batch failed: {exc}") from exc
 
     def close(self) -> None:
         if self._pool is not None:
-            self._pool.close()
+            # A pool with an abandoned (possibly hung) worker cannot be
+            # joined without risking a deadlock — terminate it instead.
+            if self._abandoned:
+                self._pool.terminate()
+            else:
+                self._pool.close()
             self._pool.join()
             self._pool = None
+            self._abandoned = False
 
     def __enter__(self) -> "ProcessTransport":
         return self

@@ -87,6 +87,7 @@ class PartitionPhaseResult:
     distribute_trace: NetworkTrace | None = None  # network output mode
     root_form_seconds: float = 0.0  # serial plan forming at the root
     route_seconds: dict[int, float] = field(default_factory=dict)  # per leaf
+    fault_events: list = field(default_factory=list)  # resilience.FaultEvent
 
     @property
     def n_partitions(self) -> int:
@@ -126,6 +127,8 @@ class DistributedPartitioner:
         shadow_rep_threshold: int = 64,
         output_mode: str = "lustre",
         tracer=None,
+        fault_injector=None,
+        resilience=None,
     ) -> None:
         if n_partition_nodes < 1:
             raise PartitionError("need at least one partitioner node")
@@ -144,6 +147,11 @@ class DistributedPartitioner:
         #: message straight to the owning clustering leaf — the paper's
         #: planned fix for the partition-phase I/O wall (§6).
         self.output_mode = output_mode
+        #: Optional fault injection + recovery policy for the partitioner
+        #: tree (see :mod:`repro.resilience`); faults observed during the
+        #: phase surface on ``PartitionPhaseResult.fault_events``.
+        self.fault_injector = fault_injector
+        self.resilience = resilience
 
     # ------------------------------------------------------------------ #
 
@@ -201,6 +209,8 @@ class DistributedPartitioner:
             self.transport,
             tracer=tracer,
             trace_pid=PID_PARTITION,
+            fault_injector=self.fault_injector,
+            resilience=self.resilience,
         )
         try:
             # 1. Each leaf reads its contiguous slice of the input file.
@@ -255,6 +265,7 @@ class DistributedPartitioner:
                 )
         finally:
             network.close()
+        fault_events = network.fault_log.events
         distribute = NetworkTrace() if self.output_mode == "network" else None
         partitions: list[tuple[PointSet, PointSet]] = []
         saved = 0
@@ -309,6 +320,7 @@ class DistributedPartitioner:
             distribute_trace=distribute,
             root_form_seconds=root_form_seconds,
             route_seconds=route_seconds,
+            fault_events=fault_events,
         )
 
     # ------------------------------------------------------------------ #

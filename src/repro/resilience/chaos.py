@@ -1,0 +1,150 @@
+"""Chaos-testing harness: run the pipeline under fault plans and check
+that recovery preserves the clustering.
+
+The determinism contract of the resilience layer — retries re-execute
+identical work, failover re-hosts but never re-routes, OOM recovery
+re-chunks device accounting without touching the math — means *any*
+recoverable fault schedule must yield labels byte-identical to a
+fault-free run.  :class:`ChaosRunner` turns that invariant into an
+executable check:
+
+>>> runner = ChaosRunner(points, config)
+>>> outcome = runner.run_plan(FaultPlan.seeded(7, nodes=range(1, 7)))
+>>> assert outcome.completed and outcome.labels_match
+
+``run_seeds`` sweeps a list of seeds (the CI chaos job's seed matrix) and
+``report`` renders the outcomes as a table.  A run that aborts with
+:class:`~repro.errors.RetryExhaustedError` is *not* a failed check by
+itself (a plan can legitimately exceed every budget — e.g. a permanent
+root crash); an abort with any other exception, or a completed run whose
+labels differ, is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..errors import MrScanError, RetryExhaustedError
+from .faults import FaultEvent, FaultPlan
+
+__all__ = ["ChaosOutcome", "ChaosRunner"]
+
+
+@dataclass
+class ChaosOutcome:
+    """What one chaos run did and whether the invariant held."""
+
+    plan: FaultPlan
+    completed: bool
+    labels_match: bool
+    error: str = ""
+    events: list[FaultEvent] = field(default_factory=list)
+    fault_summary: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when the run either recovered correctly or aborted with a
+        clean retry-exhaustion (budgets can legitimately run out)."""
+        if self.completed:
+            return self.labels_match
+        return self.error.startswith("RetryExhaustedError")
+
+    def describe(self) -> str:
+        state = (
+            "recovered" if self.completed and self.labels_match
+            else "WRONG LABELS" if self.completed
+            else f"aborted ({self.error.split(':', 1)[0]})"
+        )
+        return f"seed={self.plan.seed} faults={len(self.plan)} -> {state}"
+
+
+class ChaosRunner:
+    """Run the pipeline under injected faults and verify the output.
+
+    The fault-free baseline is computed once (lazily) per runner; every
+    chaos run is compared against it with exact array equality.
+
+    Parameters
+    ----------
+    points, config:
+        The workload — any faults already on ``config.fault_plan`` are
+        stripped for the baseline and replaced per chaos run.
+    pipeline:
+        Override for the pipeline callable (tests inject counters);
+        signature ``pipeline(points, config)`` returning an object with
+        ``.labels`` and optionally ``.faults`` / ``.fault_summary``.
+    """
+
+    def __init__(
+        self,
+        points,
+        config,
+        *,
+        pipeline: Callable[[Any, Any], Any] | None = None,
+    ) -> None:
+        if pipeline is None:
+            from ..core.pipeline import run_pipeline
+
+            pipeline = run_pipeline
+        self._pipeline = pipeline
+        self.points = points
+        self.config = replace(config, fault_plan=None)
+        self._baseline_labels: np.ndarray | None = None
+
+    @property
+    def baseline_labels(self) -> np.ndarray:
+        if self._baseline_labels is None:
+            result = self._pipeline(self.points, self.config)
+            self._baseline_labels = np.asarray(result.labels).copy()
+        return self._baseline_labels
+
+    def run_plan(self, plan: FaultPlan) -> ChaosOutcome:
+        """One chaos run: inject ``plan``, compare labels to baseline."""
+        baseline = self.baseline_labels  # materialize before the chaos run
+        config = replace(self.config, fault_plan=plan)
+        try:
+            result = self._pipeline(self.points, config)
+        except RetryExhaustedError as exc:
+            return ChaosOutcome(
+                plan=plan, completed=False, labels_match=False,
+                error=f"RetryExhaustedError: {exc}",
+            )
+        except MrScanError as exc:
+            return ChaosOutcome(
+                plan=plan, completed=False, labels_match=False,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        labels = np.asarray(result.labels)
+        return ChaosOutcome(
+            plan=plan,
+            completed=True,
+            labels_match=bool(np.array_equal(labels, baseline)),
+            events=list(getattr(result, "faults", [])),
+            fault_summary=dict(getattr(result, "fault_summary", {}) or {}),
+        )
+
+    def run_seeds(
+        self,
+        seeds: Sequence[int],
+        nodes: Sequence[int],
+        **seeded_kwargs,
+    ) -> list[ChaosOutcome]:
+        """Sweep ``FaultPlan.seeded(seed, nodes, **seeded_kwargs)``."""
+        return [
+            self.run_plan(FaultPlan.seeded(seed, nodes, **seeded_kwargs))
+            for seed in seeds
+        ]
+
+    @staticmethod
+    def report(outcomes: Sequence[ChaosOutcome]) -> str:
+        """Human-readable sweep summary (one line per run + verdict)."""
+        lines = [o.describe() for o in outcomes]
+        n_bad = sum(1 for o in outcomes if not o.ok)
+        lines.append(
+            f"{len(outcomes)} chaos run(s), "
+            + ("all invariants held" if n_bad == 0 else f"{n_bad} FAILED")
+        )
+        return "\n".join(lines)

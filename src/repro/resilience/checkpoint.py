@@ -1,0 +1,185 @@
+"""Per-leaf cluster-output checkpoints (spill files).
+
+A clustering leaf is the expensive unit of work in Mr. Scan — re-running
+one after a crash wastes a full GPU DBSCAN pass.  The store persists each
+leaf's output the moment it is produced, in the spirit of the
+:mod:`repro.io.partition_files` spill format: one binary artifact per
+leaf plus a tiny JSON manifest with an integrity digest.
+
+Layout under the checkpoint root::
+
+    leaf_0007.npz        labels / core_mask / n_owned arrays + pickled
+                         summary/stats blob (as a uint8 array)
+    leaf_0007.json       {"leaf_id", "n_points", "digest"}
+
+Writes are atomic (temp file + rename, manifest last) so a process that
+dies *mid-checkpoint* leaves no manifest and the leaf simply re-runs.  A
+manifest whose digest does not match the artifact raises
+:class:`~repro.errors.CheckpointError` on load; callers treat that like a
+cache miss and recompute.  :meth:`LeafCheckpointStore.load` therefore
+guarantees the recovered output is byte-identical to what was saved —
+the "recovered equals fresh" invariant is checked at save time via the
+digest and can be re-asserted with :meth:`verify`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..errors import CheckpointError
+
+__all__ = ["CheckpointedLeaf", "LeafCheckpointStore"]
+
+
+@dataclass
+class CheckpointedLeaf:
+    """One recovered leaf output."""
+
+    leaf_id: int
+    labels: np.ndarray
+    core_mask: np.ndarray
+    n_owned: int
+    summary: Any
+    stats: Any
+
+
+def _digest(labels: np.ndarray, core_mask: np.ndarray, blob: bytes) -> str:
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(labels).tobytes())
+    h.update(np.ascontiguousarray(core_mask).tobytes())
+    h.update(blob)
+    return h.hexdigest()
+
+
+class LeafCheckpointStore:
+    """Persist and recover per-leaf clustering outputs.
+
+    The store is safe to open from several worker processes at once: each
+    leaf writes only its own pair of files, and writes go through a
+    PID-suffixed temp file renamed into place.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: Same-process counters (informational; workers in other
+        #: processes keep their own).
+        self.hits = 0
+        self.misses = 0
+
+    def _data_path(self, leaf_id: int) -> Path:
+        return self.root / f"leaf_{leaf_id:04d}.npz"
+
+    def _meta_path(self, leaf_id: int) -> Path:
+        return self.root / f"leaf_{leaf_id:04d}.json"
+
+    def has(self, leaf_id: int) -> bool:
+        return self._meta_path(leaf_id).exists() and self._data_path(leaf_id).exists()
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+
+    def save(
+        self,
+        leaf_id: int,
+        *,
+        labels: np.ndarray,
+        core_mask: np.ndarray,
+        n_owned: int,
+        summary: Any,
+        stats: Any,
+    ) -> Path:
+        """Persist one leaf's output atomically; returns the data path."""
+        blob = pickle.dumps({"summary": summary, "stats": stats})
+        data_path = self._data_path(leaf_id)
+        meta_path = self._meta_path(leaf_id)
+        tmp = data_path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(
+                    fh,
+                    labels=np.ascontiguousarray(labels),
+                    core_mask=np.ascontiguousarray(core_mask),
+                    n_owned=np.int64(n_owned),
+                    blob=np.frombuffer(blob, dtype=np.uint8),
+                )
+            os.replace(tmp, data_path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        manifest = {
+            "leaf_id": int(leaf_id),
+            "n_points": int(len(labels)),
+            "digest": _digest(labels, core_mask, blob),
+        }
+        meta_tmp = meta_path.with_suffix(f".tmp.{os.getpid()}")
+        meta_tmp.write_text(json.dumps(manifest, indent=1), encoding="utf-8")
+        os.replace(meta_tmp, meta_path)
+        return data_path
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def load(self, leaf_id: int) -> CheckpointedLeaf:
+        """Recover one leaf's output, verifying the manifest digest."""
+        meta_path = self._meta_path(leaf_id)
+        data_path = self._data_path(leaf_id)
+        if not (meta_path.exists() and data_path.exists()):
+            self.misses += 1
+            raise CheckpointError(f"no checkpoint for leaf {leaf_id} under {self.root}")
+        try:
+            manifest = json.loads(meta_path.read_text(encoding="utf-8"))
+            with np.load(data_path) as npz:
+                labels = npz["labels"]
+                core_mask = npz["core_mask"]
+                n_owned = int(npz["n_owned"])
+                blob = npz["blob"].tobytes()
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            self.misses += 1
+            raise CheckpointError(f"unreadable checkpoint for leaf {leaf_id}: {exc}") from exc
+        if manifest.get("digest") != _digest(labels, core_mask, blob):
+            self.misses += 1
+            raise CheckpointError(
+                f"checkpoint digest mismatch for leaf {leaf_id} (corrupt spill file)"
+            )
+        payload = pickle.loads(blob)
+        self.hits += 1
+        return CheckpointedLeaf(
+            leaf_id=int(manifest["leaf_id"]),
+            labels=labels,
+            core_mask=core_mask,
+            n_owned=n_owned,
+            summary=payload["summary"],
+            stats=payload["stats"],
+        )
+
+    def verify(self, leaf_id: int, *, labels: np.ndarray, core_mask: np.ndarray) -> bool:
+        """Invariant check: does the stored output equal a fresh one?"""
+        recovered = self.load(leaf_id)
+        return bool(
+            np.array_equal(recovered.labels, labels)
+            and np.array_equal(recovered.core_mask, core_mask)
+        )
+
+    def clear(self) -> int:
+        """Delete all checkpoints; returns the number of leaves cleared."""
+        n = 0
+        for meta in sorted(self.root.glob("leaf_*.json")):
+            meta.unlink()
+            n += 1
+        for data in sorted(self.root.glob("leaf_*.npz")):
+            data.unlink()
+        return n
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("leaf_*.json"))

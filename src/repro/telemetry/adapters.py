@@ -22,6 +22,7 @@ __all__ = [
     "record_network_trace",
     "record_io_trace",
     "record_merge_outcomes",
+    "record_fault_events",
     "record_result",
 ]
 
@@ -80,6 +81,18 @@ def record_merge_outcomes(metrics: Any, outcomes: Iterable[Any]) -> None:
         metrics.counter("merge.duplicate_noncore_removed").inc(o.n_duplicate_noncore_removed)
 
 
+def record_fault_events(metrics: Any, events: Iterable[Any]) -> None:
+    """Ingest ``repro.resilience.FaultEvent`` records under ``resilience.*``.
+
+    One counter per fault kind (``resilience.faults.crash`` ...) and per
+    recovery action (``resilience.actions.retry`` / ``failover`` /
+    ``recovered`` / ``delayed`` / ``abort``).
+    """
+    for event in events:
+        metrics.counter(f"resilience.faults.{event.kind}").inc(1)
+        metrics.counter(f"resilience.actions.{event.action}").inc(1)
+
+
 def record_result(metrics: Any, result: Any) -> None:
     """One-stop ingest of everything an ``MrScanResult`` carries.
 
@@ -104,3 +117,7 @@ def record_result(metrics: Any, result: Any) -> None:
     record_merge_outcomes(metrics, result.merge_outcomes)
     for count in result.leaf_point_counts:
         metrics.histogram("pipeline.points_per_leaf").observe(count)
+    record_fault_events(metrics, getattr(result, "faults", ()))
+    hits = getattr(result, "checkpoint_hits", 0)
+    if hits:
+        metrics.counter("resilience.checkpoint_hits").inc(hits)

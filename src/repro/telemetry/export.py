@@ -163,6 +163,19 @@ def summary_table(telemetry: Any, *, top: int = 12) -> str:
     if n_instants:
         lines.append(f"instant events: {n_instants}")
     metrics = telemetry.metrics.as_dict()
+    # Fault/recovery counters get their own section — a chaos run's first
+    # question is "what failed and what did the resilience layer do".
+    fault_metrics = {
+        name: payload
+        for name, payload in metrics.items()
+        if name.startswith("resilience.")
+    }
+    if fault_metrics:
+        metrics = {k: v for k, v in metrics.items() if k not in fault_metrics}
+        lines.append("")
+        lines.append("faults & recovery")
+        for name, payload in sorted(fault_metrics.items()):
+            lines.append(f"{name:<44} {payload['value']:>14,.6g}")
     if metrics:
         lines.append("")
         lines.append(f"{'metric':<44} {'value':>14}")

@@ -1,0 +1,109 @@
+"""Leaf checkpoint store: roundtrip, integrity, atomicity semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.resilience import LeafCheckpointStore
+
+
+@pytest.fixture
+def leaf_output(rng):
+    return {
+        "labels": rng.integers(-1, 5, size=200).astype(np.int64),
+        "core_mask": rng.random(200) > 0.5,
+        "n_owned": 150,
+        "summary": {"n_clusters": 5, "cells": [(0, 1), (2, 3)]},
+        "stats": {"kernel_launches": 7},
+    }
+
+
+def test_roundtrip_is_exact(tmp_path, leaf_output):
+    store = LeafCheckpointStore(tmp_path)
+    assert not store.has(3)
+    store.save(3, **leaf_output)
+    assert store.has(3)
+    assert len(store) == 1
+    ckpt = store.load(3)
+    assert ckpt.leaf_id == 3
+    assert np.array_equal(ckpt.labels, leaf_output["labels"])
+    assert np.array_equal(ckpt.core_mask, leaf_output["core_mask"])
+    assert ckpt.n_owned == 150
+    assert ckpt.summary == leaf_output["summary"]
+    assert ckpt.stats == leaf_output["stats"]
+    assert store.hits == 1
+
+
+def test_verify_recovered_equals_fresh(tmp_path, leaf_output):
+    store = LeafCheckpointStore(tmp_path)
+    store.save(0, **leaf_output)
+    assert store.verify(
+        0, labels=leaf_output["labels"], core_mask=leaf_output["core_mask"]
+    )
+    assert not store.verify(
+        0,
+        labels=leaf_output["labels"] + 1,  # a "fresh" run that differs
+        core_mask=leaf_output["core_mask"],
+    )
+
+
+def test_missing_checkpoint_raises(tmp_path):
+    store = LeafCheckpointStore(tmp_path)
+    with pytest.raises(CheckpointError, match="no checkpoint"):
+        store.load(9)
+    assert store.misses == 1
+
+
+def test_corrupt_data_fails_digest(tmp_path, leaf_output):
+    store = LeafCheckpointStore(tmp_path)
+    store.save(1, **leaf_output)
+    # Corrupt the artifact: valid npz, wrong contents vs the manifest.
+    data_path = store._data_path(1)
+    with open(data_path, "wb") as fh:
+        np.savez(
+            fh,
+            labels=np.zeros(200, dtype=np.int64),
+            core_mask=np.zeros(200, dtype=bool),
+            n_owned=np.int64(0),
+            blob=np.frombuffer(b"x", dtype=np.uint8),
+        )
+    with pytest.raises(CheckpointError, match="digest mismatch"):
+        store.load(1)
+
+
+def test_truncated_data_is_unreadable_not_fatal(tmp_path, leaf_output):
+    store = LeafCheckpointStore(tmp_path)
+    store.save(2, **leaf_output)
+    store._data_path(2).write_bytes(b"not an npz")
+    with pytest.raises(CheckpointError, match="unreadable"):
+        store.load(2)
+
+
+def test_torn_write_is_a_clean_miss(tmp_path, leaf_output):
+    """Manifest written last: data without manifest == no checkpoint."""
+    store = LeafCheckpointStore(tmp_path)
+    store.save(4, **leaf_output)
+    store._meta_path(4).unlink()  # simulate dying between data and manifest
+    assert not store.has(4)
+    with pytest.raises(CheckpointError):
+        store.load(4)
+
+
+def test_clear_removes_everything(tmp_path, leaf_output):
+    store = LeafCheckpointStore(tmp_path)
+    for leaf in (0, 1, 2):
+        store.save(leaf, **leaf_output)
+    assert store.clear() == 3
+    assert len(store) == 0
+    assert not store.has(0)
+
+
+def test_overwrite_updates_in_place(tmp_path, leaf_output):
+    store = LeafCheckpointStore(tmp_path)
+    store.save(5, **leaf_output)
+    changed = dict(leaf_output, labels=leaf_output["labels"] * 0)
+    store.save(5, **changed)
+    assert len(store) == 1
+    assert np.array_equal(store.load(5).labels, changed["labels"])

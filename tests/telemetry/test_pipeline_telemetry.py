@@ -132,7 +132,10 @@ def test_exhausted_retries_trace_every_attempt():
     with pytest.raises(TransportError):
         net.reduce([1, 2], SumFilter())
     faults = [i for i in telemetry.tracer.instants() if i.name == "fault"]
-    assert len(faults) == 3  # initial attempt + 2 retries
+    # Initial attempt + 2 retries each leave a "retry" instant, plus the
+    # final "abort" instant when the budget is exhausted.
+    assert len([f for f in faults if f.args["action"] == "retry"]) == 3
+    assert len([f for f in faults if f.args["action"] == "abort"]) == 1
 
 
 class _ClosableTransport:
@@ -144,7 +147,7 @@ class _ClosableTransport:
         self.closes = 0
         self.fail_on_batch = fail_on_batch
 
-    def run_batch(self, fn, tasks):
+    def run_batch(self, fn, tasks, *, timeout=None):
         self.batches += 1
         if self.fail_on_batch is not None and self.batches >= self.fail_on_batch:
             raise TransportError("simulated node crash")
