@@ -101,6 +101,11 @@ class MrScanConfig:
     #: Directory for per-leaf output checkpoints; a retried or failed-over
     #: leaf resumes from its spill file instead of re-clustering.
     checkpoint_dir: str | None = None
+    #: Runtime invariant checking at phase boundaries (repro.validate):
+    #: ``off`` (default) pays nothing, ``cheap`` runs the O(n) bookkeeping
+    #: checks, ``full`` adds the geometric re-verifications (shadow
+    #: Eps-completeness, Fig-5 representative coverage, sweep recombination).
+    validate: str = "off"
 
     def __post_init__(self) -> None:
         if self.eps <= 0:
@@ -134,6 +139,11 @@ class MrScanConfig:
         if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
             raise ConfigError(
                 f"fault_plan must be a FaultPlan, got {type(self.fault_plan)!r}"
+            )
+        if self.validate not in ("off", "cheap", "full"):
+            raise ConfigError(
+                f"validate must be 'off', 'cheap' or 'full', got "
+                f"{self.validate!r}"
             )
 
     @property

@@ -246,11 +246,27 @@ def run_pipeline(
     if telemetry is None:
         telemetry = Telemetry() if config.telemetry else Telemetry.disabled()
     tracer = telemetry.tracer
+    # Phase-boundary invariant checking (repro.validate).  The context is
+    # filled in as phases complete; each boundary runs its registered
+    # checkers and raises ValidationError on the first violated invariant.
+    vctx = vreport = None
+    if config.validate != "off":
+        from ..validate.invariants import (
+            ValidationContext,
+            ValidationReport,
+            run_phase_checks,
+        )
+
+        vreport = ValidationReport(level=config.validate)
     # Normalise ids to 0..n-1 (input order); merge/sweep set logic keys on
     # them, and the final labels align with input order.
     internal = PointSet(
         ids=np.arange(n, dtype=np.int64), coords=points.coords, weights=points.weights
     )
+    if vreport is not None:
+        vctx = ValidationContext(
+            points=internal, eps=config.eps, minpts=config.minpts, config=config
+        )
 
     timer = PhaseTimer()
     timings = PhaseBreakdown()
@@ -284,6 +300,9 @@ def run_pipeline(
         config.partition_output,
         phase1.plan.size_imbalance(),
     )
+    if vctx is not None:
+        vctx.phase1 = phase1
+        run_phase_checks("partition", vctx, config.validate, vreport, telemetry)
 
     # ----------------------------- cluster ----------------------------- #
     topology = Topology.paper_style(config.n_leaves, config.fanout)
@@ -340,6 +359,9 @@ def run_pipeline(
             config.n_leaves,
             max((o.stats.total_distance_ops for o in outputs), default=0),
         )
+        if vctx is not None:
+            vctx.outputs = outputs
+            run_phase_checks("cluster", vctx, config.validate, vreport, telemetry)
 
         # ------------------------------ merge -------------------------- #
         merge_filter = MergeFilter(config.eps, tracer=tracer)
@@ -356,6 +378,10 @@ def run_pipeline(
             assignment.n_clusters,
             reduce_trace.total_bytes,
         )
+        if vctx is not None:
+            vctx.assignment = assignment
+            vctx.root_summary = root_summary
+            run_phase_checks("merge", vctx, config.validate, vreport, telemetry)
 
         # ------------------------------ sweep -------------------------- #
         output_io = IOTrace()
@@ -398,6 +424,11 @@ def run_pipeline(
                     )
             labels = combine_leaf_outputs(sweep_results, n)
             core_mask = combine_core_masks(sweep_results, n)
+        if vctx is not None:
+            vctx.sweep_results = sweep_results
+            vctx.labels = labels
+            vctx.core_mask = core_mask
+            run_phase_checks("sweep", vctx, config.validate, vreport, telemetry)
     finally:
         network.close()
     logger.info(
@@ -470,6 +501,7 @@ def run_pipeline(
         faults=fault_log.events,
         fault_summary=fault_log.summary(),
         checkpoint_hits=checkpoint_hits,
+        validation=vreport,
     )
     if telemetry.enabled:
         record_result(telemetry.metrics, result)

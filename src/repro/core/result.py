@@ -117,6 +117,11 @@ class MrScanResult:
     #: Leaves whose output was recovered from a checkpoint instead of
     #: re-running the GPU clustering pass.
     checkpoint_hits: int = 0
+    #: Phase-boundary invariant checking activity (a
+    #: :class:`repro.validate.ValidationReport`) when the run had
+    #: ``config.validate`` != "off"; None otherwise.  A report attached
+    #: here is always clean — violations raise ``ValidationError``.
+    validation: object | None = None
 
     @property
     def n_points(self) -> int:

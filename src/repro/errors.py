@@ -19,6 +19,7 @@ Hierarchy::
     ├── MergeError
     ├── FormatError (also ValueError)
     ├── CheckpointError
+    ├── ValidationError
     └── SimulationError
 
 The resilience layer (:mod:`repro.resilience`) raises the three newest
@@ -79,6 +80,20 @@ class FormatError(MrScanError, ValueError):
 
 class CheckpointError(MrScanError):
     """Leaf checkpoint is missing, unreadable, or fails its digest check."""
+
+
+class ValidationError(MrScanError):
+    """A runtime phase-boundary invariant check failed (repro.validate).
+
+    Carries the structured :class:`repro.validate.Violation` records on
+    ``violations`` so callers (and the fuzz harness) can report *which*
+    paper invariant broke, not just that one did.
+    """
+
+    def __init__(self, message: str, violations: list | None = None) -> None:
+        super().__init__(message)
+        #: The :class:`repro.validate.Violation` records behind the failure.
+        self.violations: list = list(violations or [])
 
 
 class SimulationError(MrScanError):

@@ -43,6 +43,9 @@ class ChaosOutcome:
     error: str = ""
     events: list[FaultEvent] = field(default_factory=list)
     fault_summary: dict[str, Any] = field(default_factory=dict)
+    #: Invariant-checking activity of the chaos run (a
+    #: ``ValidationReport.as_dict()``) when ``config.validate`` != "off".
+    validation: dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -118,12 +121,14 @@ class ChaosRunner:
                 error=f"{type(exc).__name__}: {exc}",
             )
         labels = np.asarray(result.labels)
+        report = getattr(result, "validation", None)
         return ChaosOutcome(
             plan=plan,
             completed=True,
             labels_match=bool(np.array_equal(labels, baseline)),
             events=list(getattr(result, "faults", [])),
             fault_summary=dict(getattr(result, "fault_summary", {}) or {}),
+            validation=report.as_dict() if report is not None else {},
         )
 
     def run_seeds(

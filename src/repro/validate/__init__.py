@@ -1,0 +1,71 @@
+"""Runtime invariant checking + differential/metamorphic fuzzing.
+
+Two halves, both oracles for the distributed pipeline:
+
+- :mod:`repro.validate.invariants` — a registry of phase-boundary
+  checkers for the invariants the paper states (§3.1–§3.3.2): disjoint
+  exact-cover partitions, shadow-region Eps-completeness, the ≤ 8
+  representative bound and Fig-5 reachability lemma, global-ID
+  bijection, and sweep owner-precedence.  Wired into ``run_pipeline``
+  behind ``MrScanConfig.validate`` (``off`` / ``cheap`` / ``full``).
+- :mod:`repro.validate.fuzz` — a seeded differential + metamorphic
+  harness that sweeps randomized datasets × topologies × configs ×
+  fault plans against the exact sequential DBSCAN, using the
+  tie-break-aware comparator in :mod:`repro.validate.equivalence`, and
+  shrinks failures to minimal JSON repro artifacts.
+"""
+
+from .equivalence import EquivalenceReport, labels_equivalent
+from .fuzz import (
+    DATASETS,
+    CaseOutcome,
+    FuzzCase,
+    SweepReport,
+    generate_case,
+    load_case,
+    minimize_failures,
+    run_case,
+    run_sweep,
+    shrink_case,
+    write_repro_artifact,
+)
+from .invariants import (
+    LEVELS,
+    REGISTRY,
+    CheckOutcome,
+    InvariantChecker,
+    ValidationContext,
+    ValidationReport,
+    Violation,
+    checkers_for,
+    invariant_catalog,
+    register_checker,
+    run_phase_checks,
+)
+
+__all__ = [
+    "LEVELS",
+    "REGISTRY",
+    "Violation",
+    "CheckOutcome",
+    "ValidationReport",
+    "ValidationContext",
+    "InvariantChecker",
+    "register_checker",
+    "checkers_for",
+    "invariant_catalog",
+    "run_phase_checks",
+    "EquivalenceReport",
+    "labels_equivalent",
+    "DATASETS",
+    "FuzzCase",
+    "CaseOutcome",
+    "SweepReport",
+    "generate_case",
+    "run_case",
+    "run_sweep",
+    "shrink_case",
+    "write_repro_artifact",
+    "load_case",
+    "minimize_failures",
+]

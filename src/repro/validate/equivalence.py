@@ -1,0 +1,199 @@
+"""Cluster-labelling equivalence up to relabeling and border tie-breaks.
+
+DBSCAN's output is unique on core points (clusters are exactly the
+connected components of the Eps-graph over cores) but *visit-order
+dependent* on border points: a border point within Eps of cores from two
+clusters may legitimately land in either.  Comparing a distributed run
+against the sequential reference therefore needs three tiers:
+
+1. **core** — core masks must agree exactly, and the two labelings must
+   induce a *bijection* between their cluster ids over core points (same
+   partition of the core set, different numbering allowed);
+2. **noise** — a point is noise in both or clustered in both.  The one
+   sanctioned exception is Mr. Scan's dense-box fidelity trade-off
+   (§3.2.3: dense-box members are not expanded, so a border point
+   adjacent only to box cores may stay noise) — opt-in via
+   ``allow_densebox_noise`` and bounded by the paper's ≥ 0.995 quality;
+3. **border** — a clustered non-core point whose candidate label maps to
+   a different reference cluster is accepted iff its candidate cluster
+   really does contain a core point within Eps of it (a legal tie-break),
+   and rejected otherwise.
+
+This is the comparator the differential fuzz harness
+(:mod:`repro.validate.fuzz`) runs on every case, equivalent in spirit to
+the "cluster-structure equality" oracles used to validate parallel
+DBSCAN implementations against a sequential baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dbscan.grid_index import GridIndex
+from ..points import NOISE, PointSet
+
+__all__ = ["EquivalenceReport", "labels_equivalent"]
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of one labelling comparison."""
+
+    ok: bool
+    failures: list[str] = field(default_factory=list)
+    n_core_mismatch: int = 0  # core-status disagreements
+    n_partition_mismatch: int = 0  # core points breaking the bijection
+    n_noise_mismatch: int = 0  # disallowed noise/clustered flips
+    n_densebox_noise: int = 0  # allowed densebox border noise
+    n_tiebreak: int = 0  # legal border tie-break differences
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "failures": list(self.failures),
+            "n_core_mismatch": self.n_core_mismatch,
+            "n_partition_mismatch": self.n_partition_mismatch,
+            "n_noise_mismatch": self.n_noise_mismatch,
+            "n_densebox_noise": self.n_densebox_noise,
+            "n_tiebreak": self.n_tiebreak,
+        }
+
+    def summary(self) -> str:
+        if self.ok:
+            extra = []
+            if self.n_tiebreak:
+                extra.append(f"{self.n_tiebreak} border tie-break(s)")
+            if self.n_densebox_noise:
+                extra.append(f"{self.n_densebox_noise} densebox noise border(s)")
+            return "equivalent" + (f" ({', '.join(extra)})" if extra else "")
+        return "NOT equivalent: " + "; ".join(self.failures[:5])
+
+
+def labels_equivalent(
+    points: PointSet,
+    eps: float,
+    ref_labels: np.ndarray,
+    ref_core: np.ndarray,
+    cand_labels: np.ndarray,
+    cand_core: np.ndarray,
+    *,
+    allow_densebox_noise: bool = False,
+    max_densebox_noise: int | None = None,
+) -> EquivalenceReport:
+    """Compare ``cand`` against the reference clustering of ``points``.
+
+    ``max_densebox_noise`` caps the allowed ref-clustered→cand-noise
+    border count when ``allow_densebox_noise`` is set; defaults to the
+    repo's long-standing tolerance ``max(2, 0.005 * n)``.
+    """
+    ref_labels = np.asarray(ref_labels)
+    cand_labels = np.asarray(cand_labels)
+    ref_core = np.asarray(ref_core, dtype=bool)
+    cand_core = np.asarray(cand_core, dtype=bool)
+    n = len(points)
+    report = EquivalenceReport(ok=True)
+    if not (
+        len(ref_labels) == len(cand_labels) == len(ref_core) == len(cand_core) == n
+    ):
+        report.ok = False
+        report.failures.append("label/core array lengths disagree with points")
+        return report
+    if max_densebox_noise is None:
+        max_densebox_noise = max(2, int(0.005 * n))
+
+    # ---- tier 1: core status + core-partition bijection ---------------- #
+    core_diff = ref_core != cand_core
+    if np.any(core_diff):
+        report.n_core_mismatch = int(core_diff.sum())
+        report.ok = False
+        sample = np.flatnonzero(core_diff)[:5]
+        report.failures.append(
+            f"core status differs on {report.n_core_mismatch} point(s) "
+            f"(e.g. {[int(i) for i in sample]})"
+        )
+
+    core = ref_core & cand_core
+    ref_to_cand: dict[int, int] = {}
+    cand_to_ref: dict[int, int] = {}
+    bad_pairs = 0
+    for i in np.flatnonzero(core):
+        r, c = int(ref_labels[i]), int(cand_labels[i])
+        if r == NOISE or c == NOISE:
+            bad_pairs += 1
+            continue
+        if ref_to_cand.setdefault(r, c) != c or cand_to_ref.setdefault(c, r) != r:
+            bad_pairs += 1
+    if bad_pairs:
+        report.n_partition_mismatch = bad_pairs
+        report.ok = False
+        report.failures.append(
+            f"core clusters do not biject: {bad_pairs} core point(s) break "
+            "the ref<->candidate cluster mapping"
+        )
+        return report  # tier 2/3 would only echo the same breakage
+
+    # ---- tier 2: noise agreement -------------------------------------- #
+    ref_noise = ref_labels == NOISE
+    cand_noise = cand_labels == NOISE
+    noncore = ~core
+
+    invented = noncore & ref_noise & ~cand_noise
+    if np.any(invented):
+        report.n_noise_mismatch += int(invented.sum())
+        report.ok = False
+        report.failures.append(
+            f"{int(invented.sum())} reference-noise point(s) clustered by "
+            "the candidate"
+        )
+
+    dropped = noncore & ~ref_noise & cand_noise
+    n_dropped = int(np.count_nonzero(dropped))
+    if n_dropped:
+        if allow_densebox_noise and n_dropped <= max_densebox_noise:
+            report.n_densebox_noise = n_dropped
+        else:
+            report.n_noise_mismatch += n_dropped
+            report.ok = False
+            report.failures.append(
+                f"{n_dropped} reference-clustered border point(s) are noise "
+                "in the candidate"
+                + (
+                    f" (> densebox tolerance {max_densebox_noise})"
+                    if allow_densebox_noise
+                    else ""
+                )
+            )
+
+    # ---- tier 3: border tie-breaks ------------------------------------ #
+    both = noncore & ~ref_noise & ~cand_noise
+    if np.any(both):
+        idx = np.flatnonzero(both)
+        mapped = np.array(
+            [ref_to_cand.get(int(ref_labels[i]), -10) for i in idx], dtype=np.int64
+        )
+        differs = mapped != cand_labels[idx]
+        check_idx = idx[differs]
+        if len(check_idx):
+            index = GridIndex(points, eps)
+            n_illegal = 0
+            samples: list[int] = []
+            for i in check_idx:
+                neigh = index.neighbors_of(int(i))
+                legal = np.any(
+                    cand_core[neigh] & (cand_labels[neigh] == cand_labels[i])
+                )
+                if legal:
+                    report.n_tiebreak += 1
+                else:
+                    n_illegal += 1
+                    if len(samples) < 5:
+                        samples.append(int(i))
+            if n_illegal:
+                report.ok = False
+                report.failures.append(
+                    f"{n_illegal} border point(s) assigned to a cluster with "
+                    f"no core point within Eps (e.g. {samples})"
+                )
+    return report

@@ -1,0 +1,958 @@
+"""Runtime phase-boundary invariant checkers.
+
+Mr. Scan's correctness argument is a chain of per-phase invariants the
+paper states but a reproduction can silently break:
+
+* **partition** (§3.1) — the plan is a disjoint exact cover of the
+  non-empty Eps-grid cells, every point is owned by exactly one
+  partition, and the shadow region completes every owned point's
+  Eps-neighborhood (§3.1.1: "the shadow region ... becomes the set of
+  grid neighbors not already in the partition");
+* **cluster** (§3.3.1, Fig 5) — at most :data:`N_REPRESENTATIVES`
+  representatives per (cluster, cell), and every in-cell core point of a
+  cluster lies within Eps of one of that cell's representatives (the
+  eps/2 reachability lemma that makes merges detectable from
+  representatives alone);
+* **merge** (§3.4) — global-ID assignment is a bijection between merged
+  cluster groups and ``0..k-1``, total over every leaf-reported cluster;
+* **sweep** (§3.3.2) — duplicate removal leaves exactly one
+  authoritative label per owned point, with owner precedence respected
+  and competing shadow claims resolved to the smallest global ID.
+
+Each checker is registered with a *phase* (where in the pipeline it can
+run) and a *level*: ``cheap`` checkers are O(n) bookkeeping that a
+production run can afford; ``full`` adds the quadratic-ish geometric
+re-verifications (Eps-ball completeness, Fig-5 coverage, sweep
+recombination).  :func:`run_phase_checks` executes every applicable
+checker at a boundary, records ``validate.*`` metrics and trace events
+through the telemetry layer, and raises a structured
+:class:`~repro.errors.ValidationError` if anything is violated.
+
+Checkers read a :class:`ValidationContext` the pipeline fills in as
+phases complete; they never mutate it (beyond the cached grid index).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..merge.representatives import N_REPRESENTATIVES
+from ..points import NOISE, UNCLASSIFIED, PointSet
+
+__all__ = [
+    "LEVELS",
+    "Violation",
+    "CheckOutcome",
+    "ValidationReport",
+    "ValidationContext",
+    "InvariantChecker",
+    "REGISTRY",
+    "register_checker",
+    "checkers_for",
+    "run_phase_checks",
+    "invariant_catalog",
+]
+
+#: Validation levels, in increasing cost: ``off`` skips everything,
+#: ``cheap`` runs the linear bookkeeping checks, ``full`` adds the
+#: geometric re-verifications.
+LEVELS: tuple[str, ...] = ("off", "cheap", "full")
+
+#: Cap on per-checker violation records (the first ones are the repro).
+MAX_VIOLATIONS_PER_CHECK = 20
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One concrete invariant breach, with enough context to reproduce."""
+
+    invariant: str  # checker name, e.g. "cluster.representative_coverage"
+    phase: str  # pipeline phase it was detected after
+    message: str  # human-readable description
+    context: dict = field(default_factory=dict)  # small, JSON-able detail
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "invariant": self.invariant,
+            "phase": self.phase,
+            "message": self.message,
+            "context": dict(self.context),
+        }
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.message}"
+
+
+@dataclass
+class CheckOutcome:
+    """One checker execution: what ran, how long, what it found."""
+
+    name: str
+    phase: str
+    level: str
+    seconds: float
+    n_violations: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "phase": self.phase,
+            "level": self.level,
+            "seconds": self.seconds,
+            "n_violations": self.n_violations,
+        }
+
+
+@dataclass
+class ValidationReport:
+    """Accumulated validation activity of one pipeline run."""
+
+    level: str = "off"
+    checks: list[CheckOutcome] = field(default_factory=list)
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def n_checks(self) -> int:
+        return len(self.checks)
+
+    @property
+    def n_violations(self) -> int:
+        return len(self.violations)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "level": self.level,
+            "n_checks": self.n_checks,
+            "n_violations": self.n_violations,
+            "checks": [c.as_dict() for c in self.checks],
+            "violations": [v.as_dict() for v in self.violations],
+        }
+
+    def summary(self) -> str:
+        state = "ok" if self.ok else f"{self.n_violations} VIOLATION(S)"
+        lines = [f"validation ({self.level}): {self.n_checks} check(s), {state}"]
+        lines += [f"  {v}" for v in self.violations[:10]]
+        return "\n".join(lines)
+
+
+@dataclass
+class ValidationContext:
+    """Everything the checkers may inspect, filled in as phases finish.
+
+    The pipeline sets ``phase1`` after partitioning, ``outputs`` after
+    clustering, ``assignment``/``root_summary`` after the merge, and
+    ``sweep_results``/``labels``/``core_mask`` after the sweep.  Fields
+    are duck-typed so unit tests can hand-build minimal stand-ins.
+    """
+
+    points: PointSet  # internal point set, ids normalised to 0..n-1
+    eps: float
+    minpts: int
+    config: Any = None
+    phase1: Any = None  # partition.distributed.PartitionPhaseResult
+    outputs: list | None = None  # leaf outputs: .leaf_id/.labels/.core_mask/.summary/.n_owned
+    assignment: Any = None  # merge.global_ids.GlobalIdAssignment
+    root_summary: Any = None  # merge.summary.LeafSummary at the root
+    sweep_results: list | None = None  # sweep.sweep.SweepResult per leaf
+    labels: np.ndarray | None = None  # final combined labels
+    core_mask: np.ndarray | None = None  # final combined core mask
+    _index: Any = field(default=None, repr=False)
+
+    @property
+    def n(self) -> int:
+        return len(self.points)
+
+    def index(self):
+        """Cached Eps grid index over the full internal point set."""
+        if self._index is None:
+            from ..dbscan.grid_index import GridIndex
+
+            self._index = GridIndex(self.points, self.eps)
+        return self._index
+
+    def point_cells(self) -> np.ndarray:
+        """(n, 2) Eps-grid cell of every internal point."""
+        return np.floor(self.points.coords / self.eps).astype(np.int64)
+
+    def leaf_views(self) -> Iterator[tuple[int, PointSet, PointSet]]:
+        """Yield ``(leaf_id, own, shadow)`` for every partition."""
+        for pid, (own, shadow) in enumerate(self.phase1.partitions):
+            yield pid, own, shadow
+
+
+@dataclass(frozen=True)
+class InvariantChecker:
+    """A registered phase-boundary invariant."""
+
+    name: str
+    phase: str  # "partition" | "cluster" | "merge" | "sweep"
+    level: str  # "cheap" | "full"
+    paper: str  # paper section the invariant comes from
+    func: Callable[[ValidationContext], list[Violation]]
+
+
+REGISTRY: list[InvariantChecker] = []
+
+
+def register_checker(name: str, phase: str, level: str, paper: str = ""):
+    """Decorator adding a checker function to :data:`REGISTRY`."""
+
+    def deco(func: Callable[[ValidationContext], list[Violation]]):
+        REGISTRY.append(
+            InvariantChecker(name=name, phase=phase, level=level, paper=paper, func=func)
+        )
+        return func
+
+    return deco
+
+
+def checkers_for(phase: str, level: str) -> list[InvariantChecker]:
+    """Checkers applicable at ``phase`` under validation ``level``."""
+    if level not in LEVELS:
+        raise ValidationError(f"unknown validation level {level!r}")
+    if level == "off":
+        return []
+    wanted = ("cheap",) if level == "cheap" else ("cheap", "full")
+    return [c for c in REGISTRY if c.phase == phase and c.level in wanted]
+
+
+def invariant_catalog() -> list[dict[str, str]]:
+    """The registered invariants as rows (docs and ``--help`` material)."""
+    return [
+        {"name": c.name, "phase": c.phase, "level": c.level, "paper": c.paper}
+        for c in REGISTRY
+    ]
+
+
+def run_phase_checks(
+    phase: str,
+    ctx: ValidationContext,
+    level: str,
+    report: ValidationReport | None = None,
+    telemetry=None,
+) -> list[Violation]:
+    """Run every applicable checker at one phase boundary.
+
+    Records per-check outcomes on ``report`` and ``validate.*`` metrics /
+    trace instants on ``telemetry`` (when given and enabled), then raises
+    :class:`ValidationError` carrying all violations found at this
+    boundary.  Returns the (empty) violation list otherwise.
+    """
+    checks = checkers_for(phase, level)
+    all_violations: list[Violation] = []
+    tracer = getattr(telemetry, "tracer", None)
+    metrics = getattr(telemetry, "metrics", None)
+    for checker in checks:
+        t0 = time.perf_counter()
+        violations = checker.func(ctx) or []
+        seconds = time.perf_counter() - t0
+        outcome = CheckOutcome(
+            name=checker.name,
+            phase=phase,
+            level=checker.level,
+            seconds=seconds,
+            n_violations=len(violations),
+        )
+        if report is not None:
+            report.checks.append(outcome)
+            report.violations.extend(violations)
+        all_violations.extend(violations)
+        if metrics is not None:
+            metrics.counter("validate.checks").inc()
+            if violations:
+                metrics.counter("validate.violations").inc(len(violations))
+            metrics.histogram("validate.check_seconds").observe(seconds)
+        if tracer is not None:
+            tracer.instant(
+                f"validate.{checker.name}",
+                cat="validate",
+                violations=len(violations),
+                seconds=seconds,
+            )
+    if all_violations:
+        first = all_violations[0]
+        raise ValidationError(
+            f"{len(all_violations)} invariant violation(s) after {phase} "
+            f"(first: {first})",
+            violations=all_violations,
+        )
+    return all_violations
+
+
+def _cap(violations: list[Violation]) -> list[Violation]:
+    return violations[:MAX_VIOLATIONS_PER_CHECK]
+
+
+# --------------------------------------------------------------------- #
+# Phase 1 — partition
+# --------------------------------------------------------------------- #
+
+
+@register_checker(
+    "partition.cover", "partition", "cheap", paper="§3.1.2-3.1.3"
+)
+def check_partition_cover(ctx: ValidationContext) -> list[Violation]:
+    """Plan cells and owned points form a disjoint exact cover.
+
+    * every non-empty grid cell is owned by exactly one partition and no
+      partition owns a cell outside the histogram;
+    * the partitions' *own* point sets are disjoint and union to the
+      whole input;
+    * every owned point falls inside one of its partition's cells;
+    * no partition shadows a cell it owns.
+    """
+    out: list[Violation] = []
+    plan = ctx.phase1.plan
+    cells = ctx.point_cells()
+    all_cells = {(int(cx), int(cy)) for cx, cy in np.unique(cells, axis=0)}
+
+    owner: dict[tuple[int, int], int] = {}
+    for spec in plan.partitions:
+        for cell in spec.cells:
+            if cell in owner:
+                out.append(
+                    Violation(
+                        "partition.cover",
+                        "partition",
+                        f"cell {cell} owned by partitions {owner[cell]} and "
+                        f"{spec.partition_id}",
+                        {"cell": list(cell)},
+                    )
+                )
+            owner[cell] = spec.partition_id
+        overlap = spec.shadow_cells & spec.cell_set()
+        if overlap:
+            out.append(
+                Violation(
+                    "partition.cover",
+                    "partition",
+                    f"partition {spec.partition_id} shadows "
+                    f"{len(overlap)} cell(s) it owns",
+                    {"partition": spec.partition_id, "n_overlap": len(overlap)},
+                )
+            )
+    missing = all_cells - set(owner)
+    spurious = set(owner) - all_cells
+    if missing:
+        out.append(
+            Violation(
+                "partition.cover",
+                "partition",
+                f"{len(missing)} non-empty cell(s) owned by no partition",
+                {"n_missing": len(missing), "sample": sorted(missing)[:3]},
+            )
+        )
+    if spurious:
+        out.append(
+            Violation(
+                "partition.cover",
+                "partition",
+                f"{len(spurious)} owned cell(s) hold no points",
+                {"n_spurious": len(spurious), "sample": sorted(spurious)[:3]},
+            )
+        )
+
+    # Point-level exact cover + membership.
+    seen = np.zeros(ctx.n, dtype=np.int64)
+    for pid, own, _shadow in ctx.leaf_views():
+        if len(own) == 0:
+            continue
+        ids = own.ids
+        if ids.min() < 0 or ids.max() >= ctx.n:
+            out.append(
+                Violation(
+                    "partition.cover",
+                    "partition",
+                    f"partition {pid} owns point ids outside 0..{ctx.n - 1}",
+                    {"partition": pid},
+                )
+            )
+            continue
+        np.add.at(seen, ids, 1)
+        own_cells = np.floor(own.coords / ctx.eps).astype(np.int64)
+        cell_set = {c for c, p in owner.items() if p == pid}
+        outside = [
+            int(i)
+            for i, (cx, cy) in zip(ids, own_cells)
+            if (int(cx), int(cy)) not in cell_set
+        ]
+        if outside:
+            out.append(
+                Violation(
+                    "partition.cover",
+                    "partition",
+                    f"partition {pid} owns {len(outside)} point(s) outside "
+                    "its cells",
+                    {"partition": pid, "sample_ids": outside[:5]},
+                )
+            )
+    dup = int(np.count_nonzero(seen > 1))
+    unowned = int(np.count_nonzero(seen == 0))
+    if dup:
+        out.append(
+            Violation(
+                "partition.cover",
+                "partition",
+                f"{dup} point(s) owned by more than one partition",
+                {"n_duplicate": dup},
+            )
+        )
+    if unowned:
+        out.append(
+            Violation(
+                "partition.cover",
+                "partition",
+                f"{unowned} point(s) owned by no partition",
+                {"n_unowned": unowned},
+            )
+        )
+    return _cap(out)
+
+
+@register_checker(
+    "partition.shadow_cells", "partition", "cheap", paper="§3.1.1"
+)
+def check_partition_shadow_cells(ctx: ValidationContext) -> list[Violation]:
+    """Each partition's shadow is exactly the non-empty grid neighbors.
+
+    Recomputes ``shadow_cells_of`` from scratch and compares against the
+    plan, then checks the materialised shadow *points* are exactly the
+    points of those cells.
+    """
+    from ..partition.grid import GridHistogram
+    from ..partition.shadow import shadow_cells_of
+
+    out: list[Violation] = []
+    histogram = GridHistogram.from_points(ctx.points, ctx.eps)
+    plan = ctx.phase1.plan
+    cells = ctx.point_cells()
+    for pid, _own, shadow in ctx.leaf_views():
+        spec = plan.partitions[pid]
+        expected = shadow_cells_of(spec.cell_set(), histogram)
+        if expected != spec.shadow_cells:
+            out.append(
+                Violation(
+                    "partition.shadow_cells",
+                    "partition",
+                    f"partition {pid} shadow cells diverge from the grid "
+                    f"neighbors ({len(expected ^ spec.shadow_cells)} cell(s))",
+                    {"partition": pid},
+                )
+            )
+        # Shadow *points* must be exactly the points of the shadow cells.
+        want_ids: set[int] = set()
+        if expected:
+            exp = expected
+            mask = np.fromiter(
+                ((int(cx), int(cy)) in exp for cx, cy in cells),
+                dtype=bool,
+                count=ctx.n,
+            )
+            want_ids = set(np.flatnonzero(mask).tolist())
+        got_ids = set(int(i) for i in shadow.ids)
+        if got_ids != want_ids:
+            out.append(
+                Violation(
+                    "partition.shadow_cells",
+                    "partition",
+                    f"partition {pid} shadow points diverge: "
+                    f"{len(want_ids - got_ids)} missing, "
+                    f"{len(got_ids - want_ids)} extra",
+                    {"partition": pid},
+                )
+            )
+    return _cap(out)
+
+
+@register_checker(
+    "partition.shadow_completeness", "partition", "full", paper="§3.1.1/§3.2"
+)
+def check_shadow_completeness(ctx: ValidationContext) -> list[Violation]:
+    """Every owned point's full Eps-ball is present in its leaf's view.
+
+    The geometric form of the shadow guarantee: for each point p owned by
+    partition P, every input point within Eps of p is in P's own∪shadow
+    view — so the leaf computes p's exact neighborhood count and core
+    status (§3.2: owner classification is authoritative).
+    """
+    out: list[Violation] = []
+    index = ctx.index()
+    membership: dict[int, np.ndarray] = {}
+    owner_of = np.full(ctx.n, -1, dtype=np.int64)
+    for pid, own, shadow in ctx.leaf_views():
+        m = np.zeros(ctx.n, dtype=bool)
+        if len(own):
+            m[own.ids] = True
+            owner_of[own.ids] = pid
+        if len(shadow):
+            m[shadow.ids] = True
+        membership[pid] = m
+    for p in range(ctx.n):
+        pid = int(owner_of[p])
+        if pid < 0:
+            continue  # partition.cover reports unowned points
+        neigh = index.neighbors_of(p)
+        missing = neigh[~membership[pid][neigh]]
+        if len(missing):
+            out.append(
+                Violation(
+                    "partition.shadow_completeness",
+                    "partition",
+                    f"point {p} (partition {pid}) is missing "
+                    f"{len(missing)} Eps-neighbor(s) from its leaf view",
+                    {
+                        "point": p,
+                        "partition": pid,
+                        "missing_sample": [int(i) for i in missing[:5]],
+                    },
+                )
+            )
+            if len(out) >= MAX_VIOLATIONS_PER_CHECK:
+                break
+    return _cap(out)
+
+
+# --------------------------------------------------------------------- #
+# Phase 2 — cluster
+# --------------------------------------------------------------------- #
+
+
+@register_checker("cluster.labels_sane", "cluster", "cheap", paper="§3.2")
+def check_cluster_labels_sane(ctx: ValidationContext) -> list[Violation]:
+    """Leaf outputs are structurally consistent with their views.
+
+    Label/core arrays align with the own+shadow view, nothing is left
+    ``UNCLASSIFIED``, core points always belong to a cluster, and every
+    non-noise label appears in the leaf's upstream summary.
+    """
+    out: list[Violation] = []
+    views = {pid: (own, shadow) for pid, own, shadow in ctx.leaf_views()}
+    for o in ctx.outputs or []:
+        own, shadow = views[o.leaf_id]
+        n_view = len(own) + len(shadow)
+        labels = np.asarray(o.labels)
+        core = np.asarray(o.core_mask)
+        if len(labels) != n_view or len(core) != n_view:
+            out.append(
+                Violation(
+                    "cluster.labels_sane",
+                    "cluster",
+                    f"leaf {o.leaf_id}: labels ({len(labels)}) / core "
+                    f"({len(core)}) disagree with view ({n_view})",
+                    {"leaf": o.leaf_id},
+                )
+            )
+            continue
+        if o.n_owned != len(own):
+            out.append(
+                Violation(
+                    "cluster.labels_sane",
+                    "cluster",
+                    f"leaf {o.leaf_id}: n_owned {o.n_owned} != |own| {len(own)}",
+                    {"leaf": o.leaf_id},
+                )
+            )
+        if np.any(labels == UNCLASSIFIED):
+            out.append(
+                Violation(
+                    "cluster.labels_sane",
+                    "cluster",
+                    f"leaf {o.leaf_id}: {int(np.count_nonzero(labels == UNCLASSIFIED))} "
+                    "point(s) left UNCLASSIFIED",
+                    {"leaf": o.leaf_id},
+                )
+            )
+        if np.any(core & (labels == NOISE)):
+            out.append(
+                Violation(
+                    "cluster.labels_sane",
+                    "cluster",
+                    f"leaf {o.leaf_id}: core point(s) labelled NOISE",
+                    {"leaf": o.leaf_id},
+                )
+            )
+        summary_labels = {local for (_leaf, local) in o.summary.clusters}
+        found = {int(l) for l in np.unique(labels[labels != NOISE])}
+        if not found <= summary_labels:
+            out.append(
+                Violation(
+                    "cluster.labels_sane",
+                    "cluster",
+                    f"leaf {o.leaf_id}: clusters {sorted(found - summary_labels)[:5]} "
+                    "missing from the upstream summary",
+                    {"leaf": o.leaf_id},
+                )
+            )
+    return _cap(out)
+
+
+@register_checker(
+    "cluster.representative_bound", "cluster", "cheap", paper="§3.3.1"
+)
+def check_representative_bound(ctx: ValidationContext) -> list[Violation]:
+    """≤ 8 unique representatives per (cluster, cell), inside the cell."""
+    from ..merge.summary import cell_bounds
+
+    out: list[Violation] = []
+    for o in ctx.outputs or []:
+        for key, cluster in o.summary.clusters.items():
+            for cell, cs in cluster.cells.items():
+                if cs.n_reps > N_REPRESENTATIVES:
+                    out.append(
+                        Violation(
+                            "cluster.representative_bound",
+                            "cluster",
+                            f"leaf {o.leaf_id} cluster {key} cell {cell}: "
+                            f"{cs.n_reps} representatives > {N_REPRESENTATIVES}",
+                            {"leaf": o.leaf_id, "cell": list(cell)},
+                        )
+                    )
+                if len(np.unique(cs.rep_ids)) != len(cs.rep_ids):
+                    out.append(
+                        Violation(
+                            "cluster.representative_bound",
+                            "cluster",
+                            f"leaf {o.leaf_id} cluster {key} cell {cell}: "
+                            "duplicate representative ids",
+                            {"leaf": o.leaf_id, "cell": list(cell)},
+                        )
+                    )
+                if cs.n_reps:
+                    xmin, ymin, xmax, ymax = cell_bounds(cell, ctx.eps)
+                    tol = ctx.eps * 1e-9
+                    inside = (
+                        (cs.rep_coords[:, 0] >= xmin - tol)
+                        & (cs.rep_coords[:, 0] <= xmax + tol)
+                        & (cs.rep_coords[:, 1] >= ymin - tol)
+                        & (cs.rep_coords[:, 1] <= ymax + tol)
+                    )
+                    if not np.all(inside):
+                        out.append(
+                            Violation(
+                                "cluster.representative_bound",
+                                "cluster",
+                                f"leaf {o.leaf_id} cluster {key} cell {cell}: "
+                                "representative outside its cell",
+                                {"leaf": o.leaf_id, "cell": list(cell)},
+                            )
+                        )
+    return _cap(out)
+
+
+@register_checker(
+    "cluster.representative_coverage", "cluster", "full", paper="§3.3.1 Fig 5"
+)
+def check_representative_coverage(ctx: ValidationContext) -> list[Violation]:
+    """Fig 5 lemma: every in-cell core point of a cluster is within Eps
+    of one of that (cluster, cell)'s representatives.
+
+    This is what makes merges detectable from representatives alone — a
+    remote cluster reaching any core point of the cell also reaches a
+    representative within 2·(eps/2) = Eps.
+    """
+    out: list[Violation] = []
+    eps2 = ctx.eps * ctx.eps
+    views = {pid: (own, shadow) for pid, own, shadow in ctx.leaf_views()}
+    for o in ctx.outputs or []:
+        own, shadow = views[o.leaf_id]
+        view = own.concat(shadow)
+        if not len(view):
+            continue
+        labels = np.asarray(o.labels)
+        core = np.asarray(o.core_mask, dtype=bool)
+        cells = np.floor(view.coords / ctx.eps).astype(np.int64)
+        for key, cluster in o.summary.clusters.items():
+            lab = key[1]
+            member = (labels == lab) & core
+            if not np.any(member):
+                continue
+            midx = np.flatnonzero(member)
+            mcells = cells[midx]
+            for cell, cs in cluster.cells.items():
+                sel = (mcells[:, 0] == cell[0]) & (mcells[:, 1] == cell[1])
+                if not np.any(sel):
+                    continue
+                pts = view.coords[midx[sel]]
+                if cs.n_reps == 0:
+                    out.append(
+                        Violation(
+                            "cluster.representative_coverage",
+                            "cluster",
+                            f"leaf {o.leaf_id} cluster {key} cell {cell}: "
+                            f"{len(pts)} core point(s) but no representatives",
+                            {"leaf": o.leaf_id, "cell": list(cell)},
+                        )
+                    )
+                    continue
+                d2 = (
+                    (pts[:, 0][:, None] - cs.rep_coords[:, 0][None, :]) ** 2
+                    + (pts[:, 1][:, None] - cs.rep_coords[:, 1][None, :]) ** 2
+                )
+                uncovered = ~np.any(d2 <= eps2, axis=1)
+                if np.any(uncovered):
+                    out.append(
+                        Violation(
+                            "cluster.representative_coverage",
+                            "cluster",
+                            f"leaf {o.leaf_id} cluster {key} cell {cell}: "
+                            f"{int(uncovered.sum())} core point(s) farther "
+                            "than Eps from every representative",
+                            {"leaf": o.leaf_id, "cell": list(cell)},
+                        )
+                    )
+                if len(out) >= MAX_VIOLATIONS_PER_CHECK:
+                    return _cap(out)
+    return _cap(out)
+
+
+# --------------------------------------------------------------------- #
+# Phase 3 — merge
+# --------------------------------------------------------------------- #
+
+
+@register_checker("merge.global_id_bijection", "merge", "cheap", paper="§3.4")
+def check_global_id_bijection(ctx: ValidationContext) -> list[Violation]:
+    """Global-ID assignment is a bijection onto merged components.
+
+    * the mapping's keys are exactly the union of the root clusters'
+      constituent keys (total over everything the leaves reported);
+    * constituent sets are disjoint across root clusters;
+    * each root cluster maps to one global ID, distinct clusters to
+      distinct IDs, and the IDs used are exactly ``0..k-1``.
+    """
+    out: list[Violation] = []
+    assignment = ctx.assignment
+    root = ctx.root_summary
+    mapped = set(assignment.mapping)
+
+    all_constituents: set = set()
+    gid_of_cluster: dict = {}
+    for key, cluster in root.clusters.items():
+        overlap = all_constituents & set(cluster.constituents)
+        if overlap:
+            out.append(
+                Violation(
+                    "merge.global_id_bijection",
+                    "merge",
+                    f"constituents {sorted(overlap)[:3]} appear in multiple "
+                    "root clusters",
+                    {"n_overlap": len(overlap)},
+                )
+            )
+        all_constituents |= set(cluster.constituents)
+        gids = {assignment.mapping.get(c) for c in cluster.constituents}
+        if len(gids) != 1 or None in gids:
+            out.append(
+                Violation(
+                    "merge.global_id_bijection",
+                    "merge",
+                    f"root cluster {key} constituents map to {sorted(map(str, gids))[:4]} "
+                    "(expected exactly one global id)",
+                    {"cluster": list(key)},
+                )
+            )
+        else:
+            gid_of_cluster[key] = gids.pop()
+
+    if mapped != all_constituents:
+        out.append(
+            Violation(
+                "merge.global_id_bijection",
+                "merge",
+                f"mapping keys diverge from root constituents: "
+                f"{len(all_constituents - mapped)} unmapped, "
+                f"{len(mapped - all_constituents)} spurious",
+                {
+                    "n_unmapped": len(all_constituents - mapped),
+                    "n_spurious": len(mapped - all_constituents),
+                },
+            )
+        )
+    gid_values = sorted(set(gid_of_cluster.values()))
+    if len(gid_values) != len(gid_of_cluster):
+        out.append(
+            Violation(
+                "merge.global_id_bijection",
+                "merge",
+                "distinct root clusters share a global id",
+                {},
+            )
+        )
+    expected_ids = list(range(len(root.clusters)))
+    if gid_of_cluster and gid_values != expected_ids:
+        out.append(
+            Violation(
+                "merge.global_id_bijection",
+                "merge",
+                f"global ids are not 0..{len(root.clusters) - 1}",
+                {"got": gid_values[:10]},
+            )
+        )
+    if assignment.n_clusters != len(root.clusters):
+        out.append(
+            Violation(
+                "merge.global_id_bijection",
+                "merge",
+                f"n_clusters {assignment.n_clusters} != root clusters "
+                f"{len(root.clusters)}",
+                {},
+            )
+        )
+
+    # Every cluster a leaf reported must be reachable through the mapping
+    # (otherwise the sweep would orphan its points).
+    for o in ctx.outputs or []:
+        missing = [k for k in o.summary.clusters if k not in mapped]
+        if missing:
+            out.append(
+                Violation(
+                    "merge.global_id_bijection",
+                    "merge",
+                    f"leaf {o.leaf_id}: {len(missing)} reported cluster(s) "
+                    "missing from the global-id mapping",
+                    {"leaf": o.leaf_id, "sample": [list(m) for m in missing[:3]]},
+                )
+            )
+    return _cap(out)
+
+
+# --------------------------------------------------------------------- #
+# Phase 4 — sweep
+# --------------------------------------------------------------------- #
+
+
+@register_checker("sweep.ownership", "sweep", "cheap", paper="§3.3.2")
+def check_sweep_ownership(ctx: ValidationContext) -> list[Violation]:
+    """Sweep output covers every point exactly once, claims are sane.
+
+    Owned-id sets are disjoint across leaves and union to the input;
+    claims carry real cluster ids (never NOISE) and only ever reference
+    shadow points (a leaf cannot claim a point it owns).
+    """
+    out: list[Violation] = []
+    seen = np.zeros(ctx.n, dtype=np.int64)
+    for res in ctx.sweep_results or []:
+        if len(res.owned_ids):
+            np.add.at(seen, res.owned_ids, 1)
+        if len(res.claimed_ids) and np.any(res.claimed_labels == NOISE):
+            out.append(
+                Violation(
+                    "sweep.ownership",
+                    "sweep",
+                    f"leaf {res.leaf_id} claims point(s) as NOISE",
+                    {"leaf": res.leaf_id},
+                )
+            )
+        own_set = set(int(i) for i in res.owned_ids)
+        self_claims = [int(i) for i in res.claimed_ids if int(i) in own_set]
+        if self_claims:
+            out.append(
+                Violation(
+                    "sweep.ownership",
+                    "sweep",
+                    f"leaf {res.leaf_id} claims {len(self_claims)} point(s) "
+                    "it owns",
+                    {"leaf": res.leaf_id, "sample": self_claims[:5]},
+                )
+            )
+    dup = int(np.count_nonzero(seen > 1))
+    missing = int(np.count_nonzero(seen == 0))
+    if dup:
+        out.append(
+            Violation(
+                "sweep.ownership",
+                "sweep",
+                f"{dup} point(s) written by more than one owner",
+                {"n_duplicate": dup},
+            )
+        )
+    if missing:
+        out.append(
+            Violation(
+                "sweep.ownership",
+                "sweep",
+                f"{missing} point(s) written by no leaf",
+                {"n_missing": missing},
+            )
+        )
+    if ctx.assignment is not None and ctx.labels is not None and len(ctx.labels):
+        bad = ctx.labels[ctx.labels >= ctx.assignment.n_clusters]
+        if len(bad):
+            out.append(
+                Violation(
+                    "sweep.ownership",
+                    "sweep",
+                    f"{len(bad)} final label(s) outside 0..{ctx.assignment.n_clusters - 1}",
+                    {"sample": [int(b) for b in bad[:5]]},
+                )
+            )
+    return _cap(out)
+
+
+@register_checker("sweep.owner_precedence", "sweep", "full", paper="§3.3.2")
+def check_owner_precedence(ctx: ValidationContext) -> list[Violation]:
+    """Recombine sweep outputs independently and compare.
+
+    Owner labels are authoritative; an owner-NOISE point claimed by
+    shadow leaves adopts the *smallest* claimed global id; everything
+    else stays NOISE.  The final core mask is the union of the
+    owner-authoritative core flags.
+    """
+    out: list[Violation] = []
+    expected = np.full(ctx.n, NOISE, dtype=np.int64)
+    owner_label = np.full(ctx.n, NOISE, dtype=np.int64)
+    expected_core = np.zeros(ctx.n, dtype=bool)
+    for res in ctx.sweep_results or []:
+        expected[res.owned_ids] = res.owned_labels
+        owner_label[res.owned_ids] = res.owned_labels
+        if res.owned_core is not None:
+            expected_core[res.owned_ids] = res.owned_core
+    best_claim = np.full(ctx.n, np.iinfo(np.int64).max, dtype=np.int64)
+    for res in ctx.sweep_results or []:
+        if len(res.claimed_ids) == 0:
+            continue
+        np.minimum.at(best_claim, res.claimed_ids, res.claimed_labels)
+    adopt = (owner_label == NOISE) & (best_claim != np.iinfo(np.int64).max)
+    expected[adopt] = best_claim[adopt]
+
+    if ctx.labels is not None and not np.array_equal(expected, ctx.labels):
+        diff = np.flatnonzero(expected != ctx.labels)
+        out.append(
+            Violation(
+                "sweep.owner_precedence",
+                "sweep",
+                f"{len(diff)} final label(s) violate owner-precedence / "
+                "smallest-claim recombination",
+                {
+                    "sample": [
+                        {
+                            "point": int(i),
+                            "expected": int(expected[i]),
+                            "got": int(ctx.labels[i]),
+                        }
+                        for i in diff[:5]
+                    ]
+                },
+            )
+        )
+    if ctx.core_mask is not None and not np.array_equal(
+        expected_core, ctx.core_mask
+    ):
+        out.append(
+            Violation(
+                "sweep.owner_precedence",
+                "sweep",
+                "final core mask diverges from owner-authoritative flags",
+                {"n_diff": int(np.count_nonzero(expected_core != ctx.core_mask))},
+            )
+        )
+    return _cap(out)

@@ -13,8 +13,8 @@ from repro.points import PointSet
 def blobs_with_noise() -> PointSet:
     """Five well-separated blobs plus 10% uniform noise (~2.2k points)."""
     blobs = gaussian_blobs(2000, centers=5, spread=0.3, seed=1)
-    noise = uniform_noise(200, seed=2)
-    return PointSet.from_coords(np.concatenate([blobs.coords, noise.coords]))
+    noise = uniform_noise(200, seed=2, id_offset=len(blobs))
+    return blobs.concat(noise)
 
 
 @pytest.fixture

@@ -96,6 +96,67 @@ def test_property_every_point_within_halfeps_of_anchor(data, eps):
     assert d <= eps / 2 + 1e-9
 
 
+def _coverage_radius(pts: np.ndarray, cell) -> np.ndarray:
+    """Distance from each point to its nearest selected representative."""
+    idx = select_representatives(pts, cell)
+    assert 1 <= len(idx) <= N_REPRESENTATIVES
+    reps = pts[idx]
+    d2 = (
+        (pts[:, 0][:, None] - reps[:, 0][None, :]) ** 2
+        + (pts[:, 1][:, None] - reps[:, 1][None, :]) ** 2
+    )
+    return np.sqrt(np.min(d2, axis=1))
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    data=st.data(),
+    eps=st.floats(0.05, 20.0),
+    n=st.integers(1, 80),
+)
+def test_property_direct_fig5_coverage(data, eps, n):
+    """The Fig 5 lemma stated directly: *every* point of the cell is within
+    Eps of some selected representative (the anchors' eps/2 covering radius
+    plus the selection rule's eps/2 slack)."""
+    cell = (0.0, 0.0, eps, eps)
+    draw_pt = st.tuples(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    pts = np.array(data.draw(st.lists(draw_pt, min_size=n, max_size=n))) * eps
+    assert np.all(_coverage_radius(pts, cell) <= eps + 1e-9)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    data=st.data(),
+    eps=st.floats(0.1, 5.0),
+    n=st.integers(2, 50),
+)
+def test_property_collinear_cell(data, eps, n):
+    """Degenerate cell: all points on one line segment still satisfy the
+    bound and the coverage lemma."""
+    t = np.sort(np.array(data.draw(st.lists(st.floats(0.0, 1.0), min_size=n, max_size=n))))
+    x0, y0 = data.draw(st.tuples(st.floats(0.0, 1.0), st.floats(0.0, 1.0)))
+    x1, y1 = data.draw(st.tuples(st.floats(0.0, 1.0), st.floats(0.0, 1.0)))
+    pts = np.column_stack(
+        [(x0 + t * (x1 - x0)) * eps, (y0 + t * (y1 - y0)) * eps]
+    )
+    cell = (0.0, 0.0, eps, eps)
+    assert np.all(_coverage_radius(pts, cell) <= eps + 1e-9)
+
+
+def test_all_duplicate_points_collapse_to_one_representative():
+    """Degenerate cell: n identical points need exactly one representative,
+    which trivially covers them all."""
+    pts = np.tile([[0.37, 0.61]], (25, 1))
+    idx = select_representatives(pts, (0, 0, 1, 1))
+    assert np.array_equal(idx, [0])
+    assert np.all(_coverage_radius(pts, (0, 0, 1, 1)) == 0.0)
+
+
+def test_single_point_covers_itself():
+    pts = np.array([[0.93, 0.08]])
+    assert np.all(_coverage_radius(pts, (0, 0, 1, 1)) == 0.0)
+
+
 @settings(max_examples=40, deadline=None)
 @given(data=st.data())
 def test_property_representative_close_to_anchor_when_point_is(data):

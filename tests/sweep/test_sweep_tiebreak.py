@@ -1,0 +1,120 @@
+"""Differential tests for the sweep's owner-vs-claim tiebreak (§3.3.2).
+
+A border point's owner can see it as noise while two shadow-view leaves
+each put it in a (different) global cluster — the owner could not see the
+remote cores.  The combination rule must adopt the *smallest* claimed
+global id, and must do so deterministically for every leaf ordering,
+while a non-noise owner label always beats any claim.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import MergeError
+from repro.points import NOISE, PointSet
+from repro.sweep.sweep import SweepResult, combine_leaf_outputs, sweep_leaf
+
+
+def _result(leaf_id, owned, owned_labels, claimed=(), claimed_labels=()):
+    return SweepResult(
+        leaf_id=leaf_id,
+        owned_ids=np.asarray(owned, dtype=np.int64),
+        owned_labels=np.asarray(owned_labels, dtype=np.int64),
+        claimed_ids=np.asarray(claimed, dtype=np.int64),
+        claimed_labels=np.asarray(claimed_labels, dtype=np.int64),
+    )
+
+
+def _contested_results():
+    """Point 0: owner (leaf 0) says noise; leaves 1 and 2 claim gids 5 and 2."""
+    return [
+        _result(0, owned=[0], owned_labels=[NOISE]),
+        _result(1, owned=[1], owned_labels=[5], claimed=[0], claimed_labels=[5]),
+        _result(2, owned=[2], owned_labels=[2], claimed=[0], claimed_labels=[2]),
+    ]
+
+
+def test_smallest_claim_wins_every_leaf_ordering():
+    expected = np.array([2, 5, 2], dtype=np.int64)
+    for perm in itertools.permutations(_contested_results()):
+        labels = combine_leaf_outputs(list(perm), 3)
+        assert np.array_equal(labels, expected), [r.leaf_id for r in perm]
+
+
+def test_owner_label_beats_any_claim():
+    """Owner precedence: even a smaller claimed gid never overrides a
+    non-noise owner label."""
+    results = [
+        _result(0, owned=[0], owned_labels=[7]),
+        _result(1, owned=[1], owned_labels=[0], claimed=[0], claimed_labels=[0]),
+    ]
+    for perm in itertools.permutations(results):
+        labels = combine_leaf_outputs(list(perm), 2)
+        assert labels[0] == 7
+
+
+def test_unclaimed_owner_noise_stays_noise():
+    results = [
+        _result(0, owned=[0, 1], owned_labels=[NOISE, 3]),
+        _result(1, owned=[2], owned_labels=[3]),
+    ]
+    labels = combine_leaf_outputs(results, 3)
+    assert labels[0] == NOISE
+
+
+def test_three_way_claim_all_orderings():
+    """Three competing claims over one owner-noise point."""
+    base = [
+        _result(0, owned=[0], owned_labels=[NOISE]),
+        _result(1, owned=[1], owned_labels=[9], claimed=[0], claimed_labels=[9]),
+        _result(2, owned=[2], owned_labels=[4], claimed=[0], claimed_labels=[4]),
+        _result(3, owned=[3], owned_labels=[6], claimed=[0], claimed_labels=[6]),
+    ]
+    for perm in itertools.permutations(base):
+        labels = combine_leaf_outputs(list(perm), 4)
+        assert labels[0] == 4
+
+
+def test_double_ownership_rejected():
+    results = [
+        _result(0, owned=[0], owned_labels=[1]),
+        _result(1, owned=[0], owned_labels=[2]),
+    ]
+    with pytest.raises(MergeError):
+        combine_leaf_outputs(results, 1)
+
+
+def test_tiebreak_from_real_leaf_views():
+    """Same contest built through ``sweep_leaf`` from actual leaf views.
+
+    The border point (id 0) is owned by leaf 0, which clusters it with
+    nothing (noise); leaves 1 and 2 hold it in shadow and attach it to
+    their own clusters, mapped to global ids 5 and 2 respectively.
+    """
+    coords = np.array([[0.0, 0.0], [1.0, 0.0], [-1.0, 0.0]])
+
+    def view(owned_idx, shadow_idx):
+        ids = np.array([owned_idx, shadow_idx], dtype=np.int64)
+        return PointSet(ids=ids, coords=coords[ids], weights=np.ones(2))
+
+    owner = sweep_leaf(
+        0, view(0, 1), np.array([NOISE, 0]), 1, {0: 5}
+    )
+    claimer_hi = sweep_leaf(
+        1, view(1, 0), np.array([0, 0]), 1, {0: 5}
+    )
+    claimer_lo = sweep_leaf(
+        2, view(2, 0), np.array([0, 0]), 1, {0: 2}
+    )
+    assert owner.owned_labels[0] == NOISE
+    assert claimer_hi.claimed_ids.tolist() == [0]
+    assert claimer_lo.claimed_ids.tolist() == [0]
+
+    for perm in itertools.permutations([owner, claimer_hi, claimer_lo]):
+        labels = combine_leaf_outputs(list(perm), 3)
+        assert labels[0] == 2, [r.leaf_id for r in perm]
+        assert labels[1] == 5 and labels[2] == 2

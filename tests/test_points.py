@@ -65,6 +65,43 @@ def test_concat_preserves_columns():
     assert c.coords.shape == (2, 2)
 
 
+def test_concat_preserves_weights():
+    """The generator-metadata column must survive concatenation —
+    rebuilding via ``from_coords`` on raw coords silently resets it."""
+    a = PointSet(
+        ids=np.array([0, 1]),
+        coords=np.zeros((2, 2)),
+        weights=np.array([2.5, 0.5]),
+    )
+    b = PointSet(
+        ids=np.array([2]), coords=np.ones((1, 2)), weights=np.array([7.0])
+    )
+    c = a.concat(b)
+    assert list(c.weights) == [2.5, 0.5, 7.0]
+    assert list(c.ids) == [0, 1, 2]
+
+
+def test_concat_of_generators_keeps_metadata():
+    """Concatenating generator outputs (the ``blobs_with_noise`` fixture
+    shape) keeps ids unique and carries per-point weights through."""
+    from repro.data import gaussian_blobs, generate_sdss
+
+    blobs = gaussian_blobs(50, seed=1)
+    sdss = generate_sdss(30, seed=2, id_offset=50)  # log-normal weights
+    both = blobs.concat(sdss)
+    assert len(both) == 80
+    both.validate_unique_ids()
+    assert np.array_equal(both.weights[:50], blobs.weights)
+    assert np.array_equal(both.weights[50:], sdss.weights)
+    assert not np.allclose(both.weights[50:], 1.0)  # metadata, not filler
+
+
+def test_concat_with_empty():
+    ps = PointSet.from_coords([[1, 2], [3, 4]])
+    assert len(PointSet.empty().concat(ps)) == 2
+    assert len(ps.concat(PointSet.empty())) == 2
+
+
 def test_bounds():
     ps = PointSet.from_coords([[0, -1], [2, 5], [-3, 1]])
     assert ps.bounds() == (-3.0, -1.0, 2.0, 5.0)

@@ -1,0 +1,39 @@
+"""Nightly fuzz sweep: >= 50 seeded cases vs the sequential oracle.
+
+Too slow for tier 1; CI's nightly/dispatch ``fuzz`` job runs it with
+``MRSCAN_FUZZ=1`` and a ``FUZZ_SEED`` matrix (see .github/workflows/ci.yml).
+Locally: ``MRSCAN_FUZZ=1 PYTHONPATH=src python -m pytest -m fuzz -q``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.validate import run_sweep
+
+pytestmark = [
+    pytest.mark.fuzz,
+    pytest.mark.skipif(
+        not os.environ.get("MRSCAN_FUZZ"),
+        reason="set MRSCAN_FUZZ=1 to run the full fuzz sweep",
+    ),
+]
+
+SEED = int(os.environ.get("FUZZ_SEED", "0"))
+
+
+def test_sweep_50_cases_all_equivalent():
+    report = run_sweep(50, seed=SEED, validate="full", metamorphic=True)
+    assert report.n_cases == 50
+    assert report.ok, "\n".join(o.describe() for o in report.failed())
+
+
+def test_sweep_without_validation_still_equivalent():
+    """The differential harness must hold on its own (validate=off), so a
+    future invariant-checker bug cannot mask a clustering bug."""
+    report = run_sweep(
+        10, seed=SEED + 10_000, validate="off", metamorphic=False
+    )
+    assert report.ok, "\n".join(o.describe() for o in report.failed())

@@ -1,0 +1,155 @@
+"""Integration: ``MrScanConfig.validate`` wired through ``run_pipeline``.
+
+Clean tier-1 configs must pass every checker; seeded defects injected
+into pipeline collaborators must surface as ``ValidationError`` naming
+the paper invariant that broke.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MrScanConfig
+from repro.core.pipeline import mrscan, run_pipeline
+from repro.errors import ConfigError, ValidationError
+
+
+def _config(**overrides) -> MrScanConfig:
+    base = dict(eps=0.25, minpts=8, n_leaves=4, fanout=2, backoff_base=0.0)
+    base.update(overrides)
+    return MrScanConfig(**base)
+
+
+def test_config_rejects_unknown_level():
+    with pytest.raises(ConfigError):
+        _config(validate="paranoid")
+
+
+def test_validate_off_attaches_no_report(blobs_with_noise):
+    result = run_pipeline(blobs_with_noise, _config())
+    assert result.validation is None
+
+
+@pytest.mark.parametrize("level,expected_checks", [("cheap", 6), ("full", 9)])
+def test_tier1_config_passes_validation(blobs_with_noise, level, expected_checks):
+    """The acceptance criterion: tier-1 pipeline configs report zero
+    violations under ``--validate full`` (and cheap)."""
+    result = run_pipeline(blobs_with_noise, _config(validate=level))
+    report = result.validation
+    assert report is not None and report.ok
+    assert report.level == level
+    assert report.n_checks == expected_checks
+    assert {c.phase for c in report.checks} == {
+        "partition", "cluster", "merge", "sweep",
+    }
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(n_leaves=1),
+        dict(n_leaves=8, fanout=4),
+        dict(use_densebox=False),
+        dict(leaf_algorithm="cuda-dclust"),
+        dict(partition_output="network"),
+    ],
+)
+def test_validation_clean_across_pipeline_variants(blobs_with_noise, kwargs):
+    result = run_pipeline(
+        blobs_with_noise, _config(validate="full", **kwargs)
+    )
+    assert result.validation.ok
+
+
+def test_validation_emits_telemetry(blobs_with_noise):
+    result = mrscan(
+        blobs_with_noise, 0.25, 8, n_leaves=4, fanout=2,
+        telemetry=True, validate="full",
+    )
+    metrics = result.telemetry.metrics.as_dict()
+    assert metrics["validate.checks"]["value"] == 9
+    assert "validate.check_seconds" in metrics
+    assert "validate.violations" not in metrics  # clean run increments none
+
+
+def test_validation_matches_unvalidated_labels(blobs_with_noise):
+    """Checkers observe, never mutate: labels are identical with and
+    without validation."""
+    plain = run_pipeline(blobs_with_noise, _config())
+    checked = run_pipeline(blobs_with_noise, _config(validate="full"))
+    assert np.array_equal(plain.labels, checked.labels)
+    assert np.array_equal(plain.core_mask, checked.core_mask)
+
+
+# ------------------------- injected defects ---------------------------- #
+
+
+def test_injected_representative_defect_is_caught(blobs_with_noise, monkeypatch):
+    """Seeded representative-selection bug (keep only one representative
+    per cell): the Fig-5 coverage checker must flag it after the cluster
+    phase."""
+    from repro.merge import summary as summary_mod
+
+    real = summary_mod.select_representatives
+
+    def truncated(coords, bounds):
+        return real(coords, bounds)[:1]
+
+    monkeypatch.setattr(summary_mod, "select_representatives", truncated)
+    with pytest.raises(ValidationError) as exc_info:
+        run_pipeline(blobs_with_noise, _config(validate="full"))
+    invariants = {v.invariant for v in exc_info.value.violations}
+    assert "cluster.representative_coverage" in invariants
+
+
+def test_injected_sweep_corruption_is_caught(blobs_with_noise, monkeypatch):
+    """Flipping one final label breaks the sweep recombination check."""
+    from repro.core import pipeline as pipeline_mod
+
+    real = pipeline_mod.combine_leaf_outputs
+
+    def corrupted(results, n):
+        labels = real(results, n)
+        idx = int(np.flatnonzero(labels >= 0)[0])
+        labels[idx] = labels.max() if labels[idx] != labels.max() else 0
+        return labels
+
+    monkeypatch.setattr(pipeline_mod, "combine_leaf_outputs", corrupted)
+    with pytest.raises(ValidationError) as exc_info:
+        run_pipeline(blobs_with_noise, _config(validate="full"))
+    invariants = {v.invariant for v in exc_info.value.violations}
+    assert "sweep.owner_precedence" in invariants
+
+
+def test_injected_global_id_gap_is_caught(blobs_with_noise, monkeypatch):
+    """Shifting global ids off 0..k-1 breaks the merge bijection check."""
+    from repro.core import pipeline as pipeline_mod
+
+    real = pipeline_mod.assign_global_ids
+
+    def shifted(root_summary):
+        assignment = real(root_summary)
+        assignment.mapping = {k: g + 1 for k, g in assignment.mapping.items()}
+        return assignment
+
+    monkeypatch.setattr(pipeline_mod, "assign_global_ids", shifted)
+    with pytest.raises(ValidationError) as exc_info:
+        run_pipeline(blobs_with_noise, _config(validate="full"))
+    invariants = {v.invariant for v in exc_info.value.violations}
+    assert "merge.global_id_bijection" in invariants
+
+
+def test_cheap_level_skips_expensive_checker(blobs_with_noise, monkeypatch):
+    """The truncated-representative defect is only visible to the *full*
+    level; cheap must not pay for (or catch) the geometric check."""
+    from repro.merge import summary as summary_mod
+
+    real = summary_mod.select_representatives
+    monkeypatch.setattr(
+        summary_mod,
+        "select_representatives",
+        lambda coords, bounds: real(coords, bounds)[:1],
+    )
+    result = run_pipeline(blobs_with_noise, _config(validate="cheap"))
+    assert result.validation.ok  # bound (≤8) still holds; coverage not run
