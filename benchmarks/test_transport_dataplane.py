@@ -1,0 +1,102 @@
+"""Data-plane benchmarks: run_batch dispatch cost per transport.
+
+The quantity under test is serialization overhead, isolated from leaf
+compute: one round ships every partition slice to workers that touch
+each point once.  ``process`` pickles ~32 bytes/point into the pool per
+round; ``shm`` stages once and ships ~100-byte refs per slice.  The
+committed ``BENCH_PR4.json`` in the repo root is the full-scale (1M
+point) version of these numbers, produced by ``mrscan bench-transport``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import make_transport
+from repro.runtime.bench import (
+    _slices,
+    _synthetic_points,
+    _touch_all,
+    bench_dataplane,
+    run_transport_bench,
+)
+
+OUTPUT_DIR = Path(__file__).parent / "_output"
+
+N_POINTS = 200_000
+N_TASKS = 32
+N_WORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def slices():
+    return _slices(_synthetic_points(N_POINTS, seed=0), N_TASKS)
+
+
+def _bench_transport(benchmark, name, slices):
+    transport = make_transport(name, n_workers=N_WORKERS)
+    try:
+        stage = getattr(transport, "stage_pointset", None)
+        tasks = [stage(s) for s in slices] if stage is not None else slices
+        transport.run_batch(_touch_all, tasks)  # warmup: pool spawn
+        results = benchmark(transport.run_batch, _touch_all, tasks)
+        assert len(results) == len(slices)
+    finally:
+        transport.close()
+
+
+@pytest.mark.benchmark(group="dataplane")
+def test_dataplane_local(benchmark, slices):
+    _bench_transport(benchmark, "local", slices)
+
+
+@pytest.mark.benchmark(group="dataplane")
+def test_dataplane_process(benchmark, slices):
+    _bench_transport(benchmark, "process", slices)
+
+
+@pytest.mark.benchmark(group="dataplane")
+def test_dataplane_shm(benchmark, slices):
+    _bench_transport(benchmark, "shm", slices)
+
+
+@pytest.mark.benchmark(group="dataplane")
+def test_dataplane_shm_beats_process(benchmark):
+    """Regression guard: refs must dispatch faster than pickled arrays.
+
+    The committed full-scale run shows >2x; here we only require >1x so
+    a loaded CI box cannot flake the suite.
+    """
+
+    def run():
+        return bench_dataplane(
+            N_POINTS, n_tasks=N_TASKS, n_workers=N_WORKERS, repeats=2,
+            transports=("process", "shm"),
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report["speedup_shm_vs_process"] > 1.0, report
+
+
+def test_bench_report_schema(tmp_path):
+    """The ``mrscan bench-transport`` writer produces a stable schema."""
+    out = tmp_path / "bench.json"
+    report = run_transport_bench(
+        n_points=20_000, pipeline_points=5_000, n_tasks=8, n_leaves=2,
+        n_workers=2, repeats=1, output=out,
+    )
+    on_disk = json.loads(out.read_text())
+    assert on_disk["schema"] == "mrscan-bench-transport/1"
+    for section in ("host", "dataplane", "pipeline"):
+        assert section in on_disk
+    for name in ("local", "process", "shm"):
+        assert name in on_disk["dataplane"]["results"]
+        assert on_disk["pipeline"]["results"][name]["points_per_sec"] > 0
+    assert report["dataplane"]["results"]["shm"]["stage_seconds"] >= 0
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "bench_transport_smoke.json").write_text(
+        json.dumps(on_disk, indent=1) + "\n"
+    )

@@ -6,6 +6,7 @@ Subcommands
 ``cluster``   run the full Mr. Scan pipeline over a point file
 ``quality``   compare a clustering against single-CPU reference DBSCAN
 ``fuzz``      differential/metamorphic fuzzing against reference DBSCAN
+``bench-transport``  benchmark the local/process/shm execution backends
 ``simulate``  reproduce a paper figure through the performance model
 """
 
@@ -114,6 +115,23 @@ def build_parser() -> argparse.ArgumentParser:
         "(repro.validate): 'cheap' is O(n) bookkeeping, 'full' adds the "
         "geometric re-verifications; violations exit with status 3",
     )
+    clu.add_argument(
+        "--transport",
+        choices=["local", "process", "shm"],
+        default=None,
+        help="execution backend for both MRNet trees (repro.runtime): "
+        "'local' runs in-process, 'process' pickles into a pool, 'shm' "
+        "ships shared-memory refs to a persistent pool (default: "
+        "$MRSCAN_TRANSPORT, then local)",
+    )
+    clu.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker-pool size for the process/shm transports "
+        "(default: CPU count)",
+    )
 
     ana = sub.add_parser("analyze", help="per-cluster statistics of a clustering")
     ana.add_argument("input", type=Path, help="point file")
@@ -170,6 +188,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run the minimized case of a repro artifact instead of sweeping",
     )
     fz.add_argument("--json", action="store_true", help="print a JSON report")
+
+    bt = sub.add_parser(
+        "bench-transport",
+        help="benchmark the local/process/shm transports (repro.runtime)",
+    )
+    bt.add_argument(
+        "--points", type=int, default=1_000_000, help="data-plane dataset size"
+    )
+    bt.add_argument(
+        "--pipeline-points",
+        type=int,
+        default=None,
+        help="end-to-end dataset size (default: --points)",
+    )
+    bt.add_argument("--tasks", type=int, default=64, help="slices per round")
+    bt.add_argument("--leaves", type=int, default=8)
+    bt.add_argument("--workers", type=int, default=None, metavar="N")
+    bt.add_argument("--repeats", type=int, default=3, help="timed rounds, best kept")
+    bt.add_argument("--seed", type=int, default=0)
+    bt.add_argument(
+        "--transports",
+        default="local,process,shm",
+        help="comma-separated subset to run (default: all three)",
+    )
+    bt.add_argument(
+        "--skip-pipeline",
+        action="store_true",
+        help="only run the data-plane dispatch section",
+    )
+    bt.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_PR4.json"),
+        help="JSON report path (default BENCH_PR4.json)",
+    )
+    bt.add_argument("--json", action="store_true", help="also print the report")
 
     sim = sub.add_parser("simulate", help="reproduce a paper figure (perf model)")
     sim.add_argument(
@@ -264,6 +318,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 str(args.checkpoint_dir) if args.checkpoint_dir is not None else None
             ),
             validate=args.validate,
+            transport=args.transport,
+            transport_workers=args.workers,
         )
     except ValidationError as exc:
         print(f"validation FAILED: {exc}", file=sys.stderr)
@@ -434,6 +490,55 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_transport(args: argparse.Namespace) -> int:
+    from .runtime.bench import run_transport_bench
+
+    transports = tuple(
+        name.strip() for name in args.transports.split(",") if name.strip()
+    )
+    try:
+        report = run_transport_bench(
+            n_points=args.points,
+            pipeline_points=args.pipeline_points,
+            n_tasks=args.tasks,
+            n_leaves=args.leaves,
+            n_workers=args.workers,
+            repeats=args.repeats,
+            seed=args.seed,
+            transports=transports,
+            skip_pipeline=args.skip_pipeline,
+            output=args.output,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=1))
+    else:
+        dp = report["dataplane"]
+        print(
+            f"data plane: {dp['n_points']:,} points x {dp['n_tasks']} tasks, "
+            f"{report['n_workers']} workers"
+        )
+        for name, row in dp["results"].items():
+            print(
+                f"  {name:>8}: {row['round_seconds']*1e3:8.1f} ms/round "
+                f"({row['points_per_sec']:,.0f} points/sec)"
+            )
+        if "speedup_shm_vs_process" in dp:
+            print(f"  shm vs process: {dp['speedup_shm_vs_process']:.2f}x")
+        if "pipeline" in report:
+            pl = report["pipeline"]
+            print(f"pipeline: {pl['n_points']:,} points, {pl['n_leaves']} leaves")
+            for name, row in pl["results"].items():
+                print(
+                    f"  {name:>8}: {row['wall_seconds']:7.2f} s "
+                    f"({row['points_per_sec']:,.0f} points/sec)"
+                )
+    print(f"report written to {args.output}")
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .perf import figures
 
@@ -454,6 +559,7 @@ def main(argv: list[str] | None = None) -> int:
         "quality": _cmd_quality,
         "analyze": _cmd_analyze,
         "fuzz": _cmd_fuzz,
+        "bench-transport": _cmd_bench_transport,
         "simulate": _cmd_simulate,
     }
     return handlers[args.command](args)

@@ -7,6 +7,7 @@ defaults to the Table 1 schedule via :func:`table1_partition_nodes`.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from ..errors import ConfigError
@@ -106,6 +107,15 @@ class MrScanConfig:
     #: checks, ``full`` adds the geometric re-verifications (shadow
     #: Eps-completeness, Fig-5 representative coverage, sweep recombination).
     validate: str = "off"
+    #: Execution backend for both MRNet trees (repro.runtime): ``local``
+    #: (sequential in-process), ``process`` (pickling multiprocessing
+    #: pool), or ``shm`` (persistent zero-copy shared-memory executor).
+    #: ``None`` defers to the ``MRSCAN_TRANSPORT`` environment variable
+    #: and then to ``local``.  Ignored when ``run_pipeline`` is handed an
+    #: explicit transport object.
+    transport: str | None = None
+    #: Worker-pool size for the process/shm transports (None = CPU count).
+    transport_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.eps <= 0:
@@ -145,6 +155,31 @@ class MrScanConfig:
                 f"validate must be 'off', 'cheap' or 'full', got "
                 f"{self.validate!r}"
             )
+        if self.transport is not None and self.transport not in (
+            "local", "process", "shm",
+        ):
+            raise ConfigError(
+                f"transport must be 'local', 'process' or 'shm', got "
+                f"{self.transport!r}"
+            )
+        if self.transport_workers is not None and self.transport_workers < 1:
+            raise ConfigError("transport_workers must be >= 1")
+
+    def resolved_transport(self) -> str:
+        """The transport name this run executes under: the explicit
+        ``transport`` field, else ``MRSCAN_TRANSPORT`` (the CI matrix
+        hook), else ``local``."""
+        if self.transport is not None:
+            return self.transport
+        env = os.environ.get("MRSCAN_TRANSPORT", "").strip().lower()
+        if env:
+            if env not in ("local", "process", "shm"):
+                raise ConfigError(
+                    f"MRSCAN_TRANSPORT must be 'local', 'process' or 'shm', "
+                    f"got {env!r}"
+                )
+            return env
+        return "local"
 
     @property
     def partition_nodes(self) -> int:

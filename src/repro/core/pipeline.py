@@ -16,7 +16,6 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..errors import CheckpointError, ConfigError, DeviceMemoryError
-from ..gpu.device import SimulatedDevice
 from ..gpu.mrscan_gpu import mrscan_gpu
 from ..io.lustre import IOTrace
 from ..merge.global_ids import assign_global_ids
@@ -27,6 +26,9 @@ from ..partition.distributed import DistributedPartitioner, RECORD_BYTES
 from ..points import PointSet
 from ..resilience.checkpoint import LeafCheckpointStore
 from ..resilience.faults import FaultLog
+from ..runtime.arena import as_pointset
+from ..runtime.executor import make_transport
+from ..runtime.worker import acquire_device
 from ..sweep.sweep import combine_core_masks, combine_leaf_outputs, sweep_leaf
 from ..telemetry import Telemetry, record_result
 from ..telemetry.tracer import NOOP_TRACER, PID_DRIVER, PID_GPU, PID_TREE, Tracer
@@ -50,11 +52,16 @@ _DEVICE_BYTES_PER_POINT = 33
 
 @dataclass
 class _ClusterLeafTask:
-    """Everything one clustering leaf needs (picklable)."""
+    """Everything one clustering leaf needs (picklable).
+
+    ``own``/``shadow`` are the partition's point sets — or, under a
+    staging transport (:class:`repro.runtime.ShmTransport`), their
+    shared-memory refs, which the leaf materializes as zero-copy views.
+    """
 
     leaf_id: int
-    own: PointSet
-    shadow: PointSet
+    own: PointSet  # or repro.runtime.PointSetRef
+    shadow: PointSet  # or repro.runtime.PointSetRef
     owned_cells: frozenset
     config: MrScanConfig
     trace: bool = False
@@ -68,6 +75,20 @@ class _ClusterLeafTask:
         return float(
             (len(self.own) + len(self.shadow)) * _DEVICE_BYTES_PER_POINT
         ) / max(self.memory_chunks, 1)
+
+    def payload_bytes(self) -> int:
+        """Wire size: refs cost their handles, arrays their bytes."""
+        from ..mrnet.packets import payload_nbytes
+
+        return payload_nbytes(self.own) + payload_nbytes(self.shadow) + 64
+
+    @property
+    def array_nbytes(self) -> int:
+        """Materialized input size (``logical_nbytes`` hook): what this
+        task would cost on the wire without the shm data plane."""
+        from ..mrnet.packets import logical_nbytes
+
+        return logical_nbytes(self.own) + logical_nbytes(self.shadow) + 64
 
 
 @dataclass
@@ -123,9 +144,13 @@ def _cluster_leaf(task: _ClusterLeafTask) -> _ClusterLeafOutput:
                 n_owned=ckpt.n_owned,
                 from_checkpoint=True,
             )
-    view = task.own.concat(task.shadow)
+    # Under the shm data plane own/shadow arrive as refs; materialize
+    # them as zero-copy views over the worker's attached segments.
+    own = as_pointset(task.own)
+    shadow = as_pointset(task.shadow)
+    view = own.concat(shadow)
     tracer = Tracer() if task.trace else NOOP_TRACER
-    device = SimulatedDevice(cfg.device, tracer=tracer, trace_tid=task.leaf_id)
+    device = acquire_device(cfg.device, tracer=tracer, trace_tid=task.leaf_id)
     try:
         with tracer.span(
             "leaf.cluster",
@@ -229,7 +254,7 @@ def run_pipeline(
     points: PointSet,
     config: MrScanConfig,
     *,
-    transport: Transport | None = None,
+    transport: Transport | str | None = None,
     telemetry: Telemetry | None = None,
 ) -> MrScanResult:
     """Run all four Mr. Scan phases and return the global clustering.
@@ -239,12 +264,44 @@ def run_pipeline(
     set and the shared no-op bundle is used otherwise (zero overhead).
     The bundle — spans for every phase, node and leaf, plus the metrics
     fed from the run's stat objects — is attached to the result.
+
+    ``transport`` supplies the execution backend for both MRNet trees:
+    a transport object, a name (``"local"``/``"process"``/``"shm"``, see
+    :mod:`repro.runtime`), or None to build one from
+    ``config.resolved_transport()``.  A transport built here (from a
+    name or the config) is owned by this call and closed — pool reaped,
+    shared-memory segments unlinked — on every exit path.  A
+    caller-provided transport *object* is never closed here.
     """
+    if telemetry is None:
+        telemetry = Telemetry() if config.telemetry else Telemetry.disabled()
+    owns_transport = transport is None or isinstance(transport, str)
+    if owns_transport:
+        transport = make_transport(
+            transport if isinstance(transport, str) else config.resolved_transport(),
+            n_workers=config.transport_workers,
+            tracer=telemetry.tracer,
+            metrics=telemetry.metrics,
+        )
+    try:
+        return _run_pipeline(
+            points, config, transport=transport, telemetry=telemetry
+        )
+    finally:
+        if owns_transport:
+            transport.close()
+
+
+def _run_pipeline(
+    points: PointSet,
+    config: MrScanConfig,
+    *,
+    transport: Transport,
+    telemetry: Telemetry,
+) -> MrScanResult:
     n = len(points)
     points.validate_unique_ids()
     points.validate_finite()
-    if telemetry is None:
-        telemetry = Telemetry() if config.telemetry else Telemetry.disabled()
     tracer = telemetry.tracer
     # Phase-boundary invariant checking (repro.validate).  The context is
     # filled in as phases complete; each boundary runs its registered
@@ -314,6 +371,21 @@ def run_pipeline(
         fault_injector=config.fault_plan,
         resilience=resilience,
     )
+    # Stage the partitions through the transport's data plane when it has
+    # one (repro.runtime): each leaf task then carries ~100-byte refs and
+    # the arrays themselves never ride the task pickles.
+    leaf_inputs = phase1.partitions
+    stage = getattr(transport, "stage_pointset", None)
+    if stage is not None:
+        with tracer.span(
+            "runtime.stage",
+            cat="runtime",
+            pid=PID_DRIVER,
+            n_pointsets=2 * len(phase1.partitions),
+        ):
+            leaf_inputs = [
+                (stage(own), stage(shadow)) for own, shadow in phase1.partitions
+            ]
     tasks = [
         _ClusterLeafTask(
             leaf_id=pid,
@@ -324,8 +396,13 @@ def run_pipeline(
             trace=telemetry.enabled,
             checkpoint_dir=config.checkpoint_dir,
         )
-        for pid, (own, shadow) in enumerate(phase1.partitions)
+        for pid, (own, shadow) in enumerate(leaf_inputs)
     ]
+    if stage is not None and telemetry.enabled:
+        # Traffic the refs keep off the wire for one dispatch round.
+        telemetry.metrics.counter("runtime.bytes_avoided").inc(
+            sum(t.array_nbytes - t.payload_bytes() for t in tasks)
+        )
 
     def _split_on_oom(task: _ClusterLeafTask, message: str):
         """OOM recovery hook: re-run the leaf with the partition streamed
@@ -514,7 +591,7 @@ def mrscan(
     minpts: int,
     *,
     n_leaves: int = 4,
-    transport: Transport | None = None,
+    transport: Transport | str | None = None,
     telemetry: Telemetry | bool | None = None,
     **config_kwargs,
 ) -> MrScanResult:
@@ -523,12 +600,15 @@ def mrscan(
     Example::
 
         result = mrscan(points, eps=0.1, minpts=40, n_leaves=8)
+        result = mrscan(points, eps=0.1, minpts=40, transport="shm")
 
     ``telemetry=True`` records spans and metrics for the run (see
     :mod:`repro.telemetry`; the bundle lands on ``result.telemetry``), or
     pass a pre-built :class:`~repro.telemetry.Telemetry` to record into.
-    Additional keyword arguments go to :class:`MrScanConfig` (``fanout``,
-    ``use_densebox``, ``n_partition_nodes``, ...).
+    ``transport`` takes a backend name (``local``/``process``/``shm``) or
+    a pre-built transport object.  Additional keyword arguments go to
+    :class:`MrScanConfig` (``fanout``, ``use_densebox``,
+    ``n_partition_nodes``, ...).
     """
     if len(points) == 0:
         raise ConfigError("cannot cluster an empty point set")

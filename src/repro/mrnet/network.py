@@ -173,6 +173,7 @@ class Network:
         resilience: ResiliencePolicy | None = None,
         tracer=None,
         trace_pid: int = PID_TREE,
+        close_transport: bool | None = None,
     ) -> None:
         if retries is not None and retries < 0:
             raise TopologyError("retries must be >= 0")
@@ -180,6 +181,14 @@ class Network:
         self.tracer = tracer or NOOP_TRACER
         self.trace_pid = trace_pid
         self.transport = transport or LocalTransport(tracer=self.tracer)
+        #: Whether :meth:`close` reaps the transport.  Default: only a
+        #: transport this network created itself — a caller-provided one
+        #: (a persistent executor shared across phases and trees) stays
+        #: open, its owner closes it.  Pass ``close_transport=True`` to
+        #: hand ownership over explicitly.
+        self._close_transport = (
+            transport is None if close_transport is None else bool(close_transport)
+        )
         self.injector = as_injector(fault_injector)
         self.resilience = resilience or ResiliencePolicy.fail_fast(retries or 0)
         self.retries = self.resilience.retry.max_retries
@@ -503,10 +512,16 @@ class Network:
             capacity=capacity,
         )
         results = []
-        for leaf, host, (out, t0, t1) in zip(self._leaves, hosts, triples):
+        for leaf, host, payload, (out, t0, t1) in zip(
+            self._leaves, hosts, inputs, triples
+        ):
             trace.add_compute(host, t1 - t0)
             self.tracer.add_span(
                 f"{name}.leaf", t0, t1, cat="mrnet", pid=self.trace_pid, tid=host,
+                # Wire cost of the leaf's input — refs staged through the
+                # shm data plane report their ~100-byte handle size here,
+                # not the arrays they point at.
+                **({"bytes_in": payload_nbytes(payload)} if self.tracer.enabled else {}),
                 **({"adopted_from": leaf} if host != leaf else {}),
             )
             results.append(out)
@@ -617,5 +632,7 @@ class Network:
         return [value[leaf] for leaf in self._leaves], trace
 
     def close(self) -> None:
-        """Release the transport's resources (worker pools)."""
-        self.transport.close()
+        """Release the transport's resources (worker pools) — unless the
+        transport is caller-owned (see ``close_transport``)."""
+        if self._close_transport:
+            self.transport.close()

@@ -4,6 +4,13 @@ Every payload moving along a tree edge is wrapped in a :class:`Packet`
 with a byte-size estimate, and each network phase accumulates a
 :class:`NetworkTrace`.  The perf model consumes the trace (packets per
 level, bytes per edge) to charge tree latency at paper scale.
+
+Shared-memory refs (:mod:`repro.runtime`) flow through packets like any
+other payload, but their ``payload_bytes()`` hook reports the ~100-byte
+pickled *handle* — the array they point at never travels, it is
+materialized lazily at the receiver.  :func:`logical_nbytes` reports the
+materialized size instead, so telemetry can account the traffic the
+data plane avoided.
 """
 
 from __future__ import annotations
@@ -14,7 +21,7 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["Packet", "NetworkTrace", "payload_nbytes"]
+__all__ = ["Packet", "NetworkTrace", "payload_nbytes", "logical_nbytes"]
 
 
 def payload_nbytes(payload: Any) -> int:
@@ -38,6 +45,23 @@ def payload_nbytes(payload: Any) -> int:
     if isinstance(payload, dict):
         return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in payload.items()) + 16
     return int(sys.getsizeof(payload))
+
+
+def logical_nbytes(payload: Any) -> int:
+    """Materialized size of a payload: what :func:`payload_nbytes` would
+    report if every shared-memory ref were replaced by its array.
+
+    ``logical_nbytes(p) - payload_nbytes(p)`` is therefore the traffic a
+    ref-carrying payload keeps off the wire (``runtime.bytes_avoided``).
+    """
+    probe = getattr(payload, "array_nbytes", None)
+    if probe is not None and not callable(probe):
+        return int(probe)
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return sum(logical_nbytes(item) for item in payload) + 16
+    if isinstance(payload, dict):
+        return sum(logical_nbytes(k) + logical_nbytes(v) for k, v in payload.items()) + 16
+    return payload_nbytes(payload)
 
 
 @dataclass(frozen=True)

@@ -25,14 +25,23 @@ preempt; it relies on the Network's cooperative post-work deadline check.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing as mp
 import time
+import weakref
 from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
 from ..errors import TransportError
 from ..telemetry.tracer import NOOP_TRACER
 
-__all__ = ["Transport", "LocalTransport", "ProcessTransport", "TIMED_OUT"]
+__all__ = [
+    "Transport",
+    "LocalTransport",
+    "ProcessTransport",
+    "TIMED_OUT",
+    "track_open_pool",
+    "untrack_pool",
+]
 
 #: Extra seconds past ``timeout`` before the process transport gives up on
 #: a worker — lets a worker that finishes just past the deadline report a
@@ -50,6 +59,42 @@ class _TimedOut:
 
 
 TIMED_OUT = _TimedOut()
+
+
+# --------------------------------------------------------------------- #
+# atexit pool guard
+#
+# A transport whose owner forgot (or was interrupted before) ``close()``
+# must not leave spawn workers outliving the interpreter.  Every
+# transport registers itself here when its pool starts and deregisters
+# on close; whatever is left at interpreter exit is terminated — never
+# joined, since an abandoned worker may be hung.
+# --------------------------------------------------------------------- #
+
+_open_pools: "weakref.WeakSet[Any]" = weakref.WeakSet()
+_guard_installed = False
+
+
+def _reap_open_pools() -> None:  # pragma: no cover - runs at interpreter exit
+    for transport in list(_open_pools):
+        try:
+            transport._reap()
+        except Exception:
+            pass
+
+
+def track_open_pool(transport: Any) -> None:
+    """Register a transport with a live worker pool (``_reap()`` hook)."""
+    global _guard_installed
+    if not _guard_installed:
+        atexit.register(_reap_open_pools)
+        _guard_installed = True
+    _open_pools.add(transport)
+
+
+def untrack_pool(transport: Any) -> None:
+    """Deregister after a clean close."""
+    _open_pools.discard(transport)
 
 
 @runtime_checkable
@@ -122,6 +167,7 @@ class ProcessTransport:
                 "transport.pool_start", cat="transport", n_workers=self.n_workers
             ):
                 self._pool = mp.get_context("spawn").Pool(self.n_workers)
+            track_open_pool(self)
         return self._pool
 
     def run_batch(
@@ -153,6 +199,8 @@ class ProcessTransport:
             raise TransportError(f"process transport batch failed: {exc}") from exc
 
     def close(self) -> None:
+        """Reap the pool (idempotent — safe to call any number of times,
+        including after a preempted-timeout batch)."""
         if self._pool is not None:
             # A pool with an abandoned (possibly hung) worker cannot be
             # joined without risking a deadlock — terminate it instead.
@@ -163,6 +211,15 @@ class ProcessTransport:
             self._pool.join()
             self._pool = None
             self._abandoned = False
+            untrack_pool(self)
+
+    def _reap(self) -> None:
+        """atexit path: terminate unconditionally — never join a possibly
+        hung abandoned worker at interpreter shutdown."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
 
     def __enter__(self) -> "ProcessTransport":
         return self

@@ -58,17 +58,27 @@ def _merge_histograms(payloads: Sequence[GridHistogram]) -> GridHistogram:
 
 @dataclass
 class _LeafHistogramTask:
-    """Payload for the leaf histogram step (picklable)."""
+    """Payload for the leaf histogram step (picklable).
 
-    points: PointSet
+    ``points`` is either the slice itself or, under a staging transport
+    (:class:`repro.runtime.ShmTransport`), its shared-memory ref — the
+    worker materializes a zero-copy view either way.
+    """
+
+    points: PointSet  # or repro.runtime.PointSetRef
     eps: float
 
-    def __call__(self) -> GridHistogram:  # pragma: no cover - unused direct
-        return GridHistogram.from_points(self.points, self.eps)
+    def payload_bytes(self) -> int:
+        """Wire size: a ref-carrying task costs its handle, not the slice."""
+        from ..mrnet.packets import payload_nbytes
+
+        return payload_nbytes(self.points) + 16
 
 
 def _leaf_histogram(task: _LeafHistogramTask) -> GridHistogram:
-    return GridHistogram.from_points(task.points, task.eps)
+    from ..runtime.arena import as_pointset
+
+    return GridHistogram.from_points(as_pointset(task.points), task.eps)
 
 
 @dataclass
@@ -217,8 +227,20 @@ class DistributedPartitioner:
             for leaf, lp in enumerate(leaf_points):
                 io.record(leaf, "read", len(lp) * RECORD_BYTES, sequential=True)
 
-            # 2. Local histograms, reduced to the root.
-            tasks = [_LeafHistogramTask(points=lp, eps=self.eps) for lp in leaf_points]
+            # 2. Local histograms, reduced to the root.  Under a staging
+            #    transport the slices go into shared memory once and the
+            #    tasks carry refs — the dataset is never pickled.
+            stage = getattr(self.transport, "stage_pointset", None)
+            payloads = leaf_points
+            if stage is not None:
+                with tracer.span(
+                    "runtime.stage",
+                    cat="runtime",
+                    pid=PID_PARTITION,
+                    n_pointsets=len(leaf_points),
+                ):
+                    payloads = [stage(lp) for lp in leaf_points]
+            tasks = [_LeafHistogramTask(points=p, eps=self.eps) for p in payloads]
             histograms, map_trace = network.map_leaves(
                 _leaf_histogram, tasks, name="partition.histogram"
             )

@@ -41,6 +41,11 @@ class PartitionSpec:
     def cell_set(self) -> set[Cell]:
         return set(self.cells)
 
+    def payload_bytes(self) -> int:
+        """Wire size of this spec when the plan is multicast: two int64
+        grid coordinates per owned/shadow cell plus the fixed counters."""
+        return 16 * (len(self.cells) + len(self.shadow_cells)) + 24
+
 
 @dataclass
 class PartitionPlan:
@@ -53,6 +58,12 @@ class PartitionPlan:
 
     def __len__(self) -> int:
         return len(self.partitions)
+
+    def payload_bytes(self) -> int:
+        """Wire size of the whole plan — what each partitioner leaf
+        actually receives in the §3.1.3 boundary broadcast (the
+        :mod:`repro.mrnet.packets` accounting hook)."""
+        return sum(spec.payload_bytes() for spec in self.partitions) + 24
 
     def cell_owner(self) -> dict[Cell, int]:
         """Map each grid cell to the partition owning it."""

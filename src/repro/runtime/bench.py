@@ -1,0 +1,208 @@
+"""Transport benchmarks: the ``mrscan bench-transport`` harness.
+
+Two sections, written to ``BENCH_PR4.json``:
+
+``dataplane``
+    Dispatch throughput of ``Transport.run_batch`` alone: the dataset is
+    split into per-partition slices and every round ships all of them to
+    workers that touch each point once.  ``process`` pickles the slices
+    into the pool every round; ``shm`` stages them once and ships
+    ~100-byte refs — this isolates exactly the serialization cost the
+    data plane removes, which end-to-end numbers dilute with GPU-leaf
+    compute.
+
+``pipeline``
+    End-to-end ``mrscan`` wall time per phase under each transport, same
+    dataset and configuration, labels checked identical.
+
+Timing discipline: one untimed warmup round per transport (pool spawn,
+worker imports, page faults), then the best of ``repeats`` timed rounds.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import platform
+import time
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..points import PointSet
+from .arena import as_pointset
+from .executor import TRANSPORT_NAMES, make_transport
+
+__all__ = ["bench_dataplane", "bench_pipeline", "run_transport_bench"]
+
+
+def _touch_all(task) -> float:
+    """Worker body: read every staged byte once (defeats lazy attach)."""
+    ps = as_pointset(task)
+    return float(ps.coords.sum()) + float(ps.weights.sum()) + float(ps.ids.sum())
+
+
+def _synthetic_points(n_points: int, seed: int) -> PointSet:
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, 10.0, size=(16, 2))
+    which = rng.integers(0, len(centers), size=n_points)
+    coords = centers[which] + rng.normal(0.0, 0.15, size=(n_points, 2))
+    return PointSet.from_coords(coords)
+
+
+def _slices(points: PointSet, n_tasks: int) -> list[PointSet]:
+    bounds = np.linspace(0, len(points), n_tasks + 1, dtype=np.int64)
+    return [
+        PointSet(
+            ids=points.ids[a:b],
+            coords=points.coords[a:b],
+            weights=points.weights[a:b],
+        )
+        for a, b in zip(bounds, bounds[1:])
+        if b > a
+    ]
+
+
+def bench_dataplane(
+    n_points: int = 1_000_000,
+    *,
+    n_tasks: int = 64,
+    n_workers: int | None = None,
+    repeats: int = 3,
+    seed: int = 0,
+    transports: Sequence[str] = TRANSPORT_NAMES,
+) -> dict[str, Any]:
+    """Round-trip ``run_batch`` over the sliced dataset per transport."""
+    points = _synthetic_points(n_points, seed)
+    slices = _slices(points, n_tasks)
+    payload_bytes = sum(
+        s.ids.nbytes + s.coords.nbytes + s.weights.nbytes for s in slices
+    )
+    results: dict[str, Any] = {}
+    expected: list[float] | None = None
+    for name in transports:
+        transport = make_transport(name, n_workers=n_workers)
+        try:
+            stage = getattr(transport, "stage_pointset", None)
+            t0 = time.perf_counter()
+            tasks: list[Any] = (
+                [stage(s) for s in slices] if stage is not None else list(slices)
+            )
+            stage_seconds = time.perf_counter() - t0 if stage is not None else 0.0
+            got = transport.run_batch(_touch_all, tasks)  # warmup (pool spawn)
+            if expected is None:
+                expected = [float(v) for v in got]
+            elif not np.allclose(got, expected):
+                raise AssertionError(f"transport {name!r} computed different sums")
+            walls = []
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                transport.run_batch(_touch_all, tasks)
+                walls.append(time.perf_counter() - t0)
+            best = min(walls)
+            results[name] = {
+                "round_seconds": best,
+                "round_seconds_all": walls,
+                "points_per_sec": n_points / best if best else float("inf"),
+                "stage_seconds": stage_seconds,
+            }
+        finally:
+            transport.close()
+    out: dict[str, Any] = {
+        "n_points": n_points,
+        "n_tasks": len(slices),
+        "repeats": repeats,
+        "payload_bytes_per_round": payload_bytes,
+        "results": results,
+    }
+    if "process" in results and "shm" in results:
+        out["speedup_shm_vs_process"] = (
+            results["process"]["round_seconds"] / results["shm"]["round_seconds"]
+        )
+    return out
+
+
+def bench_pipeline(
+    n_points: int = 200_000,
+    *,
+    n_leaves: int = 8,
+    n_workers: int | None = None,
+    seed: int = 0,
+    transports: Sequence[str] = TRANSPORT_NAMES,
+) -> dict[str, Any]:
+    """End-to-end ``mrscan`` per transport; labels must match exactly."""
+    from ..core.pipeline import mrscan
+
+    points = _synthetic_points(n_points, seed)
+    results: dict[str, Any] = {}
+    baseline = None
+    for name in transports:
+        t0 = time.perf_counter()
+        res = mrscan(
+            points,
+            eps=0.05,
+            minpts=20,
+            n_leaves=n_leaves,
+            transport=name,
+            transport_workers=n_workers,
+        )
+        wall = time.perf_counter() - t0
+        if baseline is None:
+            baseline = res.labels
+        elif not np.array_equal(res.labels, baseline):
+            raise AssertionError(f"transport {name!r} changed the labels")
+        results[name] = {
+            "wall_seconds": wall,
+            "points_per_sec": n_points / wall,
+            "phases": res.timings.as_dict(),
+            "n_clusters": res.n_clusters,
+        }
+    return {"n_points": n_points, "n_leaves": n_leaves, "results": results}
+
+
+def run_transport_bench(
+    *,
+    n_points: int = 1_000_000,
+    pipeline_points: int | None = None,
+    n_tasks: int = 64,
+    n_leaves: int = 8,
+    n_workers: int | None = None,
+    repeats: int = 3,
+    seed: int = 0,
+    transports: Sequence[str] = TRANSPORT_NAMES,
+    skip_pipeline: bool = False,
+    output: str | Path | None = "BENCH_PR4.json",
+) -> dict[str, Any]:
+    """Run both sections and (optionally) write the JSON report."""
+    for name in transports:
+        if name not in TRANSPORT_NAMES:
+            raise ValueError(f"unknown transport {name!r}")
+    report: dict[str, Any] = {
+        "schema": "mrscan-bench-transport/1",
+        "host": {
+            "cpus": mp.cpu_count(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "n_workers": n_workers or mp.cpu_count(),
+        "dataplane": bench_dataplane(
+            n_points,
+            n_tasks=n_tasks,
+            n_workers=n_workers,
+            repeats=repeats,
+            seed=seed,
+            transports=transports,
+        ),
+    }
+    if not skip_pipeline:
+        report["pipeline"] = bench_pipeline(
+            pipeline_points if pipeline_points is not None else n_points,
+            n_leaves=n_leaves,
+            n_workers=n_workers,
+            seed=seed,
+            transports=transports,
+        )
+    if output is not None:
+        Path(output).write_text(json.dumps(report, indent=1) + "\n", encoding="utf-8")
+    return report

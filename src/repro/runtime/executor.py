@@ -1,0 +1,250 @@
+"""The persistent shared-memory executor: :class:`ShmTransport`.
+
+This is the zero-copy counterpart of
+:class:`~repro.mrnet.transport.ProcessTransport`: the same ``Transport``
+protocol (so :class:`~repro.mrnet.network.Network` retries, preemptive
+timeouts, and failover work unchanged), but
+
+* the spawn pool is **persistent and warm** — workers are initialized
+  once with :func:`repro.runtime.worker.init_worker`, pre-attach the
+  arena, and keep a reusable simulated device between batches;
+* tasks are expected to carry :class:`~repro.runtime.arena.ShmArrayRef`
+  / :class:`~repro.runtime.arena.PointSetRef` handles staged through
+  :meth:`stage_array` / :meth:`stage_pointset`, so a batch pickles
+  kilobytes of refs instead of the partitions themselves;
+* dispatch is **batched**: without a per-task deadline, tasks go through
+  ``pool.map`` with an explicit chunk size (one IPC message per chunk,
+  not per task).  With a deadline, tasks are dispatched individually so
+  a straggler can be preempted with the :data:`~repro.mrnet.transport.TIMED_OUT`
+  sentinel, exactly like the pickling transport.
+
+Closing the transport closes the pool *and* the arena it owns (unlinking
+every staged segment); an ``atexit`` guard covers abandoned instances so
+interrupted runs cannot leak ``/dev/shm`` entries or pool processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError, TransportError
+from ..mrnet.transport import (
+    TIMED_OUT,
+    TIMEOUT_GRACE,
+    LocalTransport,
+    ProcessTransport,
+    _invoke,
+    track_open_pool,
+    untrack_pool,
+)
+from ..points import PointSet
+from ..telemetry.metrics import NOOP_METRICS
+from ..telemetry.tracer import NOOP_TRACER
+from .arena import DEFAULT_BLOCK_BYTES, PointSetRef, ShmArena, ShmArrayRef
+from .worker import init_worker
+
+__all__ = ["ShmTransport", "make_transport", "TRANSPORT_NAMES"]
+
+#: Valid ``MrScanConfig.transport`` / ``--transport`` values.
+TRANSPORT_NAMES = ("local", "process", "shm")
+
+
+class ShmTransport:
+    """Persistent spawn-pool transport over a shared-memory arena.
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size (default: CPU count).
+    arena:
+        An existing :class:`ShmArena` to stage into; by default the
+        transport creates (and then owns, i.e. unlinks on close) its own.
+    metrics:
+        Optional :class:`repro.telemetry.Metrics`; staging and dispatch
+        feed the ``runtime.*`` instruments.
+    """
+
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        *,
+        tracer=None,
+        metrics=None,
+        arena: ShmArena | None = None,
+        block_bytes: int = DEFAULT_BLOCK_BYTES,
+    ) -> None:
+        if n_workers is not None and n_workers < 1:
+            raise TransportError("n_workers must be >= 1")
+        self.n_workers = n_workers or mp.cpu_count()
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        # is-None check, not truthiness: a fresh Metrics registry is empty
+        # and __len__ == 0 would read as falsy.
+        self.metrics = metrics if metrics is not None else NOOP_METRICS
+        self._arena = arena
+        self._owns_arena = arena is None
+        self._block_bytes = int(block_bytes)
+        self._pool: mp.pool.Pool | None = None
+        self._abandoned = False  # a worker missed a deadline and may hang
+        self.closed = False
+
+    # ------------------------------------------------------------------ #
+    # Staging
+    # ------------------------------------------------------------------ #
+
+    @property
+    def arena(self) -> ShmArena:
+        """The staging arena (created on first use)."""
+        if self._arena is None:
+            self._arena = ShmArena(block_bytes=self._block_bytes)
+        return self._arena
+
+    @property
+    def supports_staging(self) -> bool:
+        """Duck-typing hook the pipeline probes before staging."""
+        return True
+
+    def stage_array(self, array: np.ndarray) -> ShmArrayRef:
+        """Stage one array; see :meth:`ShmArena.stage`."""
+        if self.closed:
+            raise TransportError("cannot stage through a closed transport")
+        ref = self.arena.stage(array)
+        self._record_staged(ref.array_nbytes, 1)
+        return ref
+
+    def stage_pointset(self, points: PointSet) -> PointSetRef:
+        """Stage a point set's three columns; returns the bundle ref."""
+        if self.closed:
+            raise TransportError("cannot stage through a closed transport")
+        ref = self.arena.stage_pointset(points)
+        self._record_staged(ref.array_nbytes, 3)
+        return ref
+
+    def _record_staged(self, nbytes: int, n_arrays: int) -> None:
+        if self.metrics.enabled:
+            self.metrics.counter("runtime.bytes_staged").inc(nbytes)
+            self.metrics.counter("runtime.arrays_staged").inc(n_arrays)
+            self.metrics.gauge("runtime.segments").set(
+                len(self.arena.segment_names)
+            )
+
+    # ------------------------------------------------------------------ #
+    # Transport protocol
+    # ------------------------------------------------------------------ #
+
+    def _ensure_pool(self) -> "mp.pool.Pool":
+        if self.closed:
+            raise TransportError("transport is closed")
+        if self._pool is None:
+            segments = tuple(self._arena.segment_names) if self._arena else ()
+            with self.tracer.span(
+                "transport.pool_start",
+                cat="transport",
+                n_workers=self.n_workers,
+                backend="shm",
+            ):
+                self._pool = mp.get_context("spawn").Pool(
+                    self.n_workers,
+                    initializer=init_worker,
+                    initargs=(segments,),
+                )
+            track_open_pool(self)
+        return self._pool
+
+    def run_batch(
+        self, fn: Callable[[Any], Any], tasks: Sequence[Any], *, timeout: float | None = None
+    ) -> list[Any]:
+        if not tasks:
+            return []
+        try:
+            pool = self._ensure_pool()
+            with self.tracer.span(
+                "transport.batch", cat="transport", n_tasks=len(tasks), backend="shm"
+            ):
+                if self.metrics.enabled:
+                    self.metrics.counter("runtime.batches").inc()
+                    self.metrics.counter("runtime.tasks_dispatched").inc(len(tasks))
+                payload = [(fn, task) for task in tasks]
+                if timeout is None:
+                    # One IPC message per chunk, results in task order.
+                    chunksize = max(1, -(-len(tasks) // (self.n_workers * 4)))
+                    return pool.map(_invoke, payload, chunksize)
+                handles = [pool.apply_async(_invoke, (item,)) for item in payload]
+                deadline = time.monotonic() + timeout + TIMEOUT_GRACE
+                results: list[Any] = []
+                for handle in handles:
+                    remaining = max(0.0, deadline - time.monotonic())
+                    try:
+                        results.append(handle.get(remaining))
+                    except mp.TimeoutError:
+                        self._abandoned = True
+                        results.append(TIMED_OUT)
+                return results
+        except TransportError:
+            raise
+        except Exception as exc:  # pool failure or unpicklable payloads
+            raise TransportError(f"shm transport batch failed: {exc}") from exc
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Reap the pool and unlink the owned arena (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        if self._pool is not None:
+            if self._abandoned:
+                self._pool.terminate()
+            else:
+                self._pool.close()
+            self._pool.join()
+            self._pool = None
+            self._abandoned = False
+            untrack_pool(self)
+        if self._arena is not None and self._owns_arena:
+            self._arena.close()
+
+    def _reap(self) -> None:
+        """atexit path: terminate unconditionally (never join a possibly
+        hung worker at interpreter shutdown)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self.closed = True
+        if self._arena is not None and self._owns_arena:
+            self._arena.close()
+
+    def __enter__(self) -> "ShmTransport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def make_transport(
+    name: str,
+    *,
+    n_workers: int | None = None,
+    tracer=None,
+    metrics=None,
+):
+    """Build a transport from its config/CLI name.
+
+    ``local`` — sequential in-process; ``process`` — pickling
+    multiprocessing pool; ``shm`` — persistent zero-copy executor.
+    """
+    if name == "local":
+        return LocalTransport(tracer=tracer)
+    if name == "process":
+        return ProcessTransport(n_workers, tracer=tracer)
+    if name == "shm":
+        return ShmTransport(n_workers, tracer=tracer, metrics=metrics)
+    raise ConfigError(
+        f"unknown transport {name!r}; expected one of {TRANSPORT_NAMES}"
+    )

@@ -129,6 +129,9 @@ def test_checkpointed_leaf_does_not_recluster(
         calls.append(len(view))
         return real(view, *args, **kwargs)
 
+    # The call counter is a driver-process monkeypatch; a process-based
+    # transport would run the leaves (unpatched) in workers: pin local.
+    monkeypatch.setenv("MRSCAN_TRANSPORT", "local")
     monkeypatch.setattr(pipeline_mod, "mrscan_gpu", counting)
     # paper_style(4, fanout=2): internal nodes 1-2, leaves 3-6.
     config = _config(

@@ -157,13 +157,16 @@ class _ClosableTransport:
         self.closes += 1
 
 
-def test_pipeline_releases_transport_when_cluster_phase_raises(blobs_with_noise):
-    """The transport-leak fix: network.close() must run even on failure.
+def test_pipeline_leaves_caller_transport_open_when_cluster_phase_raises(
+    blobs_with_noise,
+):
+    """Transport ownership: a caller-provided transport is caller-owned.
 
     The partition phase uses batches 1 (histogram map) and 2 (histogram
     reduce); batch 3 is the cluster map, so failing there aborts the
-    cluster phase after partitioning succeeded.  Both the partitioner's
-    network and the clustering network must still close the transport.
+    cluster phase after partitioning succeeded.  Neither the networks nor
+    the pipeline may close a transport they did not build — a persistent
+    pool must survive across phases and across pipeline runs.
     """
     transport = _ClosableTransport(fail_on_batch=3)
     with pytest.raises(MrScanError):
@@ -173,14 +176,48 @@ def test_pipeline_releases_transport_when_cluster_phase_raises(blobs_with_noise)
             transport=transport,
         )
     assert transport.batches == 3
-    assert transport.closes == 2  # partitioner finally + pipeline finally
+    assert transport.closes == 0  # caller-owned: still open for reuse
 
 
-def test_pipeline_releases_transport_on_success(blobs_with_noise):
-    transport = _ClosableTransport()
+def test_pipeline_closes_owned_transport_when_cluster_phase_raises(
+    blobs_with_noise, monkeypatch
+):
+    """The transport-leak fix: a transport the pipeline built itself must
+    be closed even when a phase raises mid-run."""
+    import repro.core.pipeline as pipeline_mod
+
+    transport = _ClosableTransport(fail_on_batch=3)
+    monkeypatch.setattr(
+        pipeline_mod, "make_transport", lambda *a, **kw: transport
+    )
+    with pytest.raises(MrScanError):
+        run_pipeline(
+            blobs_with_noise, MrScanConfig(eps=0.25, minpts=8, n_leaves=2)
+        )
+    assert transport.closes == 1  # pipeline finally
+
+
+def test_pipeline_releases_transport_on_success(blobs_with_noise, monkeypatch):
+    import repro.core.pipeline as pipeline_mod
+
+    # Caller-provided: untouched and reusable across runs.
+    caller_owned = _ClosableTransport()
     run_pipeline(
         blobs_with_noise,
         MrScanConfig(eps=0.25, minpts=8, n_leaves=2),
-        transport=transport,
+        transport=caller_owned,
     )
-    assert transport.closes == 2
+    run_pipeline(
+        blobs_with_noise,
+        MrScanConfig(eps=0.25, minpts=8, n_leaves=2),
+        transport=caller_owned,
+    )
+    assert caller_owned.closes == 0
+
+    # Pipeline-built (from the config's transport name): closed once.
+    owned = _ClosableTransport()
+    monkeypatch.setattr(
+        pipeline_mod, "make_transport", lambda *a, **kw: owned
+    )
+    run_pipeline(blobs_with_noise, MrScanConfig(eps=0.25, minpts=8, n_leaves=2))
+    assert owned.closes == 1

@@ -183,6 +183,9 @@ def test_harness_catches_representative_selection_defect(monkeypatch, tmp_path):
     def no_reps(coords, bounds):
         return np.empty(0, dtype=np.int64)
 
+    # The seeded bug is a driver-process monkeypatch; a process-based
+    # transport would run the leaves (unpatched) in workers: pin local.
+    monkeypatch.setenv("MRSCAN_TRANSPORT", "local")
     monkeypatch.setattr(summary_mod, "select_representatives", no_reps)
     monkeypatch.setattr(merger_mod, "select_representatives", no_reps)
 

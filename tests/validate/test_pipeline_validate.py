@@ -91,6 +91,9 @@ def test_injected_representative_defect_is_caught(blobs_with_noise, monkeypatch)
     phase."""
     from repro.merge import summary as summary_mod
 
+    # Injected-defect tests patch driver-process collaborators, which a
+    # process-based transport would run (unpatched) in workers: pin local.
+    monkeypatch.setenv("MRSCAN_TRANSPORT", "local")
     real = summary_mod.select_representatives
 
     def truncated(coords, bounds):
@@ -107,6 +110,7 @@ def test_injected_sweep_corruption_is_caught(blobs_with_noise, monkeypatch):
     """Flipping one final label breaks the sweep recombination check."""
     from repro.core import pipeline as pipeline_mod
 
+    monkeypatch.setenv("MRSCAN_TRANSPORT", "local")
     real = pipeline_mod.combine_leaf_outputs
 
     def corrupted(results, n):
@@ -126,6 +130,7 @@ def test_injected_global_id_gap_is_caught(blobs_with_noise, monkeypatch):
     """Shifting global ids off 0..k-1 breaks the merge bijection check."""
     from repro.core import pipeline as pipeline_mod
 
+    monkeypatch.setenv("MRSCAN_TRANSPORT", "local")
     real = pipeline_mod.assign_global_ids
 
     def shifted(root_summary):
@@ -145,6 +150,7 @@ def test_cheap_level_skips_expensive_checker(blobs_with_noise, monkeypatch):
     level; cheap must not pay for (or catch) the geometric check."""
     from repro.merge import summary as summary_mod
 
+    monkeypatch.setenv("MRSCAN_TRANSPORT", "local")
     real = summary_mod.select_representatives
     monkeypatch.setattr(
         summary_mod,
