@@ -7,6 +7,7 @@ Subcommands
 ``quality``   compare a clustering against single-CPU reference DBSCAN
 ``fuzz``      differential/metamorphic fuzzing against reference DBSCAN
 ``bench-transport``  benchmark the local/process/shm execution backends
+``bench-durability``  measure the journal+checkpoint overhead of durable runs
 ``simulate``  reproduce a paper figure through the performance model
 """
 
@@ -106,6 +107,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="checkpoint each leaf's clustering output so retried or "
         "failed-over leaves resume without re-clustering",
+    )
+    clu.add_argument(
+        "--run-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="durable-run directory (repro.durability): write-ahead "
+        "journal + phase checkpoints; a crashed run restarts with "
+        "--resume and re-executes only unfinished work",
+    )
+    clu.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a crashed run from --run-dir (labels are "
+        "byte-identical to an uninterrupted run)",
+    )
+    clu.add_argument(
+        "--drop-invalid",
+        action="store_true",
+        help="strip NaN/Inf input rows (reported in the summary) instead "
+        "of rejecting the file",
     )
     clu.add_argument(
         "--validate",
@@ -225,6 +247,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bt.add_argument("--json", action="store_true", help="also print the report")
 
+    bd = sub.add_parser(
+        "bench-durability",
+        help="measure journal+checkpoint overhead of durable runs "
+        "(repro.durability)",
+    )
+    bd.add_argument(
+        "--points", type=int, default=1_000_000, help="dataset size (default 1M)"
+    )
+    bd.add_argument("--leaves", type=int, default=8)
+    bd.add_argument("--repeats", type=int, default=3, help="runs per mode, best kept")
+    bd.add_argument("--seed", type=int, default=0)
+    bd.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_PR5.json"),
+        help="JSON report path (default BENCH_PR5.json)",
+    )
+    bd.add_argument("--json", action="store_true", help="also print the report")
+
     sim = sub.add_parser("simulate", help="reproduce a paper figure (perf model)")
     sim.add_argument(
         "figure",
@@ -245,12 +286,12 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_points(path: Path) -> PointSet:
+def _load_points(path: Path, *, validate: bool = True) -> PointSet:
     from .io.formats import read_points_binary, read_points_text
 
     if path.suffix in (".txt", ".csv", ".tsv"):
-        return read_points_text(path)
-    return read_points_binary(path)
+        return read_points_text(path, validate=validate)
+    return read_points_binary(path, validate=validate)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -295,9 +336,21 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             return 2
         fault_plan = FaultPlan.load(args.faults)
         print(f"injecting {fault_plan.describe()}")
-    points = _load_points(args.input)
+    if args.resume and args.run_dir is None:
+        print("error: --resume requires --run-dir", file=sys.stderr)
+        return 2
+    from .errors import DataValidationError, DurabilityError, ValidationError
+
+    try:
+        points = _load_points(args.input, validate=not args.drop_invalid)
+    except DataValidationError as exc:
+        print(
+            f"error: {exc}\n(re-run with --drop-invalid to strip the "
+            "offending rows)",
+            file=sys.stderr,
+        )
+        return 2
     trace_enabled = bool(args.trace_out or args.trace_jsonl or args.trace_summary)
-    from .errors import ValidationError
 
     try:
         result = mrscan(
@@ -320,12 +373,29 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             validate=args.validate,
             transport=args.transport,
             transport_workers=args.workers,
+            run_dir=(str(args.run_dir) if args.run_dir is not None else None),
+            resume=args.resume,
+            drop_invalid=args.drop_invalid,
         )
+    except DurabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except ValidationError as exc:
         print(f"validation FAILED: {exc}", file=sys.stderr)
         for v in exc.violations[:20]:
             print(f"  {v}", file=sys.stderr)
         return 3
+    if result.resumed:
+        restored = ", ".join(result.phases_restored) or "none"
+        print(
+            f"resumed from {args.run_dir} (phases restored: {restored}; "
+            f"leaf checkpoint hits: {result.checkpoint_hits})"
+        )
+    if result.n_dropped_invalid:
+        print(
+            f"dropped {result.n_dropped_invalid} input row(s) with "
+            "non-finite coordinates/weights"
+        )
     if args.validate != "off" and result.validation is not None:
         print(result.validation.summary().splitlines()[0])
     if result.fault_summary.get("total"):
@@ -356,6 +426,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                     "densebox_eliminated": result.total_densebox_eliminated,
                     "faults": result.fault_summary,
                     "checkpoint_hits": result.checkpoint_hits,
+                    "resumed": result.resumed,
+                    "phases_restored": result.phases_restored,
+                    "n_dropped_invalid": result.n_dropped_invalid,
                 },
                 indent=1,
             )
@@ -539,6 +612,36 @@ def _cmd_bench_transport(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_durability(args: argparse.Namespace) -> int:
+    from .durability.bench import run_durability_bench
+
+    report = run_durability_bench(
+        n_points=args.points,
+        n_leaves=args.leaves,
+        repeats=args.repeats,
+        seed=args.seed,
+        output=args.output,
+    )
+    if args.json:
+        print(json.dumps(report, indent=1))
+    else:
+        base = report["baseline"]["wall_seconds"]
+        dur = report["durable"]["wall_seconds"]
+        print(
+            f"durability bench: {report['n_points']:,} points, "
+            f"{report['n_leaves']} leaves"
+        )
+        print(f"  baseline: {base:7.2f} s")
+        print(
+            f"   durable: {dur:7.2f} s "
+            f"({report['durable']['journal_records']} journal records, "
+            f"{report['durable']['checkpoint_bytes']:,} checkpoint bytes)"
+        )
+        print(f"  overhead: {100 * report['overhead_fraction']:+.1f}%")
+    print(f"report written to {args.output}")
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .perf import figures
 
@@ -560,6 +663,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "fuzz": _cmd_fuzz,
         "bench-transport": _cmd_bench_transport,
+        "bench-durability": _cmd_bench_durability,
         "simulate": _cmd_simulate,
     }
     return handlers[args.command](args)

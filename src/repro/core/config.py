@@ -116,6 +116,19 @@ class MrScanConfig:
     transport: str | None = None
     #: Worker-pool size for the process/shm transports (None = CPU count).
     transport_workers: int | None = None
+    #: Durable-run directory (repro.durability): write-ahead journal +
+    #: phase checkpoints live here, and ``checkpoint_dir`` defaults to its
+    #: ``checkpoints/leaves`` subdirectory.  None = no durability (and no
+    #: journal/checkpoint overhead).
+    run_dir: str | None = None
+    #: Resume a crashed run from ``run_dir``: restore completed phases
+    #: from their checkpoints and re-execute only unfinished work.
+    #: Requires ``run_dir``; label-affecting config and the dataset must
+    #: match the original run (fingerprint-verified).
+    resume: bool = False
+    #: Strip NaN/Inf input rows (with a count on the result) instead of
+    #: rejecting them with DataValidationError.
+    drop_invalid: bool = False
 
     def __post_init__(self) -> None:
         if self.eps <= 0:
@@ -164,6 +177,8 @@ class MrScanConfig:
             )
         if self.transport_workers is not None and self.transport_workers < 1:
             raise ConfigError("transport_workers must be >= 1")
+        if self.resume and self.run_dir is None:
+            raise ConfigError("resume requires run_dir")
 
     def resolved_transport(self) -> str:
         """The transport name this run executes under: the explicit

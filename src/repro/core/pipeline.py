@@ -9,12 +9,14 @@ summaries at the internal nodes, and sweeps global IDs back down.
 
 from __future__ import annotations
 
+import hashlib
 import logging
 import time
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..durability.rundir import ResumeState, RunDirectory
 from ..errors import CheckpointError, ConfigError, DeviceMemoryError
 from ..gpu.mrscan_gpu import mrscan_gpu
 from ..io.lustre import IOTrace
@@ -22,12 +24,13 @@ from ..merge.global_ids import assign_global_ids
 from ..merge.merger import MergeFilter
 from ..merge.summary import LeafSummary, summarize_leaf
 from ..mrnet import Network, Topology, Transport
+from ..mrnet.packets import NetworkTrace
 from ..partition.distributed import DistributedPartitioner, RECORD_BYTES
 from ..points import PointSet
 from ..resilience.checkpoint import LeafCheckpointStore
 from ..resilience.faults import FaultLog
 from ..runtime.arena import as_pointset
-from ..runtime.executor import make_transport
+from ..runtime.executor import make_transport, stage_pointset_safe
 from ..runtime.worker import acquire_device
 from ..sweep.sweep import combine_core_masks, combine_leaf_outputs, sweep_leaf
 from ..telemetry import Telemetry, record_result
@@ -299,6 +302,16 @@ def _run_pipeline(
     transport: Transport,
     telemetry: Telemetry,
 ) -> MrScanResult:
+    n_dropped_invalid = 0
+    if config.drop_invalid:
+        points, n_dropped_invalid = points.drop_invalid()
+        if n_dropped_invalid:
+            # Info, not warning: the caller opted in, and the count is
+            # surfaced in result.n_dropped_invalid (the CLI prints it).
+            logger.info(
+                "dropped %d input row(s) with non-finite coordinates/weights",
+                n_dropped_invalid,
+            )
     n = len(points)
     points.validate_unique_ids()
     points.validate_finite()
@@ -329,37 +342,160 @@ def _run_pipeline(
     timings = PhaseBreakdown()
     resilience = config.resilience_policy()
 
-    # ----------------------------- partition --------------------------- #
-    with timer.phase("partition"), tracer.span(
-        "partition", cat="phase", pid=PID_DRIVER, n_points=n
-    ):
-        partitioner = DistributedPartitioner(
-            config.eps,
-            config.minpts,
-            config.partition_nodes,
-            transport=transport,
-            rebalance=config.rebalance_partitions,
-            shadow_representatives=config.shadow_representatives,
-            output_mode=config.partition_output,
+    # Durability (repro.durability): open the run directory, replay its
+    # journal, and classify what a resume may skip.  The journal follows
+    # write-ahead discipline throughout: a phase is journaled done only
+    # after its invariant checks passed and its checkpoint is on disk.
+    durable: RunDirectory | None = None
+    state = ResumeState()
+    leaf_checkpoint_dir = config.checkpoint_dir
+    if config.run_dir is not None:
+        durable = RunDirectory(config.run_dir)
+        state = durable.start(
+            points,
+            config,
+            resume=config.resume,
+            metrics=telemetry.metrics,
             tracer=tracer,
-            fault_injector=config.fault_plan,
+        )
+        if leaf_checkpoint_dir is None:
+            leaf_checkpoint_dir = str(durable.leaf_checkpoint_dir)
+    try:
+        return _run_phases(
+            points=points,
+            internal=internal,
+            config=config,
+            transport=transport,
+            telemetry=telemetry,
+            tracer=tracer,
+            timer=timer,
+            timings=timings,
             resilience=resilience,
+            durable=durable,
+            state=state,
+            leaf_checkpoint_dir=leaf_checkpoint_dir,
+            n_dropped_invalid=n_dropped_invalid,
+            vctx=vctx,
+            vreport=vreport,
         )
-        phase1 = partitioner.run(
-            internal, config.n_leaves, workdir=config.materialize_dir
+    finally:
+        if durable is not None:
+            durable.close()
+
+
+def _run_phases(
+    *,
+    points: PointSet,
+    internal: PointSet,
+    config: MrScanConfig,
+    transport: Transport,
+    telemetry: Telemetry,
+    tracer,
+    timer: PhaseTimer,
+    timings: PhaseBreakdown,
+    resilience,
+    durable: RunDirectory | None,
+    state: ResumeState,
+    leaf_checkpoint_dir: str | None,
+    n_dropped_invalid: int,
+    vctx,
+    vreport,
+) -> MrScanResult:
+    n = len(internal)
+    if vctx is not None:
+        from ..validate.invariants import run_phase_checks
+
+    # A run that already finished (run_end journaled, sweep checkpoint on
+    # disk) short-circuits: the persisted labels ARE the result.
+    if durable is not None and state.complete:
+        try:
+            labels, core_mask = durable.phases.load("sweep")
+        except CheckpointError:
+            state.complete = False
+        else:
+            state.restored = ["partition", "cluster", "merge", "sweep"]
+            durable.note("resume_complete", {"n_points": int(len(labels))})
+            logger.info(
+                "resume: run already complete; returning persisted labels"
+            )
+            return MrScanResult(
+                labels=labels,
+                core_mask=core_mask,
+                n_clusters=int(len(np.unique(labels[labels >= 0]))),
+                timings=timings,
+                virtual_timings=VirtualBreakdown(),
+                n_leaves=config.n_leaves,
+                n_partition_nodes=config.partition_nodes,
+                partition_io=IOTrace(),
+                output_io=IOTrace(),
+                telemetry=telemetry,
+                resumed=True,
+                phases_restored=state.restored,
+                run_dir=config.run_dir,
+                n_dropped_invalid=n_dropped_invalid,
+            )
+
+    # ----------------------------- partition --------------------------- #
+    phase1 = None
+    if durable is not None and state.partition_restorable:
+        try:
+            with tracer.span(
+                "durability.restore", cat="durability", pid=PID_DRIVER,
+                phase="partition",
+            ):
+                phase1 = durable.phases.load("partition")
+        except CheckpointError:
+            phase1 = None  # corrupt checkpoint: the phase re-runs
+        else:
+            state.restored.append("partition")
+            logger.info(
+                "resume: partition restored from checkpoint (%d partitions)",
+                phase1.n_partitions,
+            )
+    if phase1 is None:
+        with timer.phase("partition"), tracer.span(
+            "partition", cat="phase", pid=PID_DRIVER, n_points=n
+        ):
+            partitioner = DistributedPartitioner(
+                config.eps,
+                config.minpts,
+                config.partition_nodes,
+                transport=transport,
+                rebalance=config.rebalance_partitions,
+                shadow_representatives=config.shadow_representatives,
+                output_mode=config.partition_output,
+                tracer=tracer,
+                fault_injector=config.fault_plan,
+                resilience=resilience,
+            )
+            phase1 = partitioner.run(
+                internal, config.n_leaves, workdir=config.materialize_dir
+            )
+        logger.info(
+            "partition: %d points -> %d partitions via %d nodes (%s output, "
+            "imbalance %.2f)",
+            n,
+            phase1.n_partitions,
+            phase1.n_partition_nodes,
+            config.partition_output,
+            phase1.plan.size_imbalance(),
         )
-    logger.info(
-        "partition: %d points -> %d partitions via %d nodes (%s output, "
-        "imbalance %.2f)",
-        n,
-        phase1.n_partitions,
-        phase1.n_partition_nodes,
-        config.partition_output,
-        phase1.plan.size_imbalance(),
-    )
     if vctx is not None:
         vctx.phase1 = phase1
         run_phase_checks("partition", vctx, config.validate, vreport, telemetry)
+    if durable is not None and "partition" not in state.restored:
+        # Checks passed; only now does the checkpoint + journal record
+        # land (write-ahead: journaled done implies validated).
+        with tracer.span(
+            "durability.checkpoint", cat="durability", pid=PID_DRIVER,
+            phase="partition",
+        ):
+            durable.phases.save("partition", phase1)
+        durable.note(
+            "partition_done",
+            {"n_partitions": phase1.n_partitions,
+             "n_partition_nodes": phase1.n_partition_nodes},
+        )
 
     # ----------------------------- cluster ----------------------------- #
     topology = Topology.paper_style(config.n_leaves, config.fanout)
@@ -373,10 +509,11 @@ def _run_pipeline(
     )
     # Stage the partitions through the transport's data plane when it has
     # one (repro.runtime): each leaf task then carries ~100-byte refs and
-    # the arrays themselves never ride the task pickles.
+    # the arrays themselves never ride the task pickles.  Staging
+    # degrades to the point sets themselves on arena exhaustion
+    # (stage_pointset_safe) rather than failing the run.
     leaf_inputs = phase1.partitions
-    stage = getattr(transport, "stage_pointset", None)
-    if stage is not None:
+    if getattr(transport, "supports_staging", False):
         with tracer.span(
             "runtime.stage",
             cat="runtime",
@@ -384,7 +521,11 @@ def _run_pipeline(
             n_pointsets=2 * len(phase1.partitions),
         ):
             leaf_inputs = [
-                (stage(own), stage(shadow)) for own, shadow in phase1.partitions
+                (
+                    stage_pointset_safe(transport, own),
+                    stage_pointset_safe(transport, shadow),
+                )
+                for own, shadow in phase1.partitions
             ]
     tasks = [
         _ClusterLeafTask(
@@ -394,11 +535,11 @@ def _run_pipeline(
             owned_cells=frozenset(phase1.plan.partitions[pid].cells),
             config=config,
             trace=telemetry.enabled,
-            checkpoint_dir=config.checkpoint_dir,
+            checkpoint_dir=leaf_checkpoint_dir,
         )
         for pid, (own, shadow) in enumerate(leaf_inputs)
     ]
-    if stage is not None and telemetry.enabled:
+    if getattr(transport, "supports_staging", False) and telemetry.enabled:
         # Traffic the refs keep off the wire for one dispatch round.
         telemetry.metrics.counter("runtime.bytes_avoided").inc(
             sum(t.array_nbytes - t.payload_bytes() for t in tasks)
@@ -411,6 +552,21 @@ def _run_pipeline(
         if new_chunks > MAX_MEMORY_CHUNKS:
             return None
         return replace(task, memory_chunks=new_chunks)
+
+    # Journal each leaf completion as its result lands: a resume knows
+    # exactly which leaves finished (their spill checkpoints satisfy them
+    # without re-clustering) even if the driver dies mid-round.
+    on_leaf_result = None
+    if durable is not None:
+        def on_leaf_result(_idx: int, out) -> None:
+            durable.note(
+                "leaf_done",
+                {
+                    "leaf_id": out.leaf_id,
+                    "from_checkpoint": bool(out.from_checkpoint),
+                    "n_owned": out.n_owned,
+                },
+            )
 
     # A crashed phase must still release the transport's worker pools —
     # everything from here to the end of the sweep runs under one
@@ -426,6 +582,7 @@ def _run_pipeline(
                 recover=_split_on_oom,
                 cost=_ClusterLeafTask.device_cost,
                 capacity=float(config.device.memory_bytes),
+                on_result=on_leaf_result,
             )
             for out in outputs:
                 tracer.ingest(out.spans)
@@ -439,26 +596,62 @@ def _run_pipeline(
         if vctx is not None:
             vctx.outputs = outputs
             run_phase_checks("cluster", vctx, config.validate, vreport, telemetry)
+        if durable is not None:
+            durable.note(
+                "cluster_done",
+                {
+                    "n_leaves": len(outputs),
+                    "checkpoint_hits": sum(
+                        1 for o in outputs if o.from_checkpoint
+                    ),
+                },
+            )
 
         # ------------------------------ merge -------------------------- #
         merge_filter = MergeFilter(config.eps, tracer=tracer)
-        with timer.phase("merge"), tracer.span(
-            "merge", cat="phase", pid=PID_DRIVER
-        ):
-            root_summary, reduce_trace = network.reduce(
-                [o.summary for o in outputs], merge_filter, name="merge"
+        merge_restored = False
+        if durable is not None and state.merge_restorable:
+            try:
+                with tracer.span(
+                    "durability.restore", cat="durability", pid=PID_DRIVER,
+                    phase="merge",
+                ):
+                    root_summary, assignment = durable.phases.load("merge")
+            except CheckpointError:
+                pass  # corrupt checkpoint: the phase re-runs
+            else:
+                merge_restored = True
+                reduce_trace = NetworkTrace()
+                state.restored.append("merge")
+                logger.info(
+                    "resume: merge restored from checkpoint (%d global clusters)",
+                    assignment.n_clusters,
+                )
+        if not merge_restored:
+            with timer.phase("merge"), tracer.span(
+                "merge", cat="phase", pid=PID_DRIVER
+            ):
+                root_summary, reduce_trace = network.reduce(
+                    [o.summary for o in outputs], merge_filter, name="merge"
+                )
+                assignment = assign_global_ids(root_summary)
+            logger.info(
+                "merge: %d leaf clusters -> %d global clusters (%d bytes up the tree)",
+                sum(o.summary.n_clusters for o in outputs),
+                assignment.n_clusters,
+                reduce_trace.total_bytes,
             )
-            assignment = assign_global_ids(root_summary)
-        logger.info(
-            "merge: %d leaf clusters -> %d global clusters (%d bytes up the tree)",
-            sum(o.summary.n_clusters for o in outputs),
-            assignment.n_clusters,
-            reduce_trace.total_bytes,
-        )
         if vctx is not None:
             vctx.assignment = assignment
             vctx.root_summary = root_summary
             run_phase_checks("merge", vctx, config.validate, vreport, telemetry)
+        if durable is not None and not merge_restored:
+            with tracer.span(
+                "durability.checkpoint", cat="durability", pid=PID_DRIVER,
+                phase="merge",
+            ):
+                durable.phases.save("merge", (root_summary, assignment))
+            durable.note("merge_done", {"n_clusters": assignment.n_clusters})
 
         # ------------------------------ sweep -------------------------- #
         output_io = IOTrace()
@@ -506,6 +699,21 @@ def _run_pipeline(
             vctx.labels = labels
             vctx.core_mask = core_mask
             run_phase_checks("sweep", vctx, config.validate, vreport, telemetry)
+        if durable is not None:
+            with tracer.span(
+                "durability.checkpoint", cat="durability", pid=PID_DRIVER,
+                phase="sweep",
+            ):
+                durable.phases.save("sweep", (labels, core_mask))
+            durable.note(
+                "sweep_done",
+                {
+                    "n_points": int(n),
+                    "labels_digest": hashlib.sha256(
+                        np.ascontiguousarray(labels).tobytes()
+                    ).hexdigest(),
+                },
+            )
     finally:
         network.close()
     logger.info(
@@ -548,6 +756,8 @@ def _run_pipeline(
         )
 
     n_clusters = int(len(np.unique(labels[labels >= 0])))
+    if durable is not None:
+        durable.note("run_end", {"n_clusters": n_clusters})
     result = MrScanResult(
         labels=labels,
         core_mask=core_mask,
@@ -579,6 +789,10 @@ def _run_pipeline(
         fault_summary=fault_log.summary(),
         checkpoint_hits=checkpoint_hits,
         validation=vreport,
+        resumed=state.resumed,
+        phases_restored=state.restored,
+        run_dir=config.run_dir,
+        n_dropped_invalid=n_dropped_invalid,
     )
     if telemetry.enabled:
         record_result(telemetry.metrics, result)

@@ -122,6 +122,18 @@ class MrScanResult:
     #: ``config.validate`` != "off"; None otherwise.  A report attached
     #: here is always clean — violations raise ``ValidationError``.
     validation: object | None = None
+    #: Durability (repro.durability): True when this run resumed from a
+    #: run directory rather than starting fresh.
+    resumed: bool = False
+    #: Phase names restored from checkpoints instead of re-executed
+    #: (``"partition"``/``"merge"``/``"sweep"``; completed cluster leaves
+    #: show up in ``checkpoint_hits``, not here).
+    phases_restored: list[str] = field(default_factory=list)
+    #: The run directory this run journaled into (None = not durable).
+    run_dir: str | None = None
+    #: Input rows stripped for non-finite coordinates/weights under
+    #: ``config.drop_invalid`` (labels align with the cleaned input).
+    n_dropped_invalid: int = 0
 
     @property
     def n_points(self) -> int:

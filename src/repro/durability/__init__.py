@@ -1,0 +1,38 @@
+"""Job-level durability: run journal, phase checkpoints, crash resume.
+
+The resilience layer (:mod:`repro.resilience`) keeps a *live* run going
+through node faults; this package makes the run itself durable, in the
+checkpoint/restart spirit of large MPI+GPU jobs: a per-run directory
+holds a write-ahead journal (:mod:`.journal`) of everything the driver
+has completed, plus phase-boundary checkpoints (:mod:`.checkpoints`)
+from which ``mrscan --run-dir D --resume`` reconstructs pipeline state
+after a driver crash and re-executes only the unfinished work — with
+labels byte-identical to an uninterrupted run.
+
+See :mod:`.rundir` for the directory layout, the fingerprint rules, and
+the resume state machine.
+"""
+
+from .checkpoints import PHASE_NAMES, PhaseCheckpointStore
+from .journal import GENESIS, JournalRecord, RunJournal, replay_journal
+from .rundir import (
+    LABEL_FIELDS,
+    ResumeState,
+    RunDirectory,
+    config_fingerprint,
+    dataset_fingerprint,
+)
+
+__all__ = [
+    "GENESIS",
+    "JournalRecord",
+    "RunJournal",
+    "replay_journal",
+    "PHASE_NAMES",
+    "PhaseCheckpointStore",
+    "LABEL_FIELDS",
+    "ResumeState",
+    "RunDirectory",
+    "config_fingerprint",
+    "dataset_fingerprint",
+]

@@ -1,0 +1,119 @@
+"""Durability benchmarks: the ``mrscan bench-durability`` harness.
+
+One question, written to ``BENCH_PR5.json``: what does the write-ahead
+journal + phase checkpointing cost on an end-to-end run?  The same
+dataset is clustered twice — once plain, once with ``run_dir`` set — and
+the report records both wall times, the overhead fraction, and what the
+durable run actually wrote (journal records/bytes, checkpoint bytes).
+The journal fsyncs every record and the checkpoints persist the
+partition plan, merge table, and final labels, so the overhead is real
+I/O; the acceptance bar is a small single-digit percentage on a
+1M-point run.
+
+Timing discipline matches :mod:`repro.runtime.bench`: one untimed warmup
+run, then the best of ``repeats`` timed runs per mode.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..core.config import MrScanConfig
+from ..core.pipeline import run_pipeline
+from ..points import PointSet
+
+__all__ = ["run_durability_bench"]
+
+
+def _synthetic_points(n_points: int, seed: int) -> PointSet:
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, 10.0, size=(16, 2))
+    which = rng.integers(0, len(centers), size=n_points)
+    coords = centers[which] + rng.normal(0.0, 0.15, size=(n_points, 2))
+    return PointSet.from_coords(coords)
+
+
+def _dir_bytes(root: Path) -> int:
+    return sum(p.stat().st_size for p in root.rglob("*") if p.is_file())
+
+
+def run_durability_bench(
+    *,
+    n_points: int = 1_000_000,
+    n_leaves: int = 8,
+    repeats: int = 3,
+    seed: int = 0,
+    eps: float = 0.15,
+    minpts: int = 8,
+    output: str | Path | None = None,
+) -> dict[str, Any]:
+    """Time the pipeline with and without a run directory."""
+    points = _synthetic_points(n_points, seed)
+
+    def _one_run(run_dir: str | None) -> tuple[float, Any]:
+        config = MrScanConfig(
+            eps=eps,
+            minpts=minpts,
+            n_leaves=n_leaves,
+            run_dir=run_dir,
+        )
+        t0 = time.perf_counter()
+        result = run_pipeline(points, config)
+        return time.perf_counter() - t0, result
+
+    # Baseline: warmup + best-of timed runs without durability.
+    _one_run(None)
+    base_seconds = min(_one_run(None)[0] for _ in range(max(1, repeats)))
+
+    # Durable: fresh run directory per run (fresh journal + checkpoints).
+    tmp_root = Path(tempfile.mkdtemp(prefix="mrscan-bench-durability-"))
+    try:
+        durable_seconds = float("inf")
+        journal_records = journal_bytes = checkpoint_bytes = 0
+        labels = None
+        for i in range(max(1, repeats)):
+            run_dir = tmp_root / f"run-{i}"
+            seconds, result = _one_run(str(run_dir))
+            durable_seconds = min(durable_seconds, seconds)
+            journal_path = run_dir / "journal.jsonl"
+            journal_records = sum(1 for _ in journal_path.open())
+            journal_bytes = journal_path.stat().st_size
+            checkpoint_bytes = _dir_bytes(run_dir / "checkpoints")
+            labels = result.labels
+        # The durable run must not change the answer.
+        baseline_labels = _one_run(None)[1].labels
+        labels_identical = bool(np.array_equal(labels, baseline_labels))
+    finally:
+        shutil.rmtree(tmp_root, ignore_errors=True)
+
+    overhead = (durable_seconds - base_seconds) / base_seconds if base_seconds else 0.0
+    report: dict[str, Any] = {
+        "bench": "durability",
+        "n_points": n_points,
+        "n_leaves": n_leaves,
+        "eps": eps,
+        "minpts": minpts,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "baseline": {"wall_seconds": base_seconds},
+        "durable": {
+            "wall_seconds": durable_seconds,
+            "journal_records": journal_records,
+            "journal_bytes": journal_bytes,
+            "checkpoint_bytes": checkpoint_bytes,
+        },
+        "overhead_fraction": overhead,
+        "labels_identical": labels_identical,
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(report, indent=1), encoding="utf-8")
+    return report

@@ -14,21 +14,39 @@ Hierarchy::
     │   └── DeviceMemoryError
     ├── TransportError
     │   ├── LeafTimeoutError
-    │   └── RetryExhaustedError
+    │   ├── RetryExhaustedError
+    │   └── ArenaFullError
     ├── TopologyError (also ValueError)
     ├── MergeError
     ├── FormatError (also ValueError)
+    │   └── DataValidationError
     ├── CheckpointError
+    ├── DurabilityError
+    │   └── JournalError
     ├── ValidationError
     └── SimulationError
 
-The resilience layer (:mod:`repro.resilience`) raises the three newest
-members: :class:`LeafTimeoutError` when a node exceeds its per-attempt
-deadline, :class:`RetryExhaustedError` when retry + failover budgets are
-spent, and :class:`CheckpointError` when a persisted leaf checkpoint is
-missing or fails its integrity check.  The first two subclass
+The resilience layer (:mod:`repro.resilience`) raises
+:class:`LeafTimeoutError` when a node exceeds its per-attempt deadline,
+:class:`RetryExhaustedError` when retry + failover budgets are spent, and
+:class:`CheckpointError` when a persisted leaf checkpoint is missing or
+fails its integrity check.  The first two subclass
 :class:`TransportError` so pre-existing ``except TransportError`` sites
 (and tests) treat them as the process failures they model.
+
+The durability layer (:mod:`repro.durability`) raises
+:class:`DurabilityError` for unusable run directories (config or dataset
+fingerprint mismatch on ``--resume``) and :class:`JournalError` for a
+corrupted write-ahead journal (hash-chain break, mid-stream garbage).
+:class:`ArenaFullError` signals shared-memory exhaustion (``/dev/shm``
+ENOSPC) while staging; the pipeline degrades to shipping the arrays
+themselves instead of failing the run.  :class:`DataValidationError`
+rejects NaN/Inf input rows; it subclasses :class:`FormatError` so
+existing malformed-input handlers keep working.
+
+:class:`PoisonTaskWarning` is not an error: the self-healing worker
+pools emit it when a task that repeatedly killed its workers is
+quarantined to in-process execution.
 """
 
 from __future__ import annotations
@@ -66,6 +84,10 @@ class RetryExhaustedError(TransportError):
     """A node kept failing after its full retry (and failover) budget."""
 
 
+class ArenaFullError(TransportError):
+    """The shared-memory arena cannot grow (``/dev/shm`` ENOSPC)."""
+
+
 class TopologyError(MrScanError, ValueError):
     """Invalid MRNet tree topology specification."""
 
@@ -78,8 +100,25 @@ class FormatError(MrScanError, ValueError):
     """Malformed point file or partition metadata."""
 
 
+class DataValidationError(FormatError):
+    """Input points contain non-finite (NaN/Inf) coordinates or weights."""
+
+
 class CheckpointError(MrScanError):
     """Leaf checkpoint is missing, unreadable, or fails its digest check."""
+
+
+class DurabilityError(MrScanError):
+    """A run directory cannot be used (fingerprint mismatch on resume)."""
+
+
+class JournalError(DurabilityError):
+    """The write-ahead run journal is corrupted (hash-chain break)."""
+
+
+class PoisonTaskWarning(UserWarning):
+    """A task that repeatedly killed pool workers was quarantined and run
+    in-process in the driver instead."""
 
 
 class ValidationError(MrScanError):

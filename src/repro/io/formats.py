@@ -27,7 +27,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..errors import FormatError
+from ..errors import DataValidationError, FormatError
 from ..points import PointSet
 
 __all__ = [
@@ -61,6 +61,16 @@ def _to_records(points: PointSet) -> np.ndarray:
     return rec
 
 
+def _checked(points: PointSet, path: str | Path, validate: bool) -> PointSet:
+    """Reject non-finite rows loaded from ``path`` unless told not to."""
+    if validate:
+        try:
+            points.validate_finite()
+        except DataValidationError as exc:
+            raise DataValidationError(f"{path}: {exc}") from exc
+    return points
+
+
 def _from_records(rec: np.ndarray) -> PointSet:
     coords = np.empty((len(rec), 2), dtype=np.float64)
     coords[:, 0] = rec["x"]
@@ -79,12 +89,20 @@ def write_points_binary(path: str | Path, points: PointSet) -> int:
 
 
 def read_points_binary(
-    path: str | Path, *, offset: int | None = None, count: int | None = None
+    path: str | Path,
+    *,
+    offset: int | None = None,
+    count: int | None = None,
+    validate: bool = True,
 ) -> PointSet:
     """Read a binary point file, optionally a slice of ``count`` records.
 
     ``offset`` is a record index (not a byte offset) into the file body,
     mirroring how the partitioner's metadata file addresses partitions.
+    With ``validate`` (the default) rows holding NaN/Inf coordinates or
+    weights raise :class:`DataValidationError`; pass ``validate=False``
+    to load them anyway (e.g. to strip them with
+    :meth:`PointSet.drop_invalid`).
     """
     path = Path(path)
     size = path.stat().st_size
@@ -112,7 +130,7 @@ def read_points_binary(
             )
         fh.seek(header_len + start * POINT_RECORD_BYTES, os.SEEK_SET)
         rec = np.fromfile(fh, dtype=point_dtype, count=n_read)
-    return _from_records(rec)
+    return _checked(_from_records(rec), path, validate)
 
 
 def write_points_text(path: str | Path, points: PointSet) -> int:
@@ -126,8 +144,12 @@ def write_points_text(path: str | Path, points: PointSet) -> int:
     return len(data)
 
 
-def read_points_text(path: str | Path) -> PointSet:
-    """Read a text point file; the weight column is optional per line."""
+def read_points_text(path: str | Path, *, validate: bool = True) -> PointSet:
+    """Read a text point file; the weight column is optional per line.
+
+    Like :func:`read_points_binary`, non-finite rows raise
+    :class:`DataValidationError` unless ``validate=False``.
+    """
     ids: list[int] = []
     xs: list[float] = []
     ys: list[float] = []
@@ -148,8 +170,9 @@ def read_points_text(path: str | Path) -> PointSet:
             except ValueError as exc:
                 raise FormatError(f"{path}:{lineno}: {exc}") from exc
     coords = np.column_stack([np.asarray(xs, dtype=np.float64), np.asarray(ys, dtype=np.float64)]) if ids else np.empty((0, 2))
-    return PointSet(
+    points = PointSet(
         ids=np.asarray(ids, dtype=np.int64),
         coords=coords,
         weights=np.asarray(ws, dtype=np.float64),
     )
+    return _checked(points, path, validate)

@@ -105,6 +105,20 @@ def _guarded_apply(
             if kind == "slowdown":
                 applied = "slowdown"
                 time.sleep(spec["delay_seconds"])
+            elif kind == "kill":
+                # Hard death: SIGKILL the hosting worker so the transport's
+                # self-healing path (respawn + re-dispatch + poison-task
+                # quarantine) is what recovers, not this in-band marker.
+                # In the driver process (local transport) a real SIGKILL
+                # would end the run itself, so the fault downgrades to a
+                # no-op there — the work below runs normally.
+                import multiprocessing as _mp
+
+                if _mp.parent_process() is not None:
+                    import os as _os
+                    import signal as _signal
+
+                    _os.kill(_os.getpid(), _signal.SIGKILL)
             elif kind == "oom":
                 raise DeviceMemoryError(
                     f"injected device OOM at node {spec['node']} "
@@ -285,6 +299,7 @@ class Network:
         recover: Callable[[Any, str], Any] | None = None,
         cost: Callable[[Any], float] | None = None,
         capacity: float | None = None,
+        on_result: Callable[[int, Any], None] | None = None,
     ) -> tuple[list[tuple[Any, float, float]], list[int]]:
         """Execute ``payloads[i]`` for logical node ``nodes[i]`` under the
         resilience policy.  Returns ``(timing triples, executing hosts)``
@@ -294,7 +309,10 @@ class Network:
         on device-OOM failures — the pipeline uses it to split the leaf's
         partition before re-execution.  ``cost``/``capacity`` guard leaf
         failover placement (a sibling must fit the adopted partition in
-        device memory).
+        device memory).  ``on_result(i, out)`` fires the moment task ``i``
+        delivers its result — *during* the round, not after the phase —
+        so a durability journal can record completions a crash later in
+        the same round would otherwise lose.
         """
         policy = self.resilience
         n = len(payloads)
@@ -346,6 +364,8 @@ class Network:
                             host[i], phase, name, attempt[i], applied, "delayed"
                         )
                     results[i] = (out, t0, t1)
+                    if on_result is not None:
+                        on_result(i, out)
                     continue
                 _, etype, message, category, _t0, _t1 = marker
                 kind = {"oom": "oom", "timeout": "timeout"}.get(category, "crash")
@@ -489,11 +509,13 @@ class Network:
         recover: Callable[[Any, str], Any] | None = None,
         cost: Callable[[Any], float] | None = None,
         capacity: float | None = None,
+        on_result: Callable[[int, Any], None] | None = None,
     ) -> tuple[list[Any], NetworkTrace]:
         """Apply ``fn`` to one input per leaf; results in leaf order.
 
-        ``recover``/``cost``/``capacity`` feed the resilience engine: OOM
-        recovery rewrites, and capacity-aware failover placement (see
+        ``recover``/``cost``/``capacity``/``on_result`` feed the
+        resilience engine: OOM recovery rewrites, capacity-aware failover
+        placement, and per-leaf completion callbacks (see
         :meth:`_run_tasks`).
         """
         if len(inputs) != len(self._leaves):
@@ -510,6 +532,7 @@ class Network:
             recover=recover,
             cost=cost,
             capacity=capacity,
+            on_result=on_result,
         )
         results = []
         for leaf, host, payload, (out, t0, t1) in zip(

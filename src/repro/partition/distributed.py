@@ -229,17 +229,23 @@ class DistributedPartitioner:
 
             # 2. Local histograms, reduced to the root.  Under a staging
             #    transport the slices go into shared memory once and the
-            #    tasks carry refs — the dataset is never pickled.
-            stage = getattr(self.transport, "stage_pointset", None)
+            #    tasks carry refs — the dataset is never pickled.  Arena
+            #    exhaustion degrades to pickling the point sets instead
+            #    of failing the run (stage_pointset_safe).
             payloads = leaf_points
-            if stage is not None:
+            if getattr(self.transport, "supports_staging", False):
+                from ..runtime.executor import stage_pointset_safe
+
                 with tracer.span(
                     "runtime.stage",
                     cat="runtime",
                     pid=PID_PARTITION,
                     n_pointsets=len(leaf_points),
                 ):
-                    payloads = [stage(lp) for lp in leaf_points]
+                    payloads = [
+                        stage_pointset_safe(self.transport, lp)
+                        for lp in leaf_points
+                    ]
             tasks = [_LeafHistogramTask(points=p, eps=self.eps) for p in payloads]
             histograms, map_trace = network.map_leaves(
                 _leaf_histogram, tasks, name="partition.histogram"

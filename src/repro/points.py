@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .errors import FormatError
+from .errors import DataValidationError, FormatError
 
 __all__ = ["PointSet", "NOISE", "UNCLASSIFIED"]
 
@@ -151,14 +151,33 @@ class PointSet:
         if len(self) != len(np.unique(self.ids)):
             raise FormatError("point IDs are not unique")
 
+    def finite_mask(self) -> np.ndarray:
+        """Boolean mask of rows whose coordinates *and* weight are finite."""
+        return np.isfinite(self.coords).all(axis=1) & np.isfinite(self.weights)
+
     def validate_finite(self) -> None:
-        """Raise :class:`FormatError` on NaN/inf coordinates or weights.
+        """Raise :class:`DataValidationError` on NaN/inf coordinates or weights.
 
         Grid hashing maps non-finite coordinates to nonsense cells, so the
         pipeline rejects them up front rather than clustering garbage.
         """
         if not np.isfinite(self.coords).all():
             bad = int(np.count_nonzero(~np.isfinite(self.coords).all(axis=1)))
-            raise FormatError(f"{bad} points have non-finite coordinates")
+            raise DataValidationError(
+                f"{bad} points have non-finite coordinates"
+            )
         if not np.isfinite(self.weights).all():
-            raise FormatError("non-finite weights")
+            raise DataValidationError("non-finite weights")
+
+    def drop_invalid(self) -> tuple["PointSet", int]:
+        """Strip rows with non-finite coordinates/weights.
+
+        Returns the cleaned set and the number of rows dropped.  The
+        original set is returned unchanged (and 0) when everything is
+        finite, so callers on the hot path pay nothing for clean data.
+        """
+        mask = self.finite_mask()
+        n_bad = int(len(self) - np.count_nonzero(mask))
+        if n_bad == 0:
+            return self, 0
+        return self.take(mask), n_bad

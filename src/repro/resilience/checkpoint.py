@@ -26,8 +26,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import pickle
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -36,7 +38,24 @@ import numpy as np
 
 from ..errors import CheckpointError
 
-__all__ = ["CheckpointedLeaf", "LeafCheckpointStore"]
+__all__ = ["CheckpointedLeaf", "LeafCheckpointStore", "CORRUPT_CHECKPOINT_ERRORS"]
+
+logger = logging.getLogger(__name__)
+
+#: Everything a truncated/garbled artifact can raise on load.  ``np.load``
+#: on a torn npz raises :class:`zipfile.BadZipFile` (npz *is* a zip) or
+#: ``EOFError``, and a damaged pickle blob raises ``UnpicklingError`` —
+#: none of which are ``OSError``/``ValueError``, so the obvious catch
+#: tuple lets corruption escape as a crash instead of a cache miss.
+CORRUPT_CHECKPOINT_ERRORS: tuple[type[BaseException], ...] = (
+    OSError,
+    ValueError,
+    KeyError,
+    EOFError,
+    json.JSONDecodeError,
+    zipfile.BadZipFile,
+    pickle.UnpicklingError,
+)
 
 
 @dataclass
@@ -144,15 +163,29 @@ class LeafCheckpointStore:
                 core_mask = npz["core_mask"]
                 n_owned = int(npz["n_owned"])
                 blob = npz["blob"].tobytes()
-        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            if manifest.get("digest") != _digest(labels, core_mask, blob):
+                self.misses += 1
+                logger.warning(
+                    "checkpoint digest mismatch for leaf %d under %s; re-clustering",
+                    leaf_id,
+                    self.root,
+                )
+                raise CheckpointError(
+                    f"checkpoint digest mismatch for leaf {leaf_id} (corrupt spill file)"
+                )
+            payload = pickle.loads(blob)
+        except CheckpointError:
+            raise
+        except CORRUPT_CHECKPOINT_ERRORS as exc:
             self.misses += 1
-            raise CheckpointError(f"unreadable checkpoint for leaf {leaf_id}: {exc}") from exc
-        if manifest.get("digest") != _digest(labels, core_mask, blob):
-            self.misses += 1
-            raise CheckpointError(
-                f"checkpoint digest mismatch for leaf {leaf_id} (corrupt spill file)"
+            logger.warning(
+                "unreadable checkpoint for leaf %d under %s (%s: %s); re-clustering",
+                leaf_id,
+                self.root,
+                type(exc).__name__,
+                exc,
             )
-        payload = pickle.loads(blob)
+            raise CheckpointError(f"unreadable checkpoint for leaf {leaf_id}: {exc}") from exc
         self.hits += 1
         return CheckpointedLeaf(
             leaf_id=int(manifest["leaf_id"]),

@@ -7,11 +7,15 @@ flat retry count; this module replaces it with a *plan* of typed faults so
 chaos runs are reproducible and serializable:
 
 * :class:`FaultSpec` — one fault: ``(node, phase, attempt)`` plus a kind
-  (``crash``, ``slowdown``, ``oom``), a crash point (``before``/``after``
-  the node's work — "after" models a process that dies having completed
-  and checkpointed its work but before delivering the result), and an
-  optional ``permanent`` flag (the node is dead for good and must be
-  failed over).
+  (``crash``, ``slowdown``, ``oom``, ``kill``), a crash point
+  (``before``/``after`` the node's work — "after" models a process that
+  dies having completed and checkpointed its work but before delivering
+  the result), and an optional ``permanent`` flag (the node is dead for
+  good and must be failed over).  ``kill`` is the hard variant of
+  ``crash``: inside a worker process it SIGKILLs the process outright
+  (exercising the transports' self-healing pool respawn), while under the
+  in-process local transport — where a real SIGKILL would take the driver
+  down — it downgrades to a no-op, so the same plan is safe everywhere.
 * :class:`FaultPlan` — an ordered set of specs, JSON round-trippable, with
   a :meth:`FaultPlan.seeded` generator for reproducible random chaos.
 * :class:`FaultInjector` — the poll point the :class:`~repro.mrnet.Network`
@@ -42,8 +46,9 @@ __all__ = [
     "as_injector",
 ]
 
-#: Supported fault kinds: a process crash, a straggler delay, a device OOM.
-FAULT_KINDS: tuple[str, ...] = ("crash", "slowdown", "oom")
+#: Supported fault kinds: a process crash, a straggler delay, a device
+#: OOM, and a hard SIGKILL of the hosting worker process.
+FAULT_KINDS: tuple[str, ...] = ("crash", "slowdown", "oom", "kill")
 #: When a crash fires relative to the node's work.
 CRASH_POINTS: tuple[str, ...] = ("before", "after")
 

@@ -42,7 +42,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-from ..errors import TransportError
+from ..errors import ArenaFullError, TransportError
 from ..points import PointSet
 
 __all__ = [
@@ -316,7 +316,14 @@ class ShmArena:
         # unlinks (retiring it) on every normal or atexit path, and the
         # tracker — a separate process that survives SIGKILL of the
         # driver — unlinks whatever a killed run left behind.
-        seg = shared_memory.SharedMemory(name=name, create=True, size=size)
+        try:
+            seg = shared_memory.SharedMemory(name=name, create=True, size=size)
+        except OSError as exc:
+            # ENOSPC (/dev/shm full) and friends: a typed error so the
+            # executor can degrade to pickled payloads instead of dying.
+            raise ArenaFullError(
+                f"cannot create {size}-byte shared-memory segment: {exc}"
+            ) from exc
         block = _Block(seg)
         self._blocks.append(block)
         with _arena_lock:

@@ -12,32 +12,38 @@ timeouts, and failover work unchanged), but
   / :class:`~repro.runtime.arena.PointSetRef` handles staged through
   :meth:`stage_array` / :meth:`stage_pointset`, so a batch pickles
   kilobytes of refs instead of the partitions themselves;
-* dispatch is **batched**: without a per-task deadline, tasks go through
-  ``pool.map`` with an explicit chunk size (one IPC message per chunk,
-  not per task).  With a deadline, tasks are dispatched individually so
-  a straggler can be preempted with the :data:`~repro.mrnet.transport.TIMED_OUT`
-  sentinel, exactly like the pickling transport.
+* dispatch is **self-healing**: every batch runs through
+  :func:`repro.mrnet.transport.run_batch_healing`, which polls result
+  handles (so a SIGKILLed worker cannot hang the batch), respawns the
+  pool on worker death — the fresh workers re-attach the arena's
+  *current* segment list — re-dispatches lost tasks, and quarantines
+  poison tasks to in-process execution.  With a per-task deadline a
+  straggler is preempted with the
+  :data:`~repro.mrnet.transport.TIMED_OUT` sentinel, exactly like the
+  pickling transport.
 
 Closing the transport closes the pool *and* the arena it owns (unlinking
 every staged segment); an ``atexit`` guard covers abandoned instances so
 interrupted runs cannot leak ``/dev/shm`` entries or pool processes.
+When ``/dev/shm`` itself fills up, staging raises
+:class:`~repro.errors.ArenaFullError`; :func:`stage_pointset_safe` turns
+that into a graceful degrade — the point set travels in the task pickle
+instead (process-transport semantics) and the run continues.
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing as mp
-import time
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from ..errors import ConfigError, TransportError
+from ..errors import ArenaFullError, ConfigError, TransportError
 from ..mrnet.transport import (
-    TIMED_OUT,
-    TIMEOUT_GRACE,
     LocalTransport,
     ProcessTransport,
-    _invoke,
+    run_batch_healing,
     track_open_pool,
     untrack_pool,
 )
@@ -47,7 +53,14 @@ from ..telemetry.tracer import NOOP_TRACER
 from .arena import DEFAULT_BLOCK_BYTES, PointSetRef, ShmArena, ShmArrayRef
 from .worker import init_worker
 
-__all__ = ["ShmTransport", "make_transport", "TRANSPORT_NAMES"]
+__all__ = [
+    "ShmTransport",
+    "make_transport",
+    "stage_pointset_safe",
+    "TRANSPORT_NAMES",
+]
+
+logger = logging.getLogger(__name__)
 
 #: Valid ``MrScanConfig.transport`` / ``--transport`` values.
 TRANSPORT_NAMES = ("local", "process", "shm")
@@ -89,7 +102,13 @@ class ShmTransport:
         self._block_bytes = int(block_bytes)
         self._pool: mp.pool.Pool | None = None
         self._abandoned = False  # a worker missed a deadline and may hang
+        self._known_pids: set[int] = set()
         self.closed = False
+        #: Self-healing activity (see repro.mrnet.transport.run_batch_healing).
+        self.pool_respawns = 0
+        self.quarantined_tasks = 0
+        #: Set once staging has degraded to pickling on ArenaFullError.
+        self.stage_degraded = False
 
     # ------------------------------------------------------------------ #
     # Staging
@@ -139,6 +158,9 @@ class ShmTransport:
         if self.closed:
             raise TransportError("transport is closed")
         if self._pool is None:
+            # The segment list is captured *now* — a pool respawned after
+            # a worker death therefore re-attaches everything staged so
+            # far, not just what existed at first spawn.
             segments = tuple(self._arena.segment_names) if self._arena else ()
             with self.tracer.span(
                 "transport.pool_start",
@@ -151,8 +173,26 @@ class ShmTransport:
                     initializer=init_worker,
                     initargs=(segments,),
                 )
+            self._known_pids = {p.pid for p in self._pool._pool}
             track_open_pool(self)
         return self._pool
+
+    def _respawn_pool(self, backend: str = "shm") -> "mp.pool.Pool":
+        """Terminate the damaged pool and spawn a fresh one (workers
+        re-attach the arena's current segments via the initializer)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            untrack_pool(self)
+        self.pool_respawns += 1
+        if self.metrics.enabled:
+            self.metrics.counter("runtime.pool_respawns").inc()
+        self.tracer.instant(
+            "pool.respawn", cat="transport", backend=backend,
+            n_workers=self.n_workers,
+        )
+        return self._ensure_pool()
 
     def run_batch(
         self, fn: Callable[[Any], Any], tasks: Sequence[Any], *, timeout: float | None = None
@@ -160,29 +200,15 @@ class ShmTransport:
         if not tasks:
             return []
         try:
-            pool = self._ensure_pool()
             with self.tracer.span(
                 "transport.batch", cat="transport", n_tasks=len(tasks), backend="shm"
             ):
                 if self.metrics.enabled:
                     self.metrics.counter("runtime.batches").inc()
                     self.metrics.counter("runtime.tasks_dispatched").inc(len(tasks))
-                payload = [(fn, task) for task in tasks]
-                if timeout is None:
-                    # One IPC message per chunk, results in task order.
-                    chunksize = max(1, -(-len(tasks) // (self.n_workers * 4)))
-                    return pool.map(_invoke, payload, chunksize)
-                handles = [pool.apply_async(_invoke, (item,)) for item in payload]
-                deadline = time.monotonic() + timeout + TIMEOUT_GRACE
-                results: list[Any] = []
-                for handle in handles:
-                    remaining = max(0.0, deadline - time.monotonic())
-                    try:
-                        results.append(handle.get(remaining))
-                    except mp.TimeoutError:
-                        self._abandoned = True
-                        results.append(TIMED_OUT)
-                return results
+                return run_batch_healing(
+                    self, fn, tasks, timeout=timeout, backend="shm"
+                )
         except TransportError:
             raise
         except Exception as exc:  # pool failure or unpicklable payloads
@@ -227,6 +253,37 @@ class ShmTransport:
         self.close()
 
 
+def stage_pointset_safe(transport: Any, points: PointSet) -> Any:
+    """Stage ``points`` through the transport's data plane, degrading to
+    the point set itself when the arena is full.
+
+    On :class:`~repro.errors.ArenaFullError` (``/dev/shm`` ENOSPC) the
+    transport is flagged ``stage_degraded`` and the raw :class:`PointSet`
+    is returned — it then rides the task pickle exactly as under
+    :class:`ProcessTransport`, trading zero-copy for survival.  The first
+    degrade is logged and counted (``runtime.stage_fallbacks``).
+    """
+    stage = getattr(transport, "stage_pointset", None)
+    if stage is None or getattr(transport, "stage_degraded", False):
+        return points
+    try:
+        return stage(points)
+    except ArenaFullError as exc:
+        transport.stage_degraded = True
+        metrics = getattr(transport, "metrics", NOOP_METRICS)
+        if metrics.enabled:
+            metrics.counter("runtime.stage_fallbacks").inc()
+        getattr(transport, "tracer", NOOP_TRACER).instant(
+            "arena.degrade", cat="transport", backend="shm"
+        )
+        logger.warning(
+            "shared-memory arena is full (%s); degrading to pickled "
+            "point sets for the rest of the run",
+            exc,
+        )
+        return points
+
+
 def make_transport(
     name: str,
     *,
@@ -242,7 +299,7 @@ def make_transport(
     if name == "local":
         return LocalTransport(tracer=tracer)
     if name == "process":
-        return ProcessTransport(n_workers, tracer=tracer)
+        return ProcessTransport(n_workers, tracer=tracer, metrics=metrics)
     if name == "shm":
         return ShmTransport(n_workers, tracer=tracer, metrics=metrics)
     raise ConfigError(

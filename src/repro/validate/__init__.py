@@ -15,7 +15,11 @@ Two halves, both oracles for the distributed pipeline:
   shrinks failures to minimal JSON repro artifacts.
 """
 
-from .equivalence import EquivalenceReport, labels_equivalent
+from .equivalence import (
+    EquivalenceReport,
+    assert_resume_equivalent,
+    labels_equivalent,
+)
 from .fuzz import (
     DATASETS,
     CaseOutcome,
@@ -57,6 +61,7 @@ __all__ = [
     "run_phase_checks",
     "EquivalenceReport",
     "labels_equivalent",
+    "assert_resume_equivalent",
     "DATASETS",
     "FuzzCase",
     "CaseOutcome",

@@ -34,7 +34,7 @@ import numpy as np
 from ..dbscan.grid_index import GridIndex
 from ..points import NOISE, PointSet
 
-__all__ = ["EquivalenceReport", "labels_equivalent"]
+__all__ = ["EquivalenceReport", "labels_equivalent", "assert_resume_equivalent"]
 
 
 @dataclass
@@ -69,6 +69,50 @@ class EquivalenceReport:
                 extra.append(f"{self.n_densebox_noise} densebox noise border(s)")
             return "equivalent" + (f" ({', '.join(extra)})" if extra else "")
         return "NOT equivalent: " + "; ".join(self.failures[:5])
+
+
+def assert_resume_equivalent(baseline, resumed) -> None:
+    """Require a resumed run to reproduce its baseline *byte-identically*.
+
+    Tie-break tolerance is deliberately absent here: a resume restores
+    the crashed run's own state (partition plan, leaf outputs, merge
+    table), so — unlike a comparison against the sequential reference —
+    there is no legitimate source of divergence.  ``baseline`` and
+    ``resumed`` are :class:`repro.core.result.MrScanResult` objects (or
+    anything with ``labels``/``core_mask``/``n_clusters``).  Raises
+    :class:`repro.errors.ValidationError` listing every field that
+    disagrees.
+    """
+    from ..errors import ValidationError
+
+    failures: list[str] = []
+    b_labels = np.asarray(baseline.labels)
+    r_labels = np.asarray(resumed.labels)
+    if b_labels.shape != r_labels.shape:
+        failures.append(
+            f"label shapes differ: baseline {b_labels.shape}, "
+            f"resumed {r_labels.shape}"
+        )
+    elif not np.array_equal(b_labels, r_labels):
+        diff = np.flatnonzero(b_labels != r_labels)
+        failures.append(
+            f"labels differ on {len(diff)} point(s) "
+            f"(e.g. {[int(i) for i in diff[:5]]})"
+        )
+    b_core = np.asarray(baseline.core_mask)
+    r_core = np.asarray(resumed.core_mask)
+    if b_core.shape != r_core.shape or not np.array_equal(b_core, r_core):
+        failures.append("core masks differ")
+    if int(baseline.n_clusters) != int(resumed.n_clusters):
+        failures.append(
+            f"cluster counts differ: baseline {baseline.n_clusters}, "
+            f"resumed {resumed.n_clusters}"
+        )
+    if failures:
+        raise ValidationError(
+            "resumed run is not byte-identical to its baseline: "
+            + "; ".join(failures),
+        )
 
 
 def labels_equivalent(

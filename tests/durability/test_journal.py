@@ -1,0 +1,119 @@
+"""Write-ahead run journal: chaining, fsync discipline, torn tails."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.durability import GENESIS, RunJournal, replay_journal
+from repro.errors import JournalError
+
+
+def test_append_and_replay_round_trip(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with RunJournal(path) as j:
+        j.append("run_begin", {"n_points": 10})
+        j.append("partition_done", {"n_partitions": 4})
+        j.append("run_end", {})
+    records = replay_journal(path)
+    assert [r.type for r in records] == ["run_begin", "partition_done", "run_end"]
+    assert records[0].payload == {"n_points": 10}
+    assert [r.seq for r in records] == [0, 1, 2]
+
+
+def test_digests_chain_from_genesis(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with RunJournal(path) as j:
+        j.append("a", {})
+        j.append("b", {})
+    records = replay_journal(path)
+    assert records[0].prev == GENESIS
+    assert records[1].prev == records[0].digest
+    assert records[0].digest != records[1].digest
+
+
+def test_missing_file_replays_empty(tmp_path):
+    assert replay_journal(tmp_path / "absent.jsonl") == []
+
+
+def test_reopen_continues_the_chain(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with RunJournal(path) as j:
+        j.append("a", {})
+    with RunJournal(path) as j:
+        assert len(j) == 1
+        j.append("b", {})
+    records = replay_journal(path)
+    assert len(records) == 2
+    assert records[1].prev == records[0].digest
+
+
+def test_torn_final_line_is_dropped(tmp_path, caplog):
+    """A crash mid-append leaves a torn last line; replay drops only it."""
+    path = tmp_path / "journal.jsonl"
+    with RunJournal(path) as j:
+        j.append("a", {})
+        j.append("b", {})
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"seq": 2, "type": "c", "pay')  # torn mid-record
+    with caplog.at_level("WARNING", logger="repro.durability.journal"):
+        records = replay_journal(path)
+    assert [r.type for r in records] == ["a", "b"]
+    assert any("torn" in rec.message for rec in caplog.records)
+
+
+def test_reopen_after_torn_tail_rewrites_clean_chain(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with RunJournal(path) as j:
+        j.append("a", {})
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write("garbage not json\n")
+    with RunJournal(path) as j:
+        j.append("b", {})
+    # The rewritten file must replay cleanly.
+    records = replay_journal(path)
+    assert [r.type for r in records] == ["a", "b"]
+
+
+def test_interior_tampering_is_fatal(tmp_path):
+    """Damage anywhere but the tail is corruption, not a torn write."""
+    path = tmp_path / "journal.jsonl"
+    with RunJournal(path) as j:
+        j.append("a", {"x": 1})
+        j.append("b", {})
+        j.append("c", {})
+    lines = path.read_text().splitlines()
+    doctored = json.loads(lines[0])
+    doctored["payload"] = {"x": 999}
+    lines[0] = json.dumps(doctored)
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(JournalError):
+        replay_journal(path)
+
+
+def test_digest_tamper_detected(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with RunJournal(path) as j:
+        j.append("a", {})
+        j.append("b", {})
+        j.append("c", {})
+    lines = path.read_text().splitlines()
+    doctored = json.loads(lines[1])
+    doctored["digest"] = "f" * 64
+    lines[1] = json.dumps(doctored)
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(JournalError):
+        replay_journal(path)
+
+
+def test_of_type_and_has(tmp_path):
+    with RunJournal(tmp_path / "j.jsonl") as j:
+        j.append("leaf_done", {"leaf_id": 0})
+        j.append("leaf_done", {"leaf_id": 1})
+        j.append("merge_done", {})
+        assert j.has("merge_done")
+        assert not j.has("run_end")
+        assert [r.payload["leaf_id"] for r in j.of_type("leaf_done")] == [0, 1]
+        assert j.last("leaf_done").payload["leaf_id"] == 1
+        assert j.last("run_end") is None

@@ -1,0 +1,295 @@
+"""Crash-resume: interrupted drivers restart and reproduce byte-identical labels.
+
+Driver "crashes" are simulated by monkeypatching a phase body to raise —
+the process that owns the run directory aborts exactly as it would on a
+SIGKILL (the journal and checkpoints on disk are what a dead driver
+leaves behind), then a fresh ``resume=True`` run reconstructs state.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.core.pipeline as pipeline_mod
+from repro.core import mrscan
+from repro.durability import replay_journal
+from repro.errors import DurabilityError, ValidationError
+from repro.points import PointSet
+from repro.resilience import FaultPlan, FaultSpec
+from repro.validate import assert_resume_equivalent
+
+
+def _points(n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, 4.0, size=(5, 2))
+    which = rng.integers(0, 5, size=n)
+    coords = centers[which] + rng.normal(0.0, 0.08, size=(n, 2))
+    return PointSet.from_coords(coords)
+
+
+EPS, MINPTS, LEAVES = 0.15, 5, 4
+
+
+def _run(points, run_dir=None, resume=False, **kw):
+    return mrscan(
+        points,
+        EPS,
+        MINPTS,
+        n_leaves=LEAVES,
+        run_dir=(str(run_dir) if run_dir is not None else None),
+        resume=resume,
+        **kw,
+    )
+
+
+def _journal_types(run_dir):
+    return [r.type for r in replay_journal(run_dir / "journal.jsonl")]
+
+
+def test_completed_run_short_circuits_on_resume(tmp_path):
+    points = _points()
+    baseline = _run(points)
+    first = _run(points, run_dir=tmp_path)
+    assert not first.resumed and first.phases_restored == []
+    resumed = _run(points, run_dir=tmp_path, resume=True)
+    assert resumed.resumed
+    assert resumed.phases_restored == ["partition", "cluster", "merge", "sweep"]
+    assert_resume_equivalent(baseline, resumed)
+    np.testing.assert_array_equal(first.labels, resumed.labels)
+    types = _journal_types(tmp_path)
+    assert types[-2:] == ["resume_begin", "resume_complete"]
+
+
+def test_fresh_durable_run_journals_every_phase(tmp_path):
+    points = _points()
+    _run(points, run_dir=tmp_path)
+    types = _journal_types(tmp_path)
+    assert types[0] == "run_begin"
+    assert types.count("leaf_done") == LEAVES
+    for expected in ("partition_done", "cluster_done", "merge_done",
+                     "sweep_done", "run_end"):
+        assert expected in types
+    # WAL ordering: each *_done record lands after the previous phase's.
+    assert types.index("partition_done") < types.index("cluster_done")
+    assert types.index("cluster_done") < types.index("merge_done")
+    assert types.index("merge_done") < types.index("sweep_done")
+    assert (tmp_path / "config.json").exists()
+    config = json.loads((tmp_path / "config.json").read_text())
+    assert config["eps"] == EPS
+
+
+def test_crash_mid_cluster_resumes_without_reclustering_done_leaves(
+    tmp_path, monkeypatch
+):
+    """Driver dies after two leaves finished; resume recovers them from
+    spill checkpoints (journal proves the skip) and only re-runs the rest."""
+    points = _points()
+    baseline = _run(points)
+
+    real_leaf = pipeline_mod._cluster_leaf
+
+    def dying_leaf(task):
+        if task.leaf_id >= 2:
+            raise RuntimeError("injected driver crash mid-cluster")
+        return real_leaf(task)
+
+    monkeypatch.setattr(pipeline_mod, "_cluster_leaf", dying_leaf)
+    with pytest.raises(Exception):
+        _run(points, run_dir=tmp_path, max_retries=0, failover=False,
+             backoff_base=0.0)
+    monkeypatch.setattr(pipeline_mod, "_cluster_leaf", real_leaf)
+
+    crashed_types = _journal_types(tmp_path)
+    assert "partition_done" in crashed_types
+    done_before = {
+        r.payload["leaf_id"]
+        for r in replay_journal(tmp_path / "journal.jsonl")
+        if r.type == "leaf_done"
+    }
+    assert done_before == {0, 1}
+    assert "run_end" not in crashed_types
+
+    resumed = _run(points, run_dir=tmp_path, resume=True)
+    assert resumed.resumed
+    assert "partition" in resumed.phases_restored
+    assert resumed.checkpoint_hits >= 2
+    assert_resume_equivalent(baseline, resumed)
+    # The journal proves which leaves skipped re-clustering on resume.
+    resumed_leaf_recs = [
+        r for r in replay_journal(tmp_path / "journal.jsonl")
+        if r.type == "leaf_done"
+    ][-LEAVES:]
+    from_ckpt = {
+        r.payload["leaf_id"] for r in resumed_leaf_recs
+        if r.payload["from_checkpoint"]
+    }
+    assert done_before <= from_ckpt
+
+
+def test_crash_mid_merge_resumes_with_all_leaves_checkpointed(
+    tmp_path, monkeypatch
+):
+    points = _points()
+    baseline = _run(points)
+
+    def boom(root_summary):
+        raise RuntimeError("injected driver crash mid-merge")
+
+    monkeypatch.setattr(pipeline_mod, "assign_global_ids", boom)
+    with pytest.raises(RuntimeError):
+        _run(points, run_dir=tmp_path)
+    monkeypatch.undo()
+
+    types = _journal_types(tmp_path)
+    assert "cluster_done" in types and "merge_done" not in types
+
+    resumed = _run(points, run_dir=tmp_path, resume=True)
+    assert resumed.resumed
+    assert resumed.phases_restored == ["partition"]
+    assert resumed.checkpoint_hits == LEAVES  # no leaf re-clustered
+    assert_resume_equivalent(baseline, resumed)
+
+
+def test_crash_mid_sweep_restores_merge_table(tmp_path, monkeypatch):
+    points = _points()
+    baseline = _run(points)
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("injected driver crash mid-sweep")
+
+    monkeypatch.setattr(pipeline_mod, "sweep_leaf", boom)
+    with pytest.raises(RuntimeError):
+        _run(points, run_dir=tmp_path)
+    monkeypatch.undo()
+
+    types = _journal_types(tmp_path)
+    assert "merge_done" in types and "sweep_done" not in types
+
+    resumed = _run(points, run_dir=tmp_path, resume=True)
+    assert resumed.resumed
+    assert set(resumed.phases_restored) == {"partition", "merge"}
+    assert resumed.checkpoint_hits == LEAVES
+    assert_resume_equivalent(baseline, resumed)
+
+
+def test_corrupt_phase_checkpoint_downgrades_to_rerun(tmp_path, monkeypatch):
+    """A restorable phase whose checkpoint is damaged re-runs instead of
+    failing the resume — corruption costs time, never correctness."""
+    points = _points()
+    baseline = _run(points)
+
+    def boom(root_summary):
+        raise RuntimeError("injected crash")
+
+    monkeypatch.setattr(pipeline_mod, "assign_global_ids", boom)
+    with pytest.raises(RuntimeError):
+        _run(points, run_dir=tmp_path)
+    monkeypatch.undo()
+
+    blob = tmp_path / "checkpoints" / "partition.bin"
+    blob.write_bytes(blob.read_bytes()[: blob.stat().st_size // 3])
+
+    resumed = _run(points, run_dir=tmp_path, resume=True)
+    assert "partition" not in resumed.phases_restored  # re-ran
+    assert_resume_equivalent(baseline, resumed)
+
+
+def test_resume_rejects_label_affecting_config_change(tmp_path):
+    points = _points()
+    _run(points, run_dir=tmp_path)
+    with pytest.raises(DurabilityError):
+        mrscan(points, EPS * 2, MINPTS, n_leaves=LEAVES,
+               run_dir=str(tmp_path), resume=True)
+
+
+def test_resume_rejects_different_dataset(tmp_path):
+    _run(_points(seed=0), run_dir=tmp_path)
+    with pytest.raises(DurabilityError):
+        _run(_points(seed=99), run_dir=tmp_path, resume=True)
+
+
+def test_resume_accepts_execution_knob_changes(tmp_path, monkeypatch):
+    """Transport/retry/validate knobs are outside the fingerprint: a
+    crashed run may legally resume under different execution settings."""
+    points = _points()
+    baseline = _run(points)
+
+    def boom(root_summary):
+        raise RuntimeError("injected crash")
+
+    monkeypatch.setattr(pipeline_mod, "assign_global_ids", boom)
+    with pytest.raises(RuntimeError):
+        _run(points, run_dir=tmp_path)
+    monkeypatch.undo()
+
+    resumed = _run(points, run_dir=tmp_path, resume=True,
+                   max_retries=5, validate="cheap")
+    assert resumed.resumed
+    assert_resume_equivalent(baseline, resumed)
+
+
+def test_resume_on_empty_directory_starts_fresh(tmp_path, caplog):
+    points = _points()
+    result = _run(points, run_dir=tmp_path / "never-written", resume=True)
+    assert not result.resumed  # nothing to resume from
+    assert "run_end" in _journal_types(tmp_path / "never-written")
+
+
+def test_rundir_without_resume_wipes_previous_state(tmp_path):
+    points = _points()
+    _run(points, run_dir=tmp_path)
+    assert "run_end" in _journal_types(tmp_path)
+    _run(points, run_dir=tmp_path)  # fresh run, not resume
+    types = _journal_types(tmp_path)
+    assert types.count("run_begin") == 1 and "resume_begin" not in types
+
+
+def test_resume_under_shm_transport_with_active_fault_plan(tmp_path, monkeypatch):
+    """The acceptance scenario: crash after the cluster phase, then resume
+    under ``--transport shm`` with a fault plan active — byte-identical."""
+    points = _points(n=300)
+    baseline = _run(points)
+
+    def boom(root_summary):
+        raise RuntimeError("injected crash after cluster")
+
+    monkeypatch.setattr(pipeline_mod, "assign_global_ids", boom)
+    with pytest.raises(RuntimeError):
+        _run(points, run_dir=tmp_path)
+    monkeypatch.undo()
+
+    plan = FaultPlan(
+        faults=(
+            FaultSpec(node=0, phase="merge", attempt=0, kind="crash"),
+            FaultSpec(node=1, phase="sweep", attempt=0, kind="slowdown",
+                      delay_seconds=0.001),
+        )
+    )
+    resumed = _run(
+        points,
+        run_dir=tmp_path,
+        resume=True,
+        transport="shm",
+        transport_workers=2,
+        fault_plan=plan,
+        backoff_base=0.0,
+    )
+    assert resumed.resumed
+    assert resumed.checkpoint_hits == LEAVES
+    assert_resume_equivalent(baseline, resumed)
+
+
+def test_assert_resume_equivalent_rejects_divergence(tmp_path):
+    points = _points(n=200)
+    a = _run(points)
+    b = _run(points)
+    assert_resume_equivalent(a, b)  # identical runs pass
+    import copy
+
+    c = copy.deepcopy(b)
+    c.labels[0] = 10_000
+    with pytest.raises(ValidationError):
+        assert_resume_equivalent(a, c)

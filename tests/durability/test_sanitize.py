@@ -1,0 +1,96 @@
+"""NaN/Inf input sanitization: typed rejection and opt-in stripping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import mrscan
+from repro.errors import DataValidationError, FormatError
+from repro.io.formats import (
+    read_points_binary,
+    read_points_text,
+    write_points_binary,
+    write_points_text,
+)
+from repro.points import PointSet
+
+
+def _dirty_points(n=60, bad=(3, 17, 41)):
+    rng = np.random.default_rng(0)
+    coords = rng.random((n, 2))
+    weights = np.ones(n)
+    coords[bad[0], 0] = np.nan
+    coords[bad[1], 1] = np.inf
+    weights[bad[2]] = -np.inf
+    return PointSet(
+        ids=np.arange(n, dtype=np.int64), coords=coords, weights=weights
+    )
+
+
+def test_validate_finite_raises_typed_error():
+    with pytest.raises(DataValidationError):
+        _dirty_points().validate_finite()
+    # DataValidationError is a FormatError: old catch sites keep working.
+    assert issubclass(DataValidationError, FormatError)
+
+
+def test_finite_mask_flags_bad_rows():
+    points = _dirty_points()
+    mask = points.finite_mask()
+    assert not mask[3] and not mask[17] and not mask[41]
+    assert mask.sum() == len(points) - 3
+
+
+def test_drop_invalid_strips_and_counts():
+    points = _dirty_points()
+    clean, n_dropped = points.drop_invalid()
+    assert n_dropped == 3
+    assert len(clean) == len(points) - 3
+    clean.validate_finite()  # now clean
+    assert 3 not in clean.ids and 17 not in clean.ids
+
+
+def test_drop_invalid_on_clean_points_is_identity():
+    points = PointSet.from_coords(np.random.default_rng(1).random((20, 2)))
+    clean, n_dropped = points.drop_invalid()
+    assert n_dropped == 0
+    assert clean is points  # no copy when nothing to strip
+
+
+def test_readers_reject_nonfinite_by_default(tmp_path):
+    points = _dirty_points()
+    bin_path = tmp_path / "dirty.mrs"
+    txt_path = tmp_path / "dirty.txt"
+    write_points_binary(bin_path, points)
+    write_points_text(txt_path, points)
+    with pytest.raises(DataValidationError):
+        read_points_binary(bin_path)
+    with pytest.raises(DataValidationError):
+        read_points_text(txt_path)
+    # Opt-out for callers that will sanitize downstream.
+    assert len(read_points_binary(bin_path, validate=False)) == len(points)
+    assert len(read_points_text(txt_path, validate=False)) == len(points)
+
+
+def test_pipeline_rejects_nonfinite_without_drop_invalid():
+    with pytest.raises(DataValidationError):
+        mrscan(_dirty_points(200, bad=(3, 17, 41)), 0.2, 3, n_leaves=2)
+
+
+def test_pipeline_drop_invalid_strips_and_reports():
+    rng = np.random.default_rng(2)
+    centers = rng.uniform(0.0, 4.0, size=(3, 2))
+    which = rng.integers(0, 3, size=300)
+    coords = centers[which] + rng.normal(0.0, 0.08, size=(300, 2))
+    coords[7] = np.nan
+    coords[123, 1] = np.inf
+    dirty = PointSet.from_coords(coords)
+    clean = PointSet.from_coords(np.delete(coords, [7, 123], axis=0))
+
+    result = mrscan(dirty, 0.15, 5, n_leaves=2, drop_invalid=True)
+    assert result.n_dropped_invalid == 2
+    assert result.n_points == 298
+    baseline = mrscan(clean, 0.15, 5, n_leaves=2)
+    assert result.n_clusters == baseline.n_clusters
+    np.testing.assert_array_equal(result.labels, baseline.labels)

@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""Kill a real driver process mid-run, resume it, and gate on label equality.
+
+The in-repo resume tests simulate crashes by raising inside the driver;
+this harness does it for real: it launches ``mrscan cluster --run-dir``
+as a subprocess, SIGKILLs the process once the journal shows the cluster
+phase completed (a slowdown fault injected into the merge phase holds
+the driver there long enough to make the kill deterministic), then
+re-runs with ``--resume`` and verifies:
+
+1. the resumed labels are byte-identical to an uninterrupted baseline;
+2. the journal proves no completed leaf re-clustered (every post-resume
+   ``leaf_done`` record carries ``from_checkpoint: true``).
+
+Exit status 0 on success, 1 on any divergence — CI gates on it.
+
+Usage::
+
+    PYTHONPATH=src python tools/crash_resume_harness.py \
+        --points 50000 --leaves 8 --transport local
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.durability import replay_journal  # noqa: E402
+
+
+def _cli(*args: str) -> list[str]:
+    return [sys.executable, "-m", "repro", *map(str, args)]
+
+
+def _read_labels(path: Path) -> list[tuple[int, int]]:
+    out = []
+    for line in path.read_text().splitlines():
+        pid, lab = line.split()
+        out.append((int(pid), int(lab)))
+    return out
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--points", type=int, default=50_000)
+    ap.add_argument("--leaves", type=int, default=8)
+    ap.add_argument("--eps", type=float, default=0.15)
+    ap.add_argument("--minpts", type=int, default=8)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument(
+        "--transport", choices=["local", "process", "shm"], default="local",
+        help="transport for BOTH the crashed and the resumed run",
+    )
+    ap.add_argument(
+        "--merge-delay", type=float, default=30.0,
+        help="injected merge slowdown (seconds) that holds the driver "
+        "mid-merge so the SIGKILL lands deterministically",
+    )
+    ap.add_argument(
+        "--kill-timeout", type=float, default=300.0,
+        help="give up if cluster_done never appears in the journal",
+    )
+    args = ap.parse_args()
+
+    workdir = Path(tempfile.mkdtemp(prefix="mrscan-crash-resume-"))
+    data = workdir / "points.mrs"
+    run_dir = workdir / "run"
+    journal = run_dir / "journal.jsonl"
+    base_labels = workdir / "baseline.labels"
+    resumed_labels = workdir / "resumed.labels"
+    env = dict(os.environ, PYTHONPATH="src")
+
+    print(f"workdir: {workdir}")
+    subprocess.run(
+        _cli("generate", "blobs", args.points, data, "--seed", args.seed),
+        check=True, env=env,
+    )
+
+    # 1. Uninterrupted baseline (no durability — the control arm).
+    subprocess.run(
+        _cli(
+            "cluster", data, "--eps", args.eps, "--minpts", args.minpts,
+            "--leaves", args.leaves, "--transport", args.transport,
+            "--output", base_labels,
+        ),
+        check=True, env=env,
+    )
+
+    # 2. Durable run, killed mid-merge.  The slowdown fault pins the
+    # driver inside the merge phase after every leaf has completed and
+    # journaled, which is exactly the acceptance window.
+    plan = workdir / "faults.json"
+    plan.write_text(json.dumps({
+        "seed": None,
+        "faults": [{
+            "node": 0, "phase": "merge", "attempt": 0, "kind": "slowdown",
+            "point": "before", "delay_seconds": args.merge_delay,
+            "permanent": False,
+        }],
+    }))
+    victim = subprocess.Popen(
+        _cli(
+            "cluster", data, "--eps", args.eps, "--minpts", args.minpts,
+            "--leaves", args.leaves, "--transport", args.transport,
+            "--run-dir", run_dir, "--faults", plan,
+        ),
+        env=env,
+    )
+    deadline = time.monotonic() + args.kill_timeout
+    try:
+        while True:
+            if victim.poll() is not None:
+                print(
+                    "FAIL: driver exited before it could be killed "
+                    f"(rc={victim.returncode}); raise --merge-delay",
+                    file=sys.stderr,
+                )
+                return 1
+            if time.monotonic() > deadline:
+                print("FAIL: cluster_done never journaled", file=sys.stderr)
+                return 1
+            if journal.exists() and any(
+                r.type == "cluster_done" for r in replay_journal(journal)
+            ):
+                break
+            time.sleep(0.2)
+    finally:
+        if victim.poll() is None:
+            victim.send_signal(signal.SIGKILL)
+            victim.wait()
+    print(f"killed driver pid {victim.pid} after cluster_done was journaled")
+
+    pre_resume_leaves = {
+        r.payload["leaf_id"]
+        for r in replay_journal(journal) if r.type == "leaf_done"
+    }
+    if len(pre_resume_leaves) != args.leaves:
+        print(
+            f"FAIL: crashed journal records {len(pre_resume_leaves)} "
+            f"leaf_done, expected {args.leaves}",
+            file=sys.stderr,
+        )
+        return 1
+
+    # 3. Resume (no fault plan — execution knobs may legally change).
+    subprocess.run(
+        _cli(
+            "cluster", data, "--eps", args.eps, "--minpts", args.minpts,
+            "--leaves", args.leaves, "--transport", args.transport,
+            "--run-dir", run_dir, "--resume", "--output", resumed_labels,
+        ),
+        check=True, env=env,
+    )
+
+    # 4. Gate: byte-identical labels ...
+    if _read_labels(base_labels) != _read_labels(resumed_labels):
+        print("FAIL: resumed labels differ from baseline", file=sys.stderr)
+        return 1
+    # ... and the journal proves completed leaves skipped re-clustering.
+    records = replay_journal(journal)
+    post = [r for r in records if r.type == "leaf_done"][len(pre_resume_leaves):]
+    not_from_ckpt = [
+        r.payload["leaf_id"] for r in post if not r.payload["from_checkpoint"]
+    ]
+    if not_from_ckpt:
+        print(
+            f"FAIL: resumed run re-clustered leaves {not_from_ckpt}",
+            file=sys.stderr,
+        )
+        return 1
+    if not any(r.type == "run_end" for r in records):
+        print("FAIL: resumed run never journaled run_end", file=sys.stderr)
+        return 1
+    print(
+        f"OK: killed mid-merge, resumed, labels byte-identical; "
+        f"{len(post)} leaf(s) recovered from checkpoints"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
