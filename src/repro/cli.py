@@ -8,6 +8,8 @@ Subcommands
 ``fuzz``      differential/metamorphic fuzzing against reference DBSCAN
 ``bench-transport``  benchmark the local/process/shm execution backends
 ``bench-durability``  measure the journal+checkpoint overhead of durable runs
+``serve``     long-lived clustering daemon with incremental batch ingest
+``bench-serve``  load-generate against a live serve daemon
 ``simulate``  reproduce a paper figure through the performance model
 """
 
@@ -265,6 +267,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON report path (default BENCH_PR5.json)",
     )
     bd.add_argument("--json", action="store_true", help="also print the report")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the long-lived clustering daemon (repro.serve): async "
+        "batch ingest + incremental dirty-partition re-clustering",
+    )
+    srv.add_argument("input", type=Path, help="base dataset to load resident")
+    srv.add_argument("--eps", type=float, required=True)
+    srv.add_argument("--minpts", type=int, required=True)
+    srv.add_argument("--leaves", type=int, default=8)
+    srv.add_argument("--fanout", type=int, default=256)
+    srv.add_argument(
+        "--socket", type=Path, default=None, metavar="PATH",
+        help="unix socket to listen on (default /tmp/mrscan-serve.sock "
+        "unless --port is given)",
+    )
+    srv.add_argument(
+        "--port", type=int, default=None,
+        help="listen on 127.0.0.1:PORT instead of a unix socket (0 = "
+        "ephemeral, printed at startup)",
+    )
+    srv.add_argument(
+        "--transport", choices=["local", "process", "shm"], default=None,
+        help="resident execution backend (default: $MRSCAN_TRANSPORT, "
+        "then local); pool and arenas stay warm across ingests",
+    )
+    srv.add_argument("--workers", type=int, default=None, metavar="N")
+    srv.add_argument(
+        "--run-dir", type=Path, default=None, metavar="DIR",
+        help="durable serving session: every acked ingest is journaled "
+        "(repro.durability.IngestLog); restart with --resume to recover",
+    )
+    srv.add_argument(
+        "--resume", action="store_true",
+        help="replay the run-dir's acked ingests on top of the base "
+        "dataset before accepting traffic",
+    )
+    srv.add_argument(
+        "--faults", type=Path, default=None, metavar="PATH",
+        help="inject faults from a FaultPlan JSON file into the "
+        "incremental runs (chaos testing)",
+    )
+    srv.add_argument("--verbose", action="store_true")
+
+    bs = sub.add_parser(
+        "bench-serve",
+        help="load-generate against a live serve daemon (repro.serve.loadgen)",
+    )
+    bs.add_argument(
+        "--points", type=int, default=100_000,
+        help="resident dataset size (default 100k)",
+    )
+    bs.add_argument(
+        "--large", action="store_true",
+        help="also run the 1M-resident-points size",
+    )
+    bs.add_argument("--batches", type=int, default=10, help="ingest batches")
+    bs.add_argument("--batch-size", type=int, default=500)
+    bs.add_argument("--query-clients", type=int, default=2)
+    bs.add_argument("--queries-per-client", type=int, default=50)
+    bs.add_argument("--eps", type=float, default=0.08)
+    bs.add_argument("--minpts", type=int, default=8)
+    bs.add_argument("--leaves", type=int, default=16)
+    bs.add_argument(
+        "--transport", choices=["local", "process", "shm"], default="local"
+    )
+    bs.add_argument("--seed", type=int, default=0)
+    bs.add_argument(
+        "--skip-full", action="store_true",
+        help="skip the from-scratch anchor run (no speedup/equivalence)",
+    )
+    bs.add_argument(
+        "--output", type=Path, default=Path("BENCH_PR6.json"),
+        help="JSON report path (default BENCH_PR6.json)",
+    )
+    bs.add_argument("--json", action="store_true", help="also print the report")
 
     sim = sub.add_parser("simulate", help="reproduce a paper figure (perf model)")
     sim.add_argument(
@@ -642,6 +720,127 @@ def _cmd_bench_durability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import logging
+
+    from .core.config import MrScanConfig
+    from .errors import MrScanError
+    from .serve.server import ServeServer
+
+    if args.verbose:
+        logging.basicConfig(level=logging.INFO, format="%(name)s: %(message)s")
+    if args.resume and args.run_dir is None:
+        print("error: --resume requires --run-dir", file=sys.stderr)
+        return 2
+    fault_plan = None
+    if args.faults is not None:
+        from .resilience import FaultPlan
+
+        if not args.faults.exists():
+            print(f"error: --faults {args.faults} does not exist", file=sys.stderr)
+            return 2
+        fault_plan = FaultPlan.load(args.faults)
+        print(f"injecting {fault_plan.describe()}")
+    socket_path = args.socket
+    if socket_path is None and args.port is None:
+        socket_path = Path("/tmp/mrscan-serve.sock")
+    points = _load_points(args.input)
+    config = MrScanConfig(
+        eps=args.eps,
+        minpts=args.minpts,
+        n_leaves=args.leaves,
+        fanout=args.fanout,
+        transport=args.transport,
+        transport_workers=args.workers,
+        fault_plan=fault_plan,
+    )
+
+    async def _run() -> None:
+        server = ServeServer(
+            points,
+            config,
+            socket_path=socket_path,
+            port=args.port,
+            run_dir=args.run_dir,
+            resume=args.resume,
+        )
+        try:
+            await server.start()
+            stats = server.state.stats()
+            where = (
+                str(socket_path) if socket_path is not None
+                else f"127.0.0.1:{server.port}"
+            )
+            print(
+                f"serving {stats['n_points']} points "
+                f"({stats['n_clusters']} clusters) on {where}",
+                flush=True,
+            )
+            await server.serve_forever()
+        finally:
+            server.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("interrupted; daemon stopped")
+    except MrScanError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from .serve.loadgen import run_serve_bench, write_bench
+
+    sizes = [args.points] + ([1_000_000] if args.large else [])
+    results = []
+    for size in sizes:
+        print(f"bench-serve: {size} resident points ...", flush=True)
+        results.append(
+            run_serve_bench(
+                resident_points=size,
+                n_batches=args.batches,
+                batch_size=args.batch_size,
+                n_query_clients=args.query_clients,
+                queries_per_client=args.queries_per_client,
+                eps=args.eps,
+                minpts=args.minpts,
+                n_leaves=args.leaves,
+                transport=args.transport,
+                seed=args.seed,
+                skip_full=args.skip_full,
+            )
+        )
+        r = results[-1]
+        line = (
+            f"  {r['batches_per_sec']:.2f} batches/s, "
+            f"dirty fraction {r['dirty_leaf_fraction_mean']:.2f}, "
+            f"ingest p50 {r['ingest_seconds']['p50']:.3f}s"
+        )
+        if "speedup_incremental_vs_full" in r and r["speedup_incremental_vs_full"]:
+            line += (
+                f", {r['speedup_incremental_vs_full']:.1f}x vs full "
+                f"({r['equivalence']})"
+            )
+        print(line)
+    config = {
+        "eps": args.eps,
+        "minpts": args.minpts,
+        "n_leaves": args.leaves,
+        "transport": args.transport,
+        "seed": args.seed,
+        "batches": args.batches,
+        "batch_size": args.batch_size,
+    }
+    payload = write_bench(results, config, args.output)
+    if args.json:
+        print(json.dumps(payload, indent=1))
+    print(f"report written to {args.output}")
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .perf import figures
 
@@ -664,6 +863,8 @@ def main(argv: list[str] | None = None) -> int:
         "fuzz": _cmd_fuzz,
         "bench-transport": _cmd_bench_transport,
         "bench-durability": _cmd_bench_durability,
+        "serve": _cmd_serve,
+        "bench-serve": _cmd_bench_serve,
         "simulate": _cmd_simulate,
     }
     return handlers[args.command](args)

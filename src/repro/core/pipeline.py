@@ -39,7 +39,7 @@ from .config import MrScanConfig
 from .result import MrScanResult, PhaseBreakdown, VirtualBreakdown
 from .timing import PhaseTimer
 
-__all__ = ["mrscan", "run_pipeline"]
+__all__ = ["PartialRunResult", "cluster_merge_sweep", "mrscan", "run_pipeline"]
 
 logger = logging.getLogger("repro.pipeline")
 
@@ -251,6 +251,37 @@ def _cluster_leaf(task: _ClusterLeafTask) -> _ClusterLeafOutput:
         n_owned=len(task.own),
         spans=tracer.drain(),
     )
+
+
+def _split_on_oom(task: _ClusterLeafTask, message: str):
+    """OOM recovery hook: re-run the leaf with the partition streamed
+    in twice as many device-memory chunks (labels are unchanged)."""
+    new_chunks = max(1, task.memory_chunks) * 2
+    if new_chunks > MAX_MEMORY_CHUNKS:
+        return None
+    return replace(task, memory_chunks=new_chunks)
+
+
+def _stage_partitions(transport, partitions, tracer=NOOP_TRACER):
+    """Push each partition's (own, shadow) through the transport's data
+    plane when it has one; otherwise return them as-is.  Staging degrades
+    to the point sets themselves on arena exhaustion
+    (:func:`stage_pointset_safe`) rather than failing the run."""
+    if not getattr(transport, "supports_staging", False):
+        return list(partitions)
+    with tracer.span(
+        "runtime.stage",
+        cat="runtime",
+        pid=PID_DRIVER,
+        n_pointsets=2 * len(partitions),
+    ):
+        return [
+            (
+                stage_pointset_safe(transport, own),
+                stage_pointset_safe(transport, shadow),
+            )
+            for own, shadow in partitions
+        ]
 
 
 def run_pipeline(
@@ -512,21 +543,7 @@ def _run_phases(
     # the arrays themselves never ride the task pickles.  Staging
     # degrades to the point sets themselves on arena exhaustion
     # (stage_pointset_safe) rather than failing the run.
-    leaf_inputs = phase1.partitions
-    if getattr(transport, "supports_staging", False):
-        with tracer.span(
-            "runtime.stage",
-            cat="runtime",
-            pid=PID_DRIVER,
-            n_pointsets=2 * len(phase1.partitions),
-        ):
-            leaf_inputs = [
-                (
-                    stage_pointset_safe(transport, own),
-                    stage_pointset_safe(transport, shadow),
-                )
-                for own, shadow in phase1.partitions
-            ]
+    leaf_inputs = _stage_partitions(transport, phase1.partitions, tracer)
     tasks = [
         _ClusterLeafTask(
             leaf_id=pid,
@@ -544,14 +561,6 @@ def _run_phases(
         telemetry.metrics.counter("runtime.bytes_avoided").inc(
             sum(t.array_nbytes - t.payload_bytes() for t in tasks)
         )
-
-    def _split_on_oom(task: _ClusterLeafTask, message: str):
-        """OOM recovery hook: re-run the leaf with the partition streamed
-        in twice as many device-memory chunks (labels are unchanged)."""
-        new_chunks = max(1, task.memory_chunks) * 2
-        if new_chunks > MAX_MEMORY_CHUNKS:
-            return None
-        return replace(task, memory_chunks=new_chunks)
 
     # Journal each leaf completion as its result lands: a resume knows
     # exactly which leaves finished (their spill checkpoints satisfy them
@@ -797,6 +806,165 @@ def _run_phases(
     if telemetry.enabled:
         record_result(telemetry.metrics, result)
     return result
+
+
+@dataclass
+class PartialRunResult:
+    """Outcome of one :func:`cluster_merge_sweep` partial run."""
+
+    labels: np.ndarray
+    core_mask: np.ndarray
+    n_clusters: int
+    #: Every leaf's output after this run (cached + fresh), by leaf id —
+    #: feed back as ``cached_outputs`` of the next partial run.
+    outputs: dict[int, _ClusterLeafOutput]
+    #: Leaf ids dispatched to the cluster phase this run.
+    reclustered: frozenset[int]
+    #: Of those, how many actually ran the GPU pass (vs spill-checkpoint
+    #: hits) — the provenance the serve tests assert on.
+    n_fresh: int
+
+
+def cluster_merge_sweep(
+    *,
+    partitions,
+    plan,
+    n_points: int,
+    config: MrScanConfig,
+    transport: Transport,
+    dirty=None,
+    cached_outputs: dict[int, _ClusterLeafOutput] | None = None,
+    telemetry: Telemetry | None = None,
+    checkpoint_dir: str | None = None,
+    on_leaf_result=None,
+) -> PartialRunResult:
+    """Re-entrant partial run: cluster a leaf *subset*, re-merge, re-sweep.
+
+    The incremental half of the pipeline, factored out for long-lived
+    callers (:mod:`repro.serve`): given an already-formed partition
+    ``plan`` and its materialized ``partitions`` (``[(own, shadow), ...]``
+    in leaf-id order, covering every leaf), cluster only the ``dirty``
+    leaves (``None`` = all), reuse ``cached_outputs`` for the rest, then
+    run the full merge tree over all summaries and sweep global ids over
+    all leaves.  Merge+sweep always run in full — they are cheap relative
+    to clustering and global ids are not stable across merges, so every
+    leaf's labels must be re-swept against the new assignment.
+
+    The caller owns ``transport`` — it is never closed here, so pools and
+    arenas stay warm across calls.  Leaves in ``dirty`` whose spill
+    checkpoints should not satisfy them must be invalidated first
+    (:meth:`~repro.resilience.checkpoint.LeafCheckpointStore.invalidate`).
+    """
+    if telemetry is None:
+        telemetry = Telemetry.disabled()
+    tracer = telemetry.tracer
+    n_leaves = len(partitions)
+    cached = dict(cached_outputs or {})
+    if dirty is None:
+        dirty = frozenset(range(n_leaves))
+    dirty = frozenset(int(d) for d in dirty)
+    out_of_range = [d for d in dirty if not 0 <= d < n_leaves]
+    if out_of_range:
+        raise ConfigError(
+            f"dirty leaf ids {sorted(out_of_range)} outside 0..{n_leaves - 1}"
+        )
+    # A leaf with no cached output must re-cluster whether dirty or not.
+    need = sorted(dirty | (set(range(n_leaves)) - set(cached)))
+
+    resilience = config.resilience_policy()
+    fresh: dict[int, _ClusterLeafOutput] = {}
+    if need:
+        staged = _stage_partitions(
+            transport, [partitions[i] for i in need], tracer
+        )
+        tasks = [
+            _ClusterLeafTask(
+                leaf_id=pid,
+                own=own,
+                shadow=shadow,
+                owned_cells=frozenset(plan.partitions[pid].cells),
+                config=config,
+                trace=telemetry.enabled,
+                checkpoint_dir=checkpoint_dir,
+            )
+            for pid, (own, shadow) in zip(need, staged)
+        ]
+        # The cluster map rides a tree sized to the dirty subset — tasks
+        # carry their real leaf ids, so outputs slot straight back into
+        # the full-tree merge below.
+        sub_network = Network(
+            Topology.paper_style(len(tasks), config.fanout),
+            transport,
+            tracer=tracer,
+            trace_pid=PID_TREE,
+            fault_injector=config.fault_plan,
+            resilience=resilience,
+        )
+        try:
+            with tracer.span(
+                "cluster.partial", cat="phase", pid=PID_DRIVER,
+                n_leaves=len(tasks),
+            ):
+                outs, _ = sub_network.map_leaves(
+                    _cluster_leaf,
+                    tasks,
+                    name="cluster",
+                    recover=_split_on_oom,
+                    cost=_ClusterLeafTask.device_cost,
+                    capacity=float(config.device.memory_bytes),
+                    on_result=on_leaf_result,
+                )
+        finally:
+            sub_network.close()
+        for o in outs:
+            tracer.ingest(o.spans)
+            fresh[o.leaf_id] = o
+
+    outputs = {**cached, **fresh}
+    ordered = [outputs[i] for i in range(n_leaves)]
+
+    network = Network(
+        Topology.paper_style(n_leaves, config.fanout),
+        transport,
+        tracer=tracer,
+        trace_pid=PID_TREE,
+        resilience=resilience,
+    )
+    merge_filter = MergeFilter(config.eps, tracer=tracer)
+    try:
+        with tracer.span("merge.partial", cat="phase", pid=PID_DRIVER):
+            root_summary, _ = network.reduce(
+                [o.summary for o in ordered], merge_filter, name="merge"
+            )
+            assignment = assign_global_ids(root_summary)
+        with tracer.span("sweep.partial", cat="phase", pid=PID_DRIVER):
+            assignments, _ = network.multicast(assignment, name="sweep")
+    finally:
+        network.close()
+
+    sweep_results = []
+    for out, asg, (own, shadow) in zip(ordered, assignments, partitions):
+        view = as_pointset(own).concat(as_pointset(shadow))
+        sweep_results.append(
+            sweep_leaf(
+                out.leaf_id,
+                view,
+                out.labels,
+                out.n_owned,
+                asg.for_leaf(out.leaf_id),
+                core_mask=out.core_mask,
+            )
+        )
+    labels = combine_leaf_outputs(sweep_results, n_points)
+    core_mask = combine_core_masks(sweep_results, n_points)
+    return PartialRunResult(
+        labels=labels,
+        core_mask=core_mask,
+        n_clusters=int(len(np.unique(labels[labels >= 0]))),
+        outputs=outputs,
+        reclustered=frozenset(need),
+        n_fresh=sum(1 for o in fresh.values() if not o.from_checkpoint),
+    )
 
 
 def mrscan(

@@ -14,6 +14,7 @@ the resume state machine.
 """
 
 from .checkpoints import PHASE_NAMES, PhaseCheckpointStore
+from .ingestlog import AckedIngest, BatchStore, IngestLog, batch_digest
 from .journal import GENESIS, JournalRecord, RunJournal, replay_journal
 from .rundir import (
     LABEL_FIELDS,
@@ -30,6 +31,10 @@ __all__ = [
     "replay_journal",
     "PHASE_NAMES",
     "PhaseCheckpointStore",
+    "AckedIngest",
+    "BatchStore",
+    "IngestLog",
+    "batch_digest",
     "LABEL_FIELDS",
     "ResumeState",
     "RunDirectory",

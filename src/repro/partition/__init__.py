@@ -12,6 +12,7 @@ from .grid import GridHistogram
 from .plan import PartitionPlan, PartitionSpec
 from .partitioner import form_partitions, partition_points
 from .shadow import shadow_cells_of, add_shadow_regions
+from .dirty import adopt_cells, dirty_partitions, touched_cells_of
 from .distributed import DistributedPartitioner, PartitionPhaseResult
 
 __all__ = [
@@ -22,6 +23,9 @@ __all__ = [
     "partition_points",
     "shadow_cells_of",
     "add_shadow_regions",
+    "adopt_cells",
+    "dirty_partitions",
+    "touched_cells_of",
     "DistributedPartitioner",
     "PartitionPhaseResult",
 ]

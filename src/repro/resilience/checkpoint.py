@@ -204,6 +204,22 @@ class LeafCheckpointStore:
             and np.array_equal(recovered.core_mask, core_mask)
         )
 
+    def invalidate(self, leaf_id: int) -> bool:
+        """Discard one leaf's checkpoint (e.g. its partition went dirty).
+
+        Meta is removed first so a crash between the two unlinks leaves
+        the store in the conservative "no checkpoint" state rather than
+        a data file that a later manifest could mis-adopt.  Returns
+        whether a checkpoint existed.
+        """
+        existed = self.has(leaf_id)
+        for path in (self._meta_path(leaf_id), self._data_path(leaf_id)):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+        return existed
+
     def clear(self) -> int:
         """Delete all checkpoints; returns the number of leaves cleared."""
         n = 0

@@ -54,7 +54,9 @@ from .arena import DEFAULT_BLOCK_BYTES, PointSetRef, ShmArena, ShmArrayRef
 from .worker import init_worker
 
 __all__ = [
+    "BorrowedTransport",
     "ShmTransport",
+    "borrow_transport",
     "make_transport",
     "stage_pointset_safe",
     "TRANSPORT_NAMES",
@@ -246,11 +248,94 @@ class ShmTransport:
         if self._arena is not None and self._owns_arena:
             self._arena.close()
 
+    def recycle_arena(self) -> int:
+        """Replace the owned arena with a fresh empty one; returns the
+        number of bytes released.
+
+        A long-lived holder (the serve daemon) stages new leaf inputs on
+        every ingest; the bump allocator never reuses space, so without
+        recycling ``/dev/shm`` grows without bound.  Safe whenever no
+        staged ref is live across the call — the daemon guarantees that
+        between ingests, since leaf tasks never outlive their batch.
+        Workers attach segments on demand per ref, so the warm pool
+        survives; their cached attachments to the unlinked generation
+        are reclaimed when the pool is eventually reaped.  No-op on a
+        borrowed (caller-owned) arena.
+        """
+        if self._arena is None or not self._owns_arena:
+            return 0
+        released = sum(
+            getattr(blk, "size", 0) for blk in getattr(self._arena, "_blocks", ())
+        )
+        self._arena.close()
+        self._arena = None
+        self.stage_degraded = False
+        if self.metrics.enabled:
+            self.metrics.counter("runtime.arena_recycles").inc()
+            self.metrics.gauge("runtime.segments").set(0)
+        self.tracer.instant(
+            "arena.recycle", cat="transport", released_bytes=released
+        )
+        return released
+
     def __enter__(self) -> "ShmTransport":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class BorrowedTransport:
+    """A non-owning view of a transport: ``close()`` is a counted no-op.
+
+    ``run_pipeline`` historically assumed every transport it was handed
+    died with the run — callers like the serve daemon instead *lend*
+    their resident transport to each partial run and keep the pool and
+    arena warm afterwards.  This wrapper makes the loan explicit: every
+    attribute read/write is forwarded to the wrapped transport (so
+    degrade flags like ``stage_degraded`` set through the borrow reach
+    the owner), but ``close()`` only increments :attr:`close_calls` —
+    neither the pool is reaped nor the arena unlinked, and the atexit
+    sweep keeps tracking the *owner*, never the borrow.
+    """
+
+    _OWN = frozenset({"_inner", "close_calls"})
+
+    def __init__(self, inner: Any) -> None:
+        object.__setattr__(self, "_inner", inner)
+        object.__setattr__(self, "close_calls", 0)
+
+    @property
+    def inner(self) -> Any:
+        return self._inner
+
+    def close(self) -> None:
+        object.__setattr__(self, "close_calls", self.close_calls + 1)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(object.__getattribute__(self, "_inner"), name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name in self._OWN:
+            object.__setattr__(self, name, value)
+        else:
+            setattr(object.__getattribute__(self, "_inner"), name, value)
+
+    def __enter__(self) -> "BorrowedTransport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"BorrowedTransport({self._inner!r}, close_calls={self.close_calls})"
+
+
+def borrow_transport(transport: Any) -> BorrowedTransport:
+    """Lend ``transport`` to a run without ceding ownership."""
+    if isinstance(transport, BorrowedTransport):
+        return transport
+    return BorrowedTransport(transport)
 
 
 def stage_pointset_safe(transport: Any, points: PointSet) -> Any:

@@ -1,0 +1,111 @@
+"""Blocking client for the serve daemon's NDJSON protocol.
+
+The client is deliberately synchronous — callers that need concurrency
+open one client per thread (the loadgen does exactly that); the daemon
+multiplexes them server-side.
+
+Example::
+
+    with ServeClient(socket_path="/tmp/mrscan.sock") as c:
+        c.ping()
+        ack = c.ingest([[0.1, 0.2], [0.11, 0.21]])
+        labels, core = c.labels(list(range(ack["n_points"])))
+"""
+
+from __future__ import annotations
+
+import socket
+from pathlib import Path
+
+from ..errors import MrScanError
+from .protocol import MAX_LINE_BYTES, ServeProtocolError, decode_line, encode_message
+
+__all__ = ["ServeClient", "ServeRequestError"]
+
+
+class ServeRequestError(MrScanError):
+    """The daemon answered ``ok: false``."""
+
+
+class ServeClient:
+    """One connection to a serve daemon (unix socket or localhost TCP)."""
+
+    def __init__(
+        self,
+        *,
+        socket_path: str | Path | None = None,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        timeout: float | None = 600.0,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ServeProtocolError(
+                "client needs exactly one of socket_path or port"
+            )
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(str(socket_path))
+        else:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._buffer = b""
+
+    # ------------------------------------------------------------------ #
+    # Wire
+    # ------------------------------------------------------------------ #
+
+    def request(self, message: dict) -> dict:
+        """Send one request and block for its response dict."""
+        self._sock.sendall(encode_message(message))
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > MAX_LINE_BYTES:
+                raise ServeProtocolError("response line exceeds the size cap")
+            chunk = self._sock.recv(1 << 20)
+            if not chunk:
+                raise ServeProtocolError("daemon closed the connection mid-response")
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        response = decode_line(line)
+        if not response.get("ok"):
+            raise ServeRequestError(response.get("error", "request failed"))
+        return response
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Ops
+    # ------------------------------------------------------------------ #
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def ingest(self, points, ids=None) -> dict:
+        """Ingest a batch; blocks until the daemon committed and acked."""
+        message: dict = {"op": "ingest", "points": [list(map(float, p)) for p in points]}
+        if ids is not None:
+            message["ids"] = [int(i) for i in ids]
+        return self.request(message)
+
+    def labels(self, ids) -> tuple[list[int], list[bool]]:
+        response = self.request({"op": "labels", "ids": [int(i) for i in ids]})
+        return response["labels"], response["core"]
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def dump(self) -> dict:
+        """The daemon's full labelling: ``{ids, labels, core}``."""
+        return self.request({"op": "dump"})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})

@@ -1,0 +1,214 @@
+"""``mrscan bench-serve``: load generation against a live daemon.
+
+Boots a real :class:`~repro.serve.ServeServer` (unix socket, in-process
+event loop on a background thread), then drives it the way a production
+client would: one ingest stream of spatially-local batches plus N
+concurrent query clients hammering ``labels`` on random resident ids.
+Client-side wall times feed the latency percentiles; the server's acks
+supply the dirty-leaf fractions.  After the stream drains, the same
+union dataset is re-clustered from scratch once (the PR 5 pipeline) to
+anchor the headline number: *incremental ingest vs full re-cluster
+speedup*, gated on label equivalence between the two.
+
+Output schema (``BENCH_PR6.json``)::
+
+    {"config": {...}, "sizes": [{"resident_points": ...,
+        "batches_per_sec": ..., "dirty_leaf_fraction_mean": ...,
+        "ingest_seconds": {"p50": ..., "p99": ...},
+        "query_seconds": {"p50": ..., "p99": ...},
+        "full_recluster_seconds": ..., "mean_ingest_seconds": ...,
+        "speedup_incremental_vs_full": ..., "equivalence": "..."}, ...]}
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..core.config import MrScanConfig
+from ..core.pipeline import run_pipeline
+from ..points import PointSet
+from ..telemetry.metrics import Quantile
+from ..validate.equivalence import labels_equivalent
+from .client import ServeClient
+from .server import ServeServer
+
+__all__ = ["run_serve_bench", "write_bench"]
+
+
+def _clustered_base(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Blob-mixture base data (same shape family as ``mrscan generate``)."""
+    n_blobs = max(4, int(np.sqrt(n) / 8))
+    centers = rng.uniform(-4, 4, size=(n_blobs, 2))
+    which = rng.integers(0, n_blobs, size=n)
+    return centers[which] + rng.normal(0, 0.12, size=(n, 2))
+
+
+def _local_batch(
+    base_coords: np.ndarray, size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """A spatially-local batch near one existing point — the serving
+    workload the dirty-partition planner is built for."""
+    anchor = base_coords[int(rng.integers(0, len(base_coords)))]
+    return anchor + rng.normal(0, 0.05, size=(size, 2))
+
+
+def run_serve_bench(
+    *,
+    resident_points: int,
+    n_batches: int = 10,
+    batch_size: int = 500,
+    n_query_clients: int = 2,
+    queries_per_client: int = 50,
+    eps: float = 0.08,
+    minpts: int = 8,
+    n_leaves: int = 16,
+    transport: str = "local",
+    seed: int = 0,
+    skip_full: bool = False,
+) -> dict:
+    """One size point of the bench; returns its result dict."""
+    rng = np.random.default_rng(seed)
+    base = PointSet.from_coords(_clustered_base(resident_points, rng))
+    config = MrScanConfig(
+        eps=eps, minpts=minpts, n_leaves=n_leaves, transport=transport
+    )
+
+    workdir = Path(tempfile.mkdtemp(prefix="mrscan-bench-serve-"))
+    socket_path = workdir / "serve.sock"
+
+    loop = asyncio.new_event_loop()
+    server_box: dict = {}
+    started = threading.Event()
+
+    def _run_server() -> None:
+        asyncio.set_event_loop(loop)
+
+        async def _main() -> None:
+            server = ServeServer(
+                base, config, socket_path=socket_path, transport=transport
+            )
+            server_box["server"] = server
+            await server.start()
+            started.set()
+            await server.serve_forever()
+            server.close()
+
+        loop.run_until_complete(_main())
+
+    thread = threading.Thread(target=_run_server, name="bench-serve", daemon=True)
+    thread.start()
+    if not started.wait(timeout=600):
+        raise RuntimeError("bench-serve daemon failed to start")
+
+    ingest_q = Quantile("ingest_seconds")
+    query_q = Quantile("query_seconds")
+    ingest_times: list[float] = []
+    dirty_fractions: list[float] = []
+    stop_queries = threading.Event()
+
+    def _query_worker(worker_seed: int) -> None:
+        qrng = np.random.default_rng(worker_seed)
+        with ServeClient(socket_path=socket_path) as c:
+            for _ in range(queries_per_client):
+                if stop_queries.is_set():
+                    break
+                ids = qrng.integers(0, resident_points, size=16).tolist()
+                t0 = time.perf_counter()
+                c.labels(ids)
+                query_q.observe(time.perf_counter() - t0)
+
+    query_threads = [
+        threading.Thread(target=_query_worker, args=(seed + 100 + i,), daemon=True)
+        for i in range(n_query_clients)
+    ]
+    for t in query_threads:
+        t.start()
+
+    batches: list[np.ndarray] = []
+    t_stream0 = time.perf_counter()
+    with ServeClient(socket_path=socket_path) as c:
+        c.ping()
+        for _ in range(n_batches):
+            batch = _local_batch(base.coords, batch_size, rng)
+            batches.append(batch)
+            t0 = time.perf_counter()
+            ack = c.ingest(batch.tolist())
+            ingest_times.append(time.perf_counter() - t0)
+            ingest_q.observe(ingest_times[-1])
+            dirty_fractions.append(float(ack["dirty_ratio"]))
+        stream_seconds = time.perf_counter() - t_stream0
+        stop_queries.set()
+        for t in query_threads:
+            t.join(timeout=120)
+        final = c.dump()
+        c.shutdown()
+    thread.join(timeout=120)
+
+    result: dict = {
+        "resident_points": resident_points,
+        "n_batches": n_batches,
+        "batch_size": batch_size,
+        "n_query_clients": n_query_clients,
+        "batches_per_sec": n_batches / stream_seconds if stream_seconds else None,
+        "dirty_leaf_fraction_mean": (
+            float(np.mean(dirty_fractions)) if dirty_fractions else None
+        ),
+        "ingest_seconds": {
+            "p50": ingest_q.percentile(50.0),
+            "p99": ingest_q.percentile(99.0),
+        },
+        "query_seconds": {
+            "p50": query_q.percentile(50.0),
+            "p99": query_q.percentile(99.0),
+        },
+    }
+
+    if not skip_full:
+        # From-scratch anchor: one full pipeline run on the exact union
+        # the daemon converged to (base then batches in ack order, which
+        # is the daemon's internal-id order).
+        union = PointSet(
+            ids=np.arange(resident_points + n_batches * batch_size, dtype=np.int64),
+            coords=np.vstack([base.coords] + batches),
+        )
+        t_full0 = time.perf_counter()
+        full = run_pipeline(union, config, transport=transport)
+        full_seconds = time.perf_counter() - t_full0
+        report = labels_equivalent(
+            union,
+            eps,
+            full.labels,
+            full.core_mask,
+            np.asarray(final["labels"], dtype=np.int64),
+            np.asarray(final["core"], dtype=bool),
+        )
+        mean_ingest_seconds = (
+            float(np.mean(ingest_times)) if ingest_times else None
+        )
+        result.update(
+            {
+                "full_recluster_seconds": full_seconds,
+                "mean_ingest_seconds": mean_ingest_seconds,
+                "speedup_incremental_vs_full": (
+                    full_seconds / mean_ingest_seconds
+                    if mean_ingest_seconds
+                    else None
+                ),
+                "equivalence": report.summary(),
+                "equivalence_ok": bool(report.ok),
+            }
+        )
+    return result
+
+
+def write_bench(results: list[dict], config: dict, out_path: str | Path) -> dict:
+    payload = {"bench": "serve", "config": config, "sizes": results}
+    Path(out_path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return payload

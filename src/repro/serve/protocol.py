@@ -1,0 +1,80 @@
+"""The serve wire format: newline-delimited JSON request/response.
+
+One request per line, one response line per request, in order.  Every
+request carries ``op``; every response carries ``ok`` (with ``error``
+when false).  The format is deliberately text-JSON rather than a binary
+frame: batches at serving granularity are thousands of points, the
+clustering dominates the wall time by orders of magnitude, and a
+line-oriented protocol is debuggable with ``nc``.
+
+Ops::
+
+    ping      {}                          -> {ok, version}
+    ingest    {points: [[x,y],...],
+               ids?: [int,...]}           -> {ok, seq, n_points, dirty_leaves,
+                                              dirty_ratio, n_clusters, ...}
+    labels    {ids: [int,...]}            -> {ok, labels: [...], core: [...]}
+    stats     {}                          -> {ok, n_points, n_clusters, ...}
+    dump      {}                          -> {ok, ids, labels, core}
+    shutdown  {}                          -> {ok}  (server exits cleanly)
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "ServeProtocolError",
+    "decode_line",
+    "encode_message",
+    "error_response",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one request/response line (~1M points per batch at
+#: ~40 bytes/point) — a guard against unframed garbage, not a quota.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+OPS = ("ping", "ingest", "labels", "stats", "dump", "shutdown")
+
+
+class ServeProtocolError(Exception):
+    """A malformed request or response line."""
+
+
+def encode_message(message: dict[str, Any]) -> bytes:
+    """One wire line (terminated) for a request or response dict."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> dict[str, Any]:
+    """Parse one wire line into a dict; raises :class:`ServeProtocolError`."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ServeProtocolError(
+            f"line exceeds {MAX_LINE_BYTES} bytes"
+        )
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServeProtocolError(f"unparseable line: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ServeProtocolError("request must be a JSON object")
+    return obj
+
+
+def validate_request(obj: dict[str, Any]) -> str:
+    """Check ``op`` presence/validity; returns the op name."""
+    op = obj.get("op")
+    if op not in OPS:
+        raise ServeProtocolError(
+            f"unknown op {op!r}; expected one of {OPS}"
+        )
+    return op
+
+
+def error_response(message: str) -> dict[str, Any]:
+    return {"ok": False, "error": message}

@@ -1,0 +1,259 @@
+"""The asyncio serve daemon.
+
+:class:`ServeServer` owns the event loop side only: it accepts
+connections on a unix socket (or localhost TCP), reads NDJSON requests,
+and dispatches them against a :class:`~repro.serve.state.ServeState`.
+Concurrency model:
+
+* **queries** (``labels``/``stats``/``dump``/``ping``) run directly on
+  the event loop — they only read the committed snapshot, which the
+  state swaps atomically under its lock, so they stay fast while an
+  ingest is in flight;
+* **ingests** are offloaded to a single worker thread
+  (``run_in_executor``) and serialized by an asyncio lock, so the event
+  loop keeps answering queries during the multi-second re-cluster and
+  two clients' batches can never interleave their transactions;
+* **shutdown** drains cleanly: the op acks, then the server closes its
+  listener and wakes :meth:`serve_forever`.
+
+The daemon holds one resident transport for its whole life and lends it
+to every partial run via :func:`~repro.runtime.borrow_transport` — the
+run-scoped ``close()`` calls inside the pipeline become no-ops and the
+pool/arena stay warm.  ``close()`` here is the single place the real
+transport dies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import os
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from ..core.config import MrScanConfig
+from ..durability.ingestlog import IngestLog
+from ..errors import FormatError, MrScanError
+from ..points import PointSet
+from ..runtime.executor import borrow_transport, make_transport
+from ..telemetry import Telemetry
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ServeProtocolError,
+    decode_line,
+    encode_message,
+    error_response,
+    validate_request,
+)
+from .state import ServeState
+
+__all__ = ["ServeServer"]
+
+logger = logging.getLogger("repro.serve")
+
+
+class ServeServer:
+    """One serving session: resident state + socket front end.
+
+    Parameters mirror :class:`~repro.serve.state.ServeState`; the server
+    additionally owns the listener (``socket_path`` XOR ``port``) and —
+    when built from a transport *name* — the resident transport.
+    """
+
+    def __init__(
+        self,
+        base: PointSet,
+        config: MrScanConfig,
+        *,
+        socket_path: str | Path | None = None,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        transport=None,
+        telemetry: Telemetry | None = None,
+        run_dir: str | Path | None = None,
+        resume: bool = False,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise FormatError("serve needs exactly one of socket_path or port")
+        self.socket_path = Path(socket_path) if socket_path is not None else None
+        self.host = host
+        self.port = port
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        self._owns_transport = transport is None or isinstance(transport, str)
+        if self._owns_transport:
+            transport = make_transport(
+                transport if isinstance(transport, str) else config.resolved_transport(),
+                n_workers=config.transport_workers,
+                tracer=self.telemetry.tracer,
+                metrics=self.telemetry.metrics,
+            )
+        self._transport = transport
+        self.ingest_log = None
+        checkpoint_dir = config.checkpoint_dir
+        if run_dir is not None:
+            run_dir = Path(run_dir)
+            self.ingest_log = IngestLog(
+                run_dir, metrics=self.telemetry.metrics
+            )
+            if checkpoint_dir is None:
+                checkpoint_dir = str(run_dir / "leaves")
+        self.state = ServeState(
+            base,
+            config,
+            transport=borrow_transport(self._transport),
+            telemetry=self.telemetry,
+            ingest_log=self.ingest_log,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+        )
+        self._ingest_lock = asyncio.Lock()
+        self._ingest_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-ingest"
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._shutdown = asyncio.Event()
+        self.closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        if self.socket_path is not None:
+            self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+            if self.socket_path.exists():
+                self.socket_path.unlink()
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=str(self.socket_path),
+                limit=MAX_LINE_BYTES,
+            )
+            where = str(self.socket_path)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port,
+                limit=MAX_LINE_BYTES,
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+            where = f"{self.host}:{self.port}"
+        logger.info("serve: listening on %s", where)
+
+    async def serve_forever(self) -> None:
+        """Run until a ``shutdown`` op (or :meth:`close`) arrives."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        # Drain the listener and live connections while the loop is still
+        # running: a client that connected between the shutdown ack and
+        # the caller's close() must see EOF, not a reply the stopped loop
+        # would never send.
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._connections):
+            writer.close()
+        if self._connections:
+            await asyncio.sleep(0)  # let handlers observe the close
+
+    def close(self) -> None:
+        """Tear down listener, ingest thread, log, and owned transport."""
+        if self.closed:
+            return
+        self.closed = True
+        if self._server is not None:
+            self._server.close()
+        self._ingest_pool.shutdown(wait=True)
+        if self.ingest_log is not None:
+            self.ingest_log.close()
+        if self._owns_transport:
+            self._transport.close()
+        if self.socket_path is not None and self.socket_path.exists():
+            self.socket_path.unlink()
+        self._shutdown.set()
+
+    # ------------------------------------------------------------------ #
+    # Request handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername") or "unix"
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionResetError):
+                    break  # over-long line or client vanished
+                if not line:
+                    break
+                response = await self._dispatch(line)
+                writer.write(encode_message(response))
+                await writer.drain()
+                if response.get("bye"):
+                    break
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        logger.debug("serve: connection from %s closed", peer)
+
+    async def _dispatch(self, line: bytes) -> dict:
+        try:
+            request = decode_line(line)
+            op = validate_request(request)
+        except ServeProtocolError as exc:
+            return error_response(str(exc))
+        try:
+            if op == "ping":
+                return {"ok": True, "version": PROTOCOL_VERSION}
+            if op == "stats":
+                return {"ok": True, **self.state.stats()}
+            if op == "dump":
+                return {"ok": True, **self.state.dump()}
+            if op == "labels":
+                ids = request.get("ids")
+                if not isinstance(ids, list) or not ids:
+                    return error_response("labels needs a non-empty ids list")
+                labels, core = self.state.labels_for(ids)
+                return {"ok": True, "labels": labels, "core": core}
+            if op == "ingest":
+                return await self._handle_ingest(request)
+            if op == "shutdown":
+                # Ack first, then wake serve_forever — the caller's loop
+                # does the actual close() so in-flight cleanup is single-
+                # threaded.
+                asyncio.get_running_loop().call_soon(self._shutdown.set)
+                return {"ok": True, "bye": True}
+        except (MrScanError, FormatError) as exc:
+            return error_response(str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            logger.exception("serve: internal error handling %s", op)
+            return error_response(f"internal error: {type(exc).__name__}: {exc}")
+        return error_response(f"unhandled op {op!r}")
+
+    async def _handle_ingest(self, request: dict) -> dict:
+        points = request.get("points")
+        if not isinstance(points, list) or not points:
+            return error_response("ingest needs a non-empty points list")
+        try:
+            coords = np.asarray(points, dtype=np.float64)
+            ids = request.get("ids")
+            if ids is not None:
+                ids = np.asarray(ids, dtype=np.int64)
+        except (TypeError, ValueError) as exc:
+            return error_response(f"malformed ingest payload: {exc}")
+        loop = asyncio.get_running_loop()
+        async with self._ingest_lock:
+            outcome = await loop.run_in_executor(
+                self._ingest_pool, self.state.ingest, coords, ids
+            )
+        return {"ok": True, **outcome.as_dict()}

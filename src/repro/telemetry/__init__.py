@@ -33,7 +33,15 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
-from .metrics import NOOP_METRICS, Counter, Gauge, Histogram, Metrics, NoopMetrics
+from .metrics import (
+    NOOP_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    NoopMetrics,
+    Quantile,
+)
 from .runtime import Telemetry
 from .tracer import (
     NOOP_TRACER,
@@ -59,6 +67,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Quantile",
     "PID_DRIVER",
     "PID_PARTITION",
     "PID_TREE",

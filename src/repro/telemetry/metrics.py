@@ -24,6 +24,7 @@ __all__ = [
     "Metrics",
     "NoopMetrics",
     "NOOP_METRICS",
+    "Quantile",
 ]
 
 
@@ -107,6 +108,61 @@ class Histogram:
         }
 
 
+class Quantile:
+    """Percentile summary over a bounded reservoir of recent samples.
+
+    :class:`Histogram` keeps only moments, which is enough for per-leaf
+    batch stats but not for service latencies, where p50/p99 are the
+    contract.  This instrument keeps the last ``capacity`` observations
+    in a ring buffer (service latency distributions are dominated by
+    recent behaviour; 4096 samples bound both memory and the sort cost
+    of a ``percentile`` call) and answers arbitrary percentiles by
+    nearest-rank over the retained window.
+    """
+
+    __slots__ = ("name", "capacity", "count", "_ring", "_write")
+
+    def __init__(self, name: str, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"quantile {name!r} needs capacity >= 1")
+        self.name = name
+        self.capacity = int(capacity)
+        self.count = 0  # total ever observed, not just retained
+        self._ring: list[float] = []
+        self._write = 0
+
+    def observe(self, v: int | float) -> None:
+        v = float(v)
+        if len(self._ring) < self.capacity:
+            self._ring.append(v)
+        else:
+            self._ring[self._write] = v
+            self._write = (self._write + 1) % self.capacity
+        self.count += 1
+
+    def percentile(self, p: float) -> float | None:
+        """Nearest-rank percentile of the retained window; ``None`` when
+        nothing has been observed.  ``p`` is in [0, 100]."""
+        if not self._ring:
+            return None
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self._ring)
+        rank = min(len(ordered) - 1, max(0, int(round(p / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "type": "quantile",
+            "count": self.count,
+            "retained": len(self._ring),
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+            "max": max(self._ring) if self._ring else None,
+        }
+
+
 class Metrics:
     """Named instrument registry.
 
@@ -141,6 +197,9 @@ class Metrics:
 
     def histogram(self, name: str) -> Histogram:
         return self._get(name, Histogram)
+
+    def quantile(self, name: str) -> Quantile:
+        return self._get(name, Quantile)
 
     def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
         with self._lock:
@@ -178,6 +237,9 @@ class _NoopInstrument:
     def observe(self, v: int | float) -> None:
         return None
 
+    def percentile(self, p: float) -> None:
+        return None
+
     def as_dict(self) -> dict[str, Any]:
         return {}
 
@@ -197,6 +259,9 @@ class NoopMetrics:
         return _NOOP_INSTRUMENT
 
     def histogram(self, name: str) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def quantile(self, name: str) -> _NoopInstrument:
         return _NOOP_INSTRUMENT
 
     def __iter__(self) -> Iterator[Any]:

@@ -1,0 +1,129 @@
+"""BorrowedTransport: lending a resident transport without ceding ownership."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import mrscan
+from repro.core.config import MrScanConfig
+from repro.core.pipeline import run_pipeline
+from repro.points import PointSet
+from repro.runtime import BorrowedTransport, ShmTransport, borrow_transport
+from repro.runtime.executor import LocalTransport, make_transport
+
+
+def _blobs(n: int = 800, seed: int = 5) -> PointSet:
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-2, 2, size=(4, 2))
+    which = rng.integers(0, 4, size=n)
+    return PointSet.from_coords(centers[which] + rng.normal(0, 0.08, size=(n, 2)))
+
+
+def _shm_segments():
+    try:
+        return {name for name in os.listdir("/dev/shm") if "psm" in name}
+    except FileNotFoundError:  # non-Linux
+        return set()
+
+
+def test_close_is_counted_noop():
+    inner = make_transport("local")
+    try:
+        borrowed = borrow_transport(inner)
+        borrowed.close()
+        borrowed.close()
+        assert borrowed.close_calls == 2
+        # The inner transport is untouched and still usable.
+        assert inner.run_batch(len, [[1, 2], [3]]) == [2, 1]
+    finally:
+        inner.close()
+
+
+def test_borrow_is_idempotent():
+    inner = make_transport("local")
+    try:
+        b1 = borrow_transport(inner)
+        b2 = borrow_transport(b1)
+        assert b2 is b1
+        assert b1.inner is inner
+    finally:
+        inner.close()
+
+
+def test_attribute_writes_reach_owner():
+    inner = make_transport("local")
+    try:
+        borrowed = BorrowedTransport(inner)
+        borrowed.stage_degraded = True
+        assert inner.stage_degraded is True
+        inner.stage_degraded = False
+        assert borrowed.stage_degraded is False
+    finally:
+        inner.close()
+
+
+@pytest.mark.slow
+def test_borrowed_shm_transport_survives_run_pipeline():
+    """run_pipeline close()s the transport it is handed; a borrow keeps
+    the pool and arena alive so a second run reuses both."""
+    points = _blobs()
+    config = MrScanConfig(eps=0.08, minpts=8, n_leaves=4, transport="shm")
+    with ShmTransport(n_workers=2) as transport:
+        borrowed = borrow_transport(transport)
+        first = run_pipeline(points, config, transport=borrowed)
+        assert transport._pool is not None  # pool not reaped by the run
+        # Even a stray close() on the borrow cannot reap the owner.
+        borrowed.close()
+        assert borrowed.close_calls == 1
+        second = run_pipeline(points, config, transport=borrowed)
+        np.testing.assert_array_equal(first.labels, second.labels)
+
+
+@pytest.mark.slow
+def test_string_transport_still_closed_by_pipeline():
+    """Passing a transport *name* keeps the old semantics: the run owns
+    and reaps it — no shm segments survive."""
+    before = _shm_segments()
+    points = _blobs()
+    result = mrscan(points, 0.08, 8, n_leaves=4, transport="shm")
+    assert result.n_clusters > 0
+    leaked = _shm_segments() - before
+    assert not leaked, f"leaked shm segments: {leaked}"
+
+
+@pytest.mark.slow
+def test_recycle_arena_releases_and_stays_usable():
+    points = _blobs()
+    before = _shm_segments()
+    with ShmTransport(n_workers=2) as transport:
+        ref = transport.stage_pointset(points)
+        assert transport.run_batch(_staged_sum, [ref])  # workers attach
+        released = transport.recycle_arena()
+        assert released > 0
+        # Recycling twice in a row is a no-op the second time.
+        assert transport.recycle_arena() == 0 or transport._arena is None
+        # A fresh arena comes up lazily on the next stage.
+        ref2 = transport.stage_pointset(points)
+        total = transport.run_batch(_staged_sum, [ref2])[0]
+        assert abs(total - float(points.coords.sum())) < 1e-6
+    leaked = _shm_segments() - before
+    assert not leaked, f"leaked shm segments: {leaked}"
+
+
+def _staged_sum(ref):
+    return float(ref.materialize().coords.sum())
+
+
+def test_local_transport_borrow_in_pipeline():
+    points = _blobs(400)
+    config = MrScanConfig(eps=0.08, minpts=8, n_leaves=4)
+    inner = LocalTransport()
+    borrowed = borrow_transport(inner)
+    result = run_pipeline(points, config, transport=borrowed)
+    assert result.n_clusters > 0
+    # A second run on the same borrow works: nothing was reaped.
+    again = run_pipeline(points, config, transport=borrowed)
+    np.testing.assert_array_equal(result.labels, again.labels)

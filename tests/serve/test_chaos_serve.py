@@ -1,0 +1,76 @@
+"""Chaos for serving: worker kill during an incremental re-cluster.
+
+The daemon keeps one ShmTransport resident across ingests.  A worker
+SIGKILL'd mid-re-cluster must not poison that resident pool or its
+arena: the self-healing dispatch recovers the ingest, and the *next*
+ingest runs on the same (respawned) pool with the arena intact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import MrScanConfig
+from repro.errors import PoisonTaskWarning
+from repro.points import PointSet
+from repro.resilience import FaultPlan, FaultSpec
+from repro.runtime import ShmTransport, borrow_transport
+from repro.serve.state import ServeState
+
+pytestmark = [pytest.mark.slow, pytest.mark.chaos]
+
+
+def _shm_segments():
+    try:
+        return {name for name in os.listdir("/dev/shm") if "psm" in name}
+    except FileNotFoundError:  # non-Linux
+        return set()
+
+
+def _base(n: int = 4000, seed: int = 3) -> PointSet:
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-3, 3, size=(5, 2))
+    which = rng.integers(0, 5, size=n)
+    return PointSet.from_coords(centers[which] + rng.normal(0, 0.1, size=(n, 2)))
+
+
+def _local_batch(base: PointSet, n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    anchor = base.coords[int(rng.integers(0, len(base)))]
+    return anchor + rng.normal(0, 0.03, size=(n, 2))
+
+
+def test_worker_kill_during_incremental_recluster_heals():
+    base = _base()
+    clean = MrScanConfig(eps=0.08, minpts=8, n_leaves=8, transport="shm")
+    before = _shm_segments()
+    with ShmTransport(n_workers=2) as transport:
+        state = ServeState(base, clean, transport=borrow_transport(transport))
+        # Fault only the ingest path: arm the kill AFTER bootstrap so the
+        # resident pool is warm when the worker dies.
+        state.config = dataclasses.replace(
+            clean,
+            fault_plan=FaultPlan(
+                faults=(FaultSpec(node=1, phase="cluster", attempt=0, kind="kill"),)
+            ),
+        )
+        with pytest.warns(PoisonTaskWarning):
+            outcome = state.ingest(_local_batch(base, 150, 11))
+        assert outcome.n_points == 150
+        assert transport.pool_respawns >= 1
+        # The arena is not poisoned: a second (fault-free) ingest reuses
+        # the same resident transport end to end.
+        state.config = clean
+        respawns_after_fault = transport.pool_respawns
+        outcome2 = state.ingest(_local_batch(base, 150, 12))
+        assert outcome2.n_points == 150
+        assert transport.pool_respawns == respawns_after_fault
+        assert not transport.stage_degraded
+        labels, _ = state.labels_for([0, len(base), len(base) + 150])
+        assert len(labels) == 3
+    leaked = _shm_segments() - before
+    assert not leaked, f"leaked shm segments: {leaked}"

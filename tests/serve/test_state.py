@@ -1,0 +1,151 @@
+"""ServeState: incremental ingest, provenance, durability, rollback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MrScanConfig
+from repro.durability.ingestlog import IngestLog
+from repro.errors import FormatError
+from repro.points import PointSet
+from repro.runtime.executor import borrow_transport, make_transport
+from repro.serve.state import ServeState
+from repro.telemetry import Telemetry
+
+
+@pytest.fixture
+def base() -> PointSet:
+    rng = np.random.default_rng(0)
+    centers = rng.uniform(-3, 3, size=(6, 2))
+    which = rng.integers(0, 6, size=6000)
+    return PointSet.from_coords(
+        centers[which] + rng.normal(0, 0.1, size=(6000, 2))
+    )
+
+
+@pytest.fixture
+def config() -> MrScanConfig:
+    return MrScanConfig(eps=0.08, minpts=8, n_leaves=8)
+
+
+@pytest.fixture
+def transport():
+    t = make_transport("local")
+    yield t
+    t.close()
+
+
+def _local_batch(base: PointSet, n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    anchor = base.coords[int(rng.integers(0, len(base)))]
+    return anchor + rng.normal(0, 0.03, size=(n, 2))
+
+
+def test_ingest_reclusters_only_dirty_leaves(base, config, transport):
+    telemetry = Telemetry()
+    state = ServeState(
+        base, config, transport=borrow_transport(transport), telemetry=telemetry
+    )
+    before = dict(state.outputs)
+    outcome = state.ingest(_local_batch(base, 200, 1))
+
+    # A spatially-local batch dirties a strict subset of the leaves ...
+    assert 0 < len(outcome.dirty_leaves) < config.n_leaves
+    assert outcome.dirty_ratio < 1.0
+    # ... and provenance proves only they re-clustered: clean leaves keep
+    # their exact cached output objects.
+    for pid, out in state.outputs.items():
+        if pid in outcome.dirty_leaves:
+            assert out is not before[pid]
+        else:
+            assert out is before[pid]
+    assert outcome.n_reclustered == len(outcome.dirty_leaves)
+    # The serve.dirty_leaf_ratio metric carries the same fact.
+    gauge = telemetry.metrics.get("serve.dirty_leaf_ratio")
+    assert gauge is not None and gauge.value == pytest.approx(outcome.dirty_ratio)
+    assert telemetry.metrics.get("serve.ingest_seconds").count == 1
+
+
+def test_labels_and_stats_queries(base, config, transport):
+    state = ServeState(base, config, transport=borrow_transport(transport))
+    outcome = state.ingest(_local_batch(base, 50, 2))
+    labels, core = state.labels_for([0, 1, len(base)])
+    assert len(labels) == len(core) == 3
+    stats = state.stats()
+    assert stats["n_points"] == len(base) + outcome.n_points
+    assert stats["n_ingests"] == 1
+    with pytest.raises(FormatError):
+        state.labels_for([10**9])
+
+
+def test_failed_ingest_leaves_state_committed(base, config, transport):
+    state = ServeState(base, config, transport=borrow_transport(transport))
+    snap_before = state._snap()
+    n_before = len(state.points)
+    # Re-using a resident external id must reject the batch ...
+    with pytest.raises(FormatError):
+        state.ingest(_local_batch(base, 10, 3), ids=np.arange(10))
+    # ... without touching the committed state.
+    assert len(state.points) == n_before
+    assert state._snap() is snap_before
+    # The state still works afterwards.
+    outcome = state.ingest(_local_batch(base, 10, 4))
+    assert outcome.n_points == 10
+
+
+def test_ingest_log_resume_restores_acked_state(base, config, transport, tmp_path):
+    log = IngestLog(tmp_path / "run")
+    state = ServeState(
+        base,
+        config,
+        transport=borrow_transport(transport),
+        ingest_log=log,
+        checkpoint_dir=str(tmp_path / "run" / "leaves"),
+    )
+    state.ingest(_local_batch(base, 100, 5))
+    state.ingest(_local_batch(base, 100, 6))
+    committed = state._snap()
+    log.close()
+
+    # A fresh state resuming from the same log replays both acked batches.
+    log2 = IngestLog(tmp_path / "run")
+    resumed = ServeState(
+        base,
+        config,
+        transport=borrow_transport(transport),
+        ingest_log=log2,
+        checkpoint_dir=str(tmp_path / "run" / "leaves"),
+        resume=True,
+    )
+    snap = resumed._snap()
+    np.testing.assert_array_equal(snap.labels, committed.labels)
+    np.testing.assert_array_equal(snap.core_mask, committed.core_mask)
+    np.testing.assert_array_equal(snap.external_ids, committed.external_ids)
+    assert resumed.n_ingests == 2
+    log2.close()
+
+
+def test_reopening_log_without_resume_is_rejected(base, config, transport, tmp_path):
+    log = IngestLog(tmp_path / "run")
+    ServeState(base, config, transport=borrow_transport(transport), ingest_log=log)
+    log.close()
+    from repro.errors import ConfigError
+
+    log2 = IngestLog(tmp_path / "run")
+    with pytest.raises(ConfigError):
+        ServeState(
+            base, config, transport=borrow_transport(transport), ingest_log=log2
+        )
+    log2.close()
+
+
+def test_stray_points_in_empty_cells_are_adopted(base, config, transport):
+    """A batch landing wholly in cells that were empty at plan time still
+    ingests (cell adoption) and the points are queryable afterwards."""
+    state = ServeState(base, config, transport=borrow_transport(transport))
+    far = np.array([[500.0, 500.0], [500.01, 500.01], [500.02, 500.0]])
+    outcome = state.ingest(far)
+    assert outcome.n_points == 3
+    labels, _ = state.labels_for([len(base), len(base) + 1, len(base) + 2])
+    assert len(labels) == 3

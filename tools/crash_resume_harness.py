@@ -14,10 +14,22 @@ re-runs with ``--resume`` and verifies:
 
 Exit status 0 on success, 1 on any divergence — CI gates on it.
 
+With ``--serve`` the harness instead targets the long-lived daemon: it
+starts ``mrscan serve --run-dir``, holds an ingest open inside the
+daemon's chaos window (``MRSCAN_SERVE_INGEST_DELAY`` pins the thread
+between the durable blob write and the journal commit), SIGKILLs the
+daemon mid-ingest, restarts it with ``--resume``, re-sends the lost
+batch plus a fresh one, and gates on the final dump being
+equivalence-equal to a from-scratch in-process run on the union.
+
+Exit status 0 on success, 1 on any divergence — CI gates on it.
+
 Usage::
 
     PYTHONPATH=src python tools/crash_resume_harness.py \
         --points 50000 --leaves 8 --transport local
+    PYTHONPATH=src python tools/crash_resume_harness.py \
+        --serve --points 20000 --leaves 8 --transport shm
 """
 
 from __future__ import annotations
@@ -49,6 +61,158 @@ def _read_labels(path: Path) -> list[tuple[int, int]]:
     return out
 
 
+def _wait_for_daemon(socket_path: Path, proc: subprocess.Popen,
+                     timeout: float) -> None:
+    """Block until the daemon answers ``ping`` (bootstrap can be slow)."""
+    from repro.serve.client import ServeClient
+
+    deadline = time.monotonic() + timeout
+    while True:
+        if proc.poll() is not None:
+            raise RuntimeError(f"daemon exited early (rc={proc.returncode})")
+        if time.monotonic() > deadline:
+            raise RuntimeError("daemon never came up")
+        try:
+            with ServeClient(socket_path=socket_path, timeout=10) as c:
+                c.ping()
+            return
+        except OSError:
+            time.sleep(0.2)
+
+
+def serve_main(args: argparse.Namespace) -> int:
+    """Kill the serve daemon mid-ingest; resume; gate on equivalence."""
+    import numpy as np
+
+    from repro.core import mrscan
+    from repro.points import PointSet
+    from repro.serve.client import ServeClient
+    from repro.serve.state import INGEST_DELAY_ENV
+    from repro.validate.equivalence import labels_equivalent
+
+    workdir = Path(tempfile.mkdtemp(prefix="mrscan-serve-crash-"))
+    data = workdir / "points.mrs"
+    run_dir = workdir / "run"
+    socket_path = workdir / "serve.sock"
+    env = dict(os.environ, PYTHONPATH="src")
+    print(f"workdir: {workdir}")
+
+    subprocess.run(
+        _cli("generate", "blobs", args.points, data, "--seed", args.seed),
+        check=True, env=env,
+    )
+    from repro.io.formats import read_points_binary
+
+    base = read_points_binary(data)
+
+    def _batch(seed: int, n: int = 200) -> list:
+        brng = np.random.default_rng(seed)
+        anchor = base.coords[int(brng.integers(0, len(base)))]
+        return (anchor + brng.normal(0, 0.05, size=(n, 2))).tolist()
+
+    serve_cmd = _cli(
+        "serve", data, "--eps", args.eps, "--minpts", args.minpts,
+        "--leaves", args.leaves, "--transport", args.transport,
+        "--socket", socket_path, "--run-dir", run_dir,
+    )
+
+    # 1. Daemon with the chaos window armed: every ingest sleeps between
+    # its durable blob write and its journal commit, so a SIGKILL there
+    # provably loses only the unacked in-flight batch.
+    delay = args.ingest_delay
+    victim = subprocess.Popen(
+        serve_cmd, env=dict(env, **{INGEST_DELAY_ENV: str(delay)}),
+    )
+    try:
+        _wait_for_daemon(socket_path, victim, args.kill_timeout)
+        with ServeClient(socket_path=socket_path) as c:
+            ack0 = c.ingest(_batch(10))
+            print(f"acked batch 0: dirty_leaves={ack0['dirty_leaves']}")
+
+        # Send the doomed batch from a thread; it will hang in the delay.
+        import threading
+
+        def _doomed() -> None:
+            try:
+                with ServeClient(socket_path=socket_path) as c:
+                    c.ingest(_batch(11))
+            except Exception:
+                pass  # expected: the daemon dies under us
+
+        doomed = threading.Thread(target=_doomed, daemon=True)
+        doomed.start()
+        blob = run_dir / "batches" / "batch_000001.npz"
+        deadline = time.monotonic() + args.kill_timeout
+        while not blob.exists():
+            if time.monotonic() > deadline:
+                print("FAIL: in-flight blob never appeared", file=sys.stderr)
+                return 1
+            time.sleep(0.05)
+        # Blob durable, commit still `delay` seconds away: kill NOW.
+        victim.send_signal(signal.SIGKILL)
+        victim.wait()
+        doomed.join(timeout=30)
+        print(f"killed daemon pid {victim.pid} mid-ingest (batch 1 unacked)")
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+            victim.wait()
+
+    # 2. Resume: the daemon must come back to the last ACKED state —
+    # base + batch 0, with the torn batch 1 ignored.
+    survivor = subprocess.Popen(
+        serve_cmd + ["--resume"], env=env,
+    )
+    try:
+        _wait_for_daemon(socket_path, survivor, args.kill_timeout)
+        with ServeClient(socket_path=socket_path) as c:
+            stats = c.stats()
+            want = len(base) + 200
+            if stats["n_points"] != want or stats["n_ingests"] != 1:
+                print(
+                    f"FAIL: resumed daemon has n_points={stats['n_points']} "
+                    f"n_ingests={stats['n_ingests']}, want {want}/1",
+                    file=sys.stderr,
+                )
+                return 1
+            # 3. The client retries the lost batch, then keeps streaming.
+            c.ingest(_batch(11))
+            c.ingest(_batch(12))
+            final = c.dump()
+            c.shutdown()
+    finally:
+        if survivor.poll() is None:
+            survivor.kill()
+            survivor.wait()
+
+    # 4. Gate: the daemon's final labels are equivalence-equal to a
+    # from-scratch run on the union it converged to.
+    union_coords = np.vstack(
+        [base.coords] + [np.asarray(_batch(s)) for s in (10, 11, 12)]
+    )
+    union = PointSet(
+        ids=np.arange(len(union_coords), dtype=np.int64), coords=union_coords
+    )
+    ref = mrscan(
+        union, args.eps, args.minpts, n_leaves=args.leaves,
+        transport=args.transport,
+    )
+    order = np.argsort(np.asarray(final["ids"], dtype=np.int64))
+    got_labels = np.asarray(final["labels"], dtype=np.int64)[order]
+    got_core = np.asarray(final["core"], dtype=bool)[order]
+    report = labels_equivalent(
+        union, args.eps, ref.labels, ref.core_mask, got_labels, got_core
+    )
+    if not report.ok:
+        print(f"FAIL: {report.summary()}", file=sys.stderr)
+        return 1
+    print(
+        "OK: daemon killed mid-ingest, resumed to last acked state, "
+        f"converged equivalence-equal ({report.summary()})"
+    )
+    return 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--points", type=int, default=50_000)
@@ -61,6 +225,16 @@ def main() -> int:
         help="transport for BOTH the crashed and the resumed run",
     )
     ap.add_argument(
+        "--serve", action="store_true",
+        help="chaos-test the serve daemon (SIGKILL mid-ingest + --resume) "
+        "instead of the batch driver",
+    )
+    ap.add_argument(
+        "--ingest-delay", type=float, default=20.0,
+        help="serve mode: seconds each ingest stalls between blob write "
+        "and commit — the deterministic kill window",
+    )
+    ap.add_argument(
         "--merge-delay", type=float, default=30.0,
         help="injected merge slowdown (seconds) that holds the driver "
         "mid-merge so the SIGKILL lands deterministically",
@@ -70,6 +244,8 @@ def main() -> int:
         help="give up if cluster_done never appears in the journal",
     )
     args = ap.parse_args()
+    if args.serve:
+        return serve_main(args)
 
     workdir = Path(tempfile.mkdtemp(prefix="mrscan-crash-resume-"))
     data = workdir / "points.mrs"
