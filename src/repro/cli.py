@@ -10,6 +10,7 @@ Subcommands
 ``bench-durability``  measure the journal+checkpoint overhead of durable runs
 ``serve``     long-lived clustering daemon with incremental batch ingest
 ``bench-serve``  load-generate against a live serve daemon
+``worker``    TCP worker agent: dial a coordinator and execute leaf tasks
 ``simulate``  reproduce a paper figure through the performance model
 """
 
@@ -141,12 +142,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     clu.add_argument(
         "--transport",
-        choices=["local", "process", "shm"],
+        choices=["local", "process", "shm", "tcp"],
         default=None,
         help="execution backend for both MRNet trees (repro.runtime): "
         "'local' runs in-process, 'process' pickles into a pool, 'shm' "
-        "ships shared-memory refs to a persistent pool (default: "
-        "$MRSCAN_TRANSPORT, then local)",
+        "ships shared-memory refs to a persistent pool, 'tcp' dispatches "
+        "to socket-connected worker agents (default: $MRSCAN_TRANSPORT, "
+        "then local)",
     )
     clu.add_argument(
         "--workers",
@@ -234,7 +236,8 @@ def build_parser() -> argparse.ArgumentParser:
     bt.add_argument(
         "--transports",
         default="local,process,shm",
-        help="comma-separated subset to run (default: all three)",
+        help="comma-separated subset to run (default: local,process,shm; "
+        "add 'tcp' to measure the socket boundary)",
     )
     bt.add_argument(
         "--skip-pipeline",
@@ -289,7 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
         "ephemeral, printed at startup)",
     )
     srv.add_argument(
-        "--transport", choices=["local", "process", "shm"], default=None,
+        "--transport", choices=["local", "process", "shm", "tcp"], default=None,
         help="resident execution backend (default: $MRSCAN_TRANSPORT, "
         "then local); pool and arenas stay warm across ingests",
     )
@@ -331,7 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
     bs.add_argument("--minpts", type=int, default=8)
     bs.add_argument("--leaves", type=int, default=16)
     bs.add_argument(
-        "--transport", choices=["local", "process", "shm"], default="local"
+        "--transport", choices=["local", "process", "shm", "tcp"], default="local"
     )
     bs.add_argument("--seed", type=int, default=0)
     bs.add_argument(
@@ -343,6 +346,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON report path (default BENCH_PR6.json)",
     )
     bs.add_argument("--json", action="store_true", help="also print the report")
+
+    wrk = sub.add_parser(
+        "worker",
+        help="TCP worker agent (repro.mrnet.tcp): connect to a "
+        "coordinator running with --transport tcp and execute leaf tasks; "
+        "reconnects with backoff if the connection drops",
+    )
+    wrk.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address (the coordinator's MRSCAN_TCP_PORT)",
+    )
+    wrk.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable identity in handshakes and logs (default: "
+        "worker-<hostname>-<pid>)",
+    )
+    wrk.add_argument(
+        "--fingerprint",
+        default=None,
+        help="config fingerprint offered at handshake; a coordinator "
+        "expecting a different one rejects this agent "
+        "(default: $MRSCAN_TCP_FINGERPRINT)",
+    )
+    wrk.add_argument(
+        "--max-reconnects",
+        type=int,
+        default=None,
+        metavar="N",
+        help="reconnect attempts before giving up (default 60; 0 = "
+        "never reconnect)",
+    )
+    wrk.add_argument("--verbose", action="store_true")
 
     sim = sub.add_parser("simulate", help="reproduce a paper figure (perf model)")
     sim.add_argument(
@@ -841,6 +879,27 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    import logging
+
+    from .mrnet.tcp import DEFAULT_MAX_RECONNECTS, run_worker_agent
+
+    if args.verbose:
+        logging.basicConfig(level=logging.INFO, format="%(name)s: %(message)s")
+    max_reconnects = (
+        DEFAULT_MAX_RECONNECTS if args.max_reconnects is None else args.max_reconnects
+    )
+    try:
+        return run_worker_agent(
+            args.connect,
+            worker_id=args.worker_id,
+            fingerprint=args.fingerprint,
+            max_reconnects=max_reconnects,
+        )
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .perf import figures
 
@@ -865,6 +924,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench-durability": _cmd_bench_durability,
         "serve": _cmd_serve,
         "bench-serve": _cmd_bench_serve,
+        "worker": _cmd_worker,
         "simulate": _cmd_simulate,
     }
     return handlers[args.command](args)

@@ -169,10 +169,10 @@ class MrScanConfig:
                 f"{self.validate!r}"
             )
         if self.transport is not None and self.transport not in (
-            "local", "process", "shm",
+            "local", "process", "shm", "tcp",
         ):
             raise ConfigError(
-                f"transport must be 'local', 'process' or 'shm', got "
+                f"transport must be 'local', 'process', 'shm' or 'tcp', got "
                 f"{self.transport!r}"
             )
         if self.transport_workers is not None and self.transport_workers < 1:
@@ -188,10 +188,10 @@ class MrScanConfig:
             return self.transport
         env = os.environ.get("MRSCAN_TRANSPORT", "").strip().lower()
         if env:
-            if env not in ("local", "process", "shm"):
+            if env not in ("local", "process", "shm", "tcp"):
                 raise ConfigError(
-                    f"MRSCAN_TRANSPORT must be 'local', 'process' or 'shm', "
-                    f"got {env!r}"
+                    f"MRSCAN_TRANSPORT must be 'local', 'process', 'shm' or "
+                    f"'tcp', got {env!r}"
                 )
             return env
         return "local"

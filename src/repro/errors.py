@@ -15,7 +15,8 @@ Hierarchy::
     ├── TransportError
     │   ├── LeafTimeoutError
     │   ├── RetryExhaustedError
-    │   └── ArenaFullError
+    │   ├── ArenaFullError
+    │   └── FrameError
     ├── TopologyError (also ValueError)
     ├── MergeError
     ├── FormatError (also ValueError)
@@ -86,6 +87,12 @@ class RetryExhaustedError(TransportError):
 
 class ArenaFullError(TransportError):
     """The shared-memory arena cannot grow (``/dev/shm`` ENOSPC)."""
+
+
+class FrameError(TransportError):
+    """A TCP transport frame is malformed: torn mid-frame by a dropped
+    connection, oversized beyond the protocol cap, or carrying a bad
+    magic (a stray client speaking something else entirely)."""
 
 
 class TopologyError(MrScanError, ValueError):

@@ -29,6 +29,7 @@ from .filters import (
     SumFilter,
 )
 from .network import Network
+from .tcp import TcpTransport, run_worker_agent
 from .transport import LocalTransport, ProcessTransport, Transport
 
 __all__ = [
@@ -43,4 +44,6 @@ __all__ = [
     "Transport",
     "LocalTransport",
     "ProcessTransport",
+    "TcpTransport",
+    "run_worker_agent",
 ]

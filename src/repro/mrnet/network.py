@@ -109,16 +109,27 @@ def _guarded_apply(
                 # Hard death: SIGKILL the hosting worker so the transport's
                 # self-healing path (respawn + re-dispatch + poison-task
                 # quarantine) is what recovers, not this in-band marker.
+                # Safe only where the driver survives: multiprocessing pool
+                # workers and TCP worker agents (which set MRSCAN_TCP_AGENT).
                 # In the driver process (local transport) a real SIGKILL
                 # would end the run itself, so the fault downgrades to a
                 # no-op there — the work below runs normally.
                 import multiprocessing as _mp
+                import os as _os
 
-                if _mp.parent_process() is not None:
-                    import os as _os
+                if (
+                    _mp.parent_process() is not None
+                    or _os.environ.get("MRSCAN_TCP_AGENT")
+                ):
                     import signal as _signal
 
                     _os.kill(_os.getpid(), _signal.SIGKILL)
+            elif kind in ("disconnect", "drop", "netdelay"):
+                # Network faults are injected at the TCP framing layer by
+                # the transport (repro.mrnet.tcp), which owns the recovery
+                # — in-band they are no-ops, so the same seeded plan is
+                # safe under every transport.
+                pass
             elif kind == "oom":
                 raise DeviceMemoryError(
                     f"injected device OOM at node {spec['node']} "

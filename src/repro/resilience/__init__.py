@@ -26,6 +26,7 @@ from .checkpoint import CheckpointedLeaf, LeafCheckpointStore
 from .faults import (
     CRASH_POINTS,
     FAULT_KINDS,
+    NET_FAULT_KINDS,
     FaultEvent,
     FaultInjector,
     FaultLog,
@@ -37,6 +38,7 @@ from .policy import ResiliencePolicy, RetryPolicy
 
 __all__ = [
     "FAULT_KINDS",
+    "NET_FAULT_KINDS",
     "CRASH_POINTS",
     "FaultSpec",
     "FaultPlan",

@@ -37,6 +37,7 @@ from ..errors import ConfigError
 
 __all__ = [
     "FAULT_KINDS",
+    "NET_FAULT_KINDS",
     "CRASH_POINTS",
     "FaultSpec",
     "FaultPlan",
@@ -47,8 +48,16 @@ __all__ = [
 ]
 
 #: Supported fault kinds: a process crash, a straggler delay, a device
-#: OOM, and a hard SIGKILL of the hosting worker process.
-FAULT_KINDS: tuple[str, ...] = ("crash", "slowdown", "oom", "kill")
+#: OOM, a hard SIGKILL of the hosting worker process, and the network
+#: kinds — a severed connection, a lost (dropped) task send, and a slow
+#: link delaying the send.  The network kinds are injected at the TCP
+#: transport's framing layer (:mod:`repro.mrnet.tcp`) and are no-ops
+#: under the single-host transports, so one plan is safe everywhere.
+FAULT_KINDS: tuple[str, ...] = (
+    "crash", "slowdown", "oom", "kill", "disconnect", "drop", "netdelay",
+)
+#: The subset injected at the network boundary rather than in-band.
+NET_FAULT_KINDS: tuple[str, ...] = ("disconnect", "drop", "netdelay")
 #: When a crash fires relative to the node's work.
 CRASH_POINTS: tuple[str, ...] = ("before", "after")
 
@@ -84,6 +93,8 @@ class FaultSpec:
             raise ConfigError("delay_seconds must be >= 0")
         if self.kind == "slowdown" and self.delay_seconds == 0:
             raise ConfigError("slowdown faults need delay_seconds > 0")
+        if self.kind == "netdelay" and self.delay_seconds == 0:
+            raise ConfigError("netdelay faults need delay_seconds > 0")
 
     def matches(self, node: int, phase: str, name: str, attempt: int) -> bool:
         if node != self.node:
@@ -187,7 +198,11 @@ class FaultPlan:
                     attempt=0 if permanent else int(rng.integers(max_attempt + 1)),
                     kind=kind,
                     point=str(CRASH_POINTS[int(rng.integers(2))]) if kind == "crash" else "before",
-                    delay_seconds=float(rng.uniform(0.001, max_delay)) if kind == "slowdown" else 0.0,
+                    delay_seconds=(
+                        float(rng.uniform(0.001, max_delay))
+                        if kind in ("slowdown", "netdelay")
+                        else 0.0
+                    ),
                     permanent=permanent,
                 )
             )

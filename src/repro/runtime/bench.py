@@ -120,6 +120,12 @@ def bench_dataplane(
         out["speedup_shm_vs_process"] = (
             results["process"]["round_seconds"] / results["shm"]["round_seconds"]
         )
+    if "process" in results and "tcp" in results:
+        # >1 means the socket boundary costs that much over same-host
+        # pickling — the wire overhead multi-host scale-out must amortize.
+        out["overhead_tcp_vs_process"] = (
+            results["tcp"]["round_seconds"] / results["process"]["round_seconds"]
+        )
     return out
 
 

@@ -65,7 +65,7 @@ __all__ = [
 logger = logging.getLogger(__name__)
 
 #: Valid ``MrScanConfig.transport`` / ``--transport`` values.
-TRANSPORT_NAMES = ("local", "process", "shm")
+TRANSPORT_NAMES = ("local", "process", "shm", "tcp")
 
 
 class ShmTransport:
@@ -379,7 +379,9 @@ def make_transport(
     """Build a transport from its config/CLI name.
 
     ``local`` — sequential in-process; ``process`` — pickling
-    multiprocessing pool; ``shm`` — persistent zero-copy executor.
+    multiprocessing pool; ``shm`` — persistent zero-copy executor;
+    ``tcp`` — socket-framed worker agents (self-spawned on localhost by
+    default, external via ``MRSCAN_TCP_PORT``/``MRSCAN_TCP_SPAWN=0``).
     """
     if name == "local":
         return LocalTransport(tracer=tracer)
@@ -387,6 +389,10 @@ def make_transport(
         return ProcessTransport(n_workers, tracer=tracer, metrics=metrics)
     if name == "shm":
         return ShmTransport(n_workers, tracer=tracer, metrics=metrics)
+    if name == "tcp":
+        from ..mrnet.tcp import TcpTransport
+
+        return TcpTransport(n_workers, tracer=tracer, metrics=metrics)
     raise ConfigError(
         f"unknown transport {name!r}; expected one of {TRANSPORT_NAMES}"
     )

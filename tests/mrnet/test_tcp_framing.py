@@ -1,0 +1,188 @@
+"""Socket-level framing and handshake: torn frames, oversized frames,
+bad magic, version/fingerprint handshake rejection, idempotent close."""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+import pytest
+
+from repro.errors import FrameError
+from repro.mrnet.tcp import (
+    HELLO,
+    MAGIC,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    REJECT,
+    TASK,
+    WELCOME,
+    TcpTransport,
+    recv_frame,
+    send_frame,
+)
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+# ------------------------------ framing ------------------------------- #
+
+
+def test_frame_roundtrip(pair):
+    a, b = pair
+    payload = b"x" * 70_000  # bigger than one recv() chunk
+    sent = send_frame(a, TASK, payload)
+    assert sent == len(payload) + struct.calcsize("!4sBI")
+    ftype, got = recv_frame(b)
+    assert ftype == TASK
+    assert got == payload
+
+
+def test_empty_payload_frame(pair):
+    a, b = pair
+    send_frame(a, TASK)
+    assert recv_frame(b) == (TASK, b"")
+
+
+def test_clean_eof_between_frames_is_none(pair):
+    a, b = pair
+    send_frame(a, TASK, b"last")
+    a.close()
+    assert recv_frame(b) == (TASK, b"last")
+    assert recv_frame(b) is None
+
+
+def test_torn_header_raises(pair):
+    a, b = pair
+    a.sendall(b"MR")  # half a header, then the peer vanishes
+    a.close()
+    with pytest.raises(FrameError, match="torn frame"):
+        recv_frame(b)
+
+
+def test_torn_payload_raises(pair):
+    a, b = pair
+    header = struct.Struct("!4sBI").pack(MAGIC, TASK, 100)
+    a.sendall(header + b"only-some-bytes")
+    a.close()
+    with pytest.raises(FrameError, match="torn frame"):
+        recv_frame(b)
+
+
+def test_bad_magic_raises(pair):
+    a, b = pair
+    a.sendall(struct.Struct("!4sBI").pack(b"HTTP", TASK, 0))
+    with pytest.raises(FrameError, match="magic"):
+        recv_frame(b)
+
+
+def test_oversized_announced_frame_raises(pair):
+    a, b = pair
+    a.sendall(struct.Struct("!4sBI").pack(MAGIC, TASK, MAX_FRAME_BYTES + 1))
+    with pytest.raises(FrameError, match="cap"):
+        recv_frame(b)
+
+
+def test_send_oversized_payload_raises(pair):
+    a, _ = pair
+
+    class _Huge(bytes):
+        def __len__(self) -> int:
+            return MAX_FRAME_BYTES + 1
+
+    with pytest.raises(FrameError, match="cap"):
+        send_frame(a, TASK, _Huge())
+
+
+# ----------------------------- handshake ------------------------------ #
+
+
+@pytest.fixture()
+def listening_transport():
+    transport = TcpTransport(
+        1, spawn_agents=False, connect_wait=0.1, fingerprint="cfg-abc"
+    )
+    transport._ensure_listening()
+    yield transport
+    transport.close()
+
+
+def _handshake(port: int, hello: dict):
+    sock = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+    try:
+        send_frame(sock, HELLO, json.dumps(hello).encode("utf-8"))
+        ftype, payload = recv_frame(sock)
+        return ftype, json.loads(payload.decode("utf-8"))
+    finally:
+        sock.close()
+
+
+def test_handshake_welcome(listening_transport):
+    ftype, body = _handshake(
+        listening_transport.port,
+        {
+            "version": PROTOCOL_VERSION,
+            "worker_id": "t",
+            "fingerprint": "cfg-abc",
+            "reconnects": 0,
+        },
+    )
+    assert ftype == WELCOME
+    assert body["session_id"] == listening_transport.session_id
+    assert body["heartbeat_interval"] > 0
+
+
+def test_handshake_rejects_version_mismatch(listening_transport):
+    ftype, body = _handshake(
+        listening_transport.port,
+        {"version": PROTOCOL_VERSION + 1, "worker_id": "t"},
+    )
+    assert ftype == REJECT
+    assert "version" in body["reason"]
+
+
+def test_handshake_rejects_fingerprint_mismatch(listening_transport):
+    ftype, body = _handshake(
+        listening_transport.port,
+        {
+            "version": PROTOCOL_VERSION,
+            "worker_id": "t",
+            "fingerprint": "cfg-OTHER",
+        },
+    )
+    assert ftype == REJECT
+    assert "fingerprint" in body["reason"]
+
+
+def test_handshake_empty_fingerprint_always_matches(listening_transport):
+    # An agent that offers no fingerprint pairs with any coordinator.
+    ftype, _ = _handshake(
+        listening_transport.port,
+        {"version": PROTOCOL_VERSION, "worker_id": "t", "fingerprint": ""},
+    )
+    assert ftype == WELCOME
+
+
+# ------------------------------- close -------------------------------- #
+
+
+def test_close_is_idempotent():
+    transport = TcpTransport(1, spawn_agents=False, connect_wait=0.1)
+    transport._ensure_listening()
+    port = transport.port
+    transport.close()
+    transport.close()  # second close is a no-op
+    # The listener really is gone.
+    with pytest.raises(OSError):
+        socket.create_connection(("127.0.0.1", port), timeout=0.5)
+
+
+def test_close_without_ever_listening():
+    TcpTransport(1, spawn_agents=False).close()  # nothing to release

@@ -6,6 +6,8 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.resilience import (
+    FAULT_KINDS,
+    NET_FAULT_KINDS,
     FaultEvent,
     FaultInjector,
     FaultLog,
@@ -29,6 +31,17 @@ def test_spec_validation():
         FaultSpec(node=1, kind="slowdown")  # needs delay_seconds > 0
     with pytest.raises(ConfigError):
         FaultSpec(node=1, delay_seconds=-0.1)
+    with pytest.raises(ConfigError):
+        FaultSpec(node=1, kind="netdelay")  # needs delay_seconds > 0
+
+
+def test_net_fault_kinds_are_registered():
+    assert set(NET_FAULT_KINDS) == {"disconnect", "drop", "netdelay"}
+    assert set(NET_FAULT_KINDS) <= set(FAULT_KINDS)
+    # Zero-delay disconnect/drop are valid; only netdelay needs a delay.
+    assert FaultSpec(node=1, kind="disconnect").kind == "disconnect"
+    assert FaultSpec(node=1, kind="drop").kind == "drop"
+    assert FaultSpec(node=1, kind="netdelay", delay_seconds=0.05).kind == "netdelay"
 
 
 def test_spec_matches_phase_name_or_wildcard():
@@ -83,6 +96,32 @@ def test_seeded_plan_is_reproducible():
 def test_seeded_plan_respects_kind_menu():
     plan = FaultPlan.seeded(3, [1, 2], n_faults=10, kinds=("oom",))
     assert all(spec.kind == "oom" for spec in plan)
+
+
+def test_plan_json_roundtrip_with_net_kinds(tmp_path):
+    plan = FaultPlan(
+        faults=(
+            FaultSpec(node=7, phase="cluster", kind="disconnect"),
+            FaultSpec(node=8, kind="drop", attempt=1),
+            FaultSpec(node=9, kind="netdelay", delay_seconds=0.05),
+        ),
+        seed=7,
+    )
+    assert FaultPlan.from_json(plan.to_json()) == plan
+    path = plan.save(tmp_path / "net-plan.json")
+    assert FaultPlan.load(path) == plan
+
+
+def test_seeded_plan_with_net_kinds_is_valid_and_reproducible():
+    a = FaultPlan.seeded(101, [1, 2, 3], n_faults=8, kinds=NET_FAULT_KINDS)
+    b = FaultPlan.seeded(101, [1, 2, 3], n_faults=8, kinds=NET_FAULT_KINDS)
+    assert a == b
+    assert all(spec.kind in NET_FAULT_KINDS for spec in a)
+    # Seeded generation must satisfy the spec's own validation: any
+    # netdelay it emits carries a positive delay.
+    for spec in a:
+        if spec.kind == "netdelay":
+            assert spec.delay_seconds > 0
 
 
 def test_lookup_first_match_wins():

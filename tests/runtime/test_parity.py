@@ -1,9 +1,10 @@
-"""Cross-transport parity: identical labels under local/process/shm.
+"""Cross-transport parity: identical labels under local/process/shm/tcp.
 
 The data plane must be invisible in the output: for any seeded fuzz
 case, chaos plan, or validation level, running the pipeline over the
-shm transport (or the pickling process transport) must produce labels
-byte-identical to the sequential local transport.
+shm transport (or the pickling process transport, or socket-framed tcp
+worker agents) must produce labels byte-identical to the sequential
+local transport.
 """
 
 from __future__ import annotations
@@ -13,6 +14,7 @@ import pytest
 
 from repro.core import MrScanConfig
 from repro.core.pipeline import run_pipeline
+from repro.mrnet.tcp import TcpTransport
 from repro.resilience import ChaosRunner, FaultPlan, FaultSpec
 from repro.runtime import active_segment_names
 from repro.validate.fuzz import generate_case
@@ -40,6 +42,14 @@ def test_fuzz_case_labels_identical_across_transports(seed):
         )
         assert np.array_equal(result.core_mask, baseline.core_mask)
         assert result.n_clusters == baseline.n_clusters
+    # The tcp leg uses a bounded agent pool (spawning cpu_count python
+    # processes per case would dominate the test's runtime).
+    with TcpTransport(2) as tcp:
+        result = run_pipeline(points, config, transport=tcp)
+    assert np.array_equal(result.labels, baseline.labels), (
+        f"transport 'tcp' changed labels for fuzz case seed={seed}"
+    )
+    assert np.array_equal(result.core_mask, baseline.core_mask)
     assert active_segment_names() == []  # nothing left staged
 
 

@@ -12,6 +12,13 @@ re-runs with ``--resume`` and verifies:
 2. the journal proves no completed leaf re-clustered (every post-resume
    ``leaf_done`` record carries ``from_checkpoint: true``).
 
+With ``--transport tcp`` the harness additionally SIGKILLs one of the
+driver's remote worker agents mid-cluster, before killing the driver
+itself: the transport must detect the dead connection, re-dispatch the
+lost task, and respawn the agent — the label gate then proves the whole
+chain (remote worker death, driver death, resume) is invisible in the
+output.
+
 Exit status 0 on success, 1 on any divergence — CI gates on it.
 
 With ``--serve`` the harness instead targets the long-lived daemon: it
@@ -51,6 +58,26 @@ from repro.durability import replay_journal  # noqa: E402
 
 def _cli(*args: str) -> list[str]:
     return [sys.executable, "-m", "repro", *map(str, args)]
+
+
+def _worker_agent_pids(parent_pid: int) -> list[int]:
+    """PIDs of ``mrscan worker`` agents spawned by the given driver."""
+    pids = []
+    for entry in Path("/proc").iterdir():
+        if not entry.name.isdigit():
+            continue
+        try:
+            cmdline = (entry / "cmdline").read_bytes().split(b"\0")
+            stat = (entry / "stat").read_text()
+        except OSError:
+            continue  # the process raced away
+        if b"repro" not in cmdline or b"worker" not in cmdline:
+            continue
+        # ppid is the second field after the parenthesised comm.
+        ppid = int(stat.rsplit(")", 1)[1].split()[1])
+        if ppid == parent_pid:
+            pids.append(int(entry.name))
+    return pids
 
 
 def _read_labels(path: Path) -> list[tuple[int, int]]:
@@ -221,7 +248,8 @@ def main() -> int:
     ap.add_argument("--minpts", type=int, default=8)
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument(
-        "--transport", choices=["local", "process", "shm"], default="local",
+        "--transport", choices=["local", "process", "shm", "tcp"],
+        default="local",
         help="transport for BOTH the crashed and the resumed run",
     )
     ap.add_argument(
@@ -254,6 +282,10 @@ def main() -> int:
     base_labels = workdir / "baseline.labels"
     resumed_labels = workdir / "resumed.labels"
     env = dict(os.environ, PYTHONPATH="src")
+    # Remote agents are whole processes; keep the tcp fleet small.
+    tr = ["--transport", args.transport] + (
+        ["--workers", "2"] if args.transport == "tcp" else []
+    )
 
     print(f"workdir: {workdir}")
     subprocess.run(
@@ -265,8 +297,7 @@ def main() -> int:
     subprocess.run(
         _cli(
             "cluster", data, "--eps", args.eps, "--minpts", args.minpts,
-            "--leaves", args.leaves, "--transport", args.transport,
-            "--output", base_labels,
+            "--leaves", args.leaves, *tr, "--output", base_labels,
         ),
         check=True, env=env,
     )
@@ -286,14 +317,24 @@ def main() -> int:
     victim = subprocess.Popen(
         _cli(
             "cluster", data, "--eps", args.eps, "--minpts", args.minpts,
-            "--leaves", args.leaves, "--transport", args.transport,
+            "--leaves", args.leaves, *tr,
             "--run-dir", run_dir, "--faults", plan,
         ),
         env=env,
     )
     deadline = time.monotonic() + args.kill_timeout
+    agent_killed = False
     try:
         while True:
+            # tcp leg: SIGKILL the first remote worker agent we can see,
+            # mid-cluster — the driver's transport must detect the dead
+            # connection, re-dispatch the lost task, and respawn.
+            if args.transport == "tcp" and not agent_killed:
+                agents = _worker_agent_pids(victim.pid)
+                if agents:
+                    os.kill(agents[0], signal.SIGKILL)
+                    agent_killed = True
+                    print(f"SIGKILLed tcp worker agent pid {agents[0]}")
             if victim.poll() is not None:
                 print(
                     "FAIL: driver exited before it could be killed "
@@ -314,6 +355,11 @@ def main() -> int:
             victim.send_signal(signal.SIGKILL)
             victim.wait()
     print(f"killed driver pid {victim.pid} after cluster_done was journaled")
+    if args.transport == "tcp" and not agent_killed:
+        print(
+            "FAIL: tcp leg never saw a worker agent to kill", file=sys.stderr
+        )
+        return 1
 
     pre_resume_leaves = {
         r.payload["leaf_id"]
@@ -331,7 +377,7 @@ def main() -> int:
     subprocess.run(
         _cli(
             "cluster", data, "--eps", args.eps, "--minpts", args.minpts,
-            "--leaves", args.leaves, "--transport", args.transport,
+            "--leaves", args.leaves, *tr,
             "--run-dir", run_dir, "--resume", "--output", resumed_labels,
         ),
         check=True, env=env,
