@@ -20,6 +20,7 @@ from repro.runtime.bench import (
     _slices,
     _synthetic_points,
     _touch_all,
+    bench_cluster_engines,
     bench_dataplane,
     run_transport_bench,
 )
@@ -81,20 +82,47 @@ def test_dataplane_shm_beats_process(benchmark):
     assert report["speedup_shm_vs_process"] > 1.0, report
 
 
+@pytest.mark.benchmark(group="cluster-engine")
+def test_cluster_engine_csr_beats_block(benchmark):
+    """Regression guard: the vectorised csr engine must not regress.
+
+    The committed full-scale ``BENCH_PR8.json`` shows ~9x over the block
+    engine on the 100k bench workload; the CI gate only requires 3x so a
+    loaded runner cannot flake the suite.  ``bench_cluster_engines``
+    keeps the best of ``repeats`` per engine (repeat-min) and asserts
+    the two engines produced byte-identical labels before reporting.
+    """
+
+    def run():
+        return bench_cluster_engines(100_000, repeats=3)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report["speedup_csr_vs_block"] >= 3.0, report
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "bench_cluster_engines.json").write_text(
+        json.dumps(report, indent=1) + "\n"
+    )
+
+
 def test_bench_report_schema(tmp_path):
     """The ``mrscan bench-transport`` writer produces a stable schema."""
     out = tmp_path / "bench.json"
     report = run_transport_bench(
         n_points=20_000, pipeline_points=5_000, n_tasks=8, n_leaves=2,
-        n_workers=2, repeats=1, output=out,
+        n_workers=2, repeats=1, engine_points=5_000, output=out,
     )
     on_disk = json.loads(out.read_text())
-    assert on_disk["schema"] == "mrscan-bench-transport/1"
-    for section in ("host", "dataplane", "pipeline"):
+    assert on_disk["schema"] == "mrscan-bench-transport/2"
+    for section in ("host", "dataplane", "pipeline", "cluster_engines"):
         assert section in on_disk
     for name in ("local", "process", "shm"):
         assert name in on_disk["dataplane"]["results"]
         assert on_disk["pipeline"]["results"][name]["points_per_sec"] > 0
+    engines = on_disk["cluster_engines"]
+    assert set(engines["results"]) == {"block", "csr"}
+    assert engines["speedup_csr_vs_block"] > 0
+    assert engines["results"]["csr"]["csr_batches"] > 0
+    assert engines["results"]["block"]["csr_batches"] == 0
     assert report["dataplane"]["results"]["shm"]["stage_seconds"] >= 0
     OUTPUT_DIR.mkdir(exist_ok=True)
     (OUTPUT_DIR / "bench_transport_smoke.json").write_text(

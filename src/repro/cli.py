@@ -56,6 +56,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", choices=["mrscan", "cuda-dclust"], default="mrscan"
     )
     clu.add_argument(
+        "--cluster-engine",
+        choices=["block", "csr"],
+        default=None,
+        help="cluster-phase kernel implementation: 'csr' (vectorised "
+        "whole-leaf kernels, the default) or 'block' (per-cell loops, "
+        "the differential oracle); labels are byte-identical "
+        "(default: $MRSCAN_CLUSTER_ENGINE, then csr)",
+    )
+    clu.add_argument(
         "--partition-output", choices=["lustre", "network"], default="lustre"
     )
     clu.add_argument("--output", type=Path, default=None, help="labels file (text)")
@@ -245,10 +254,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="only run the data-plane dispatch section",
     )
     bt.add_argument(
+        "--skip-engines",
+        action="store_true",
+        help="skip the cluster-engine (block vs csr) shootout section",
+    )
+    bt.add_argument(
+        "--engine-points",
+        type=int,
+        default=100_000,
+        help="dataset size for the cluster-engine shootout",
+    )
+    bt.add_argument(
         "--output",
         type=Path,
-        default=Path("BENCH_PR4.json"),
-        help="JSON report path (default BENCH_PR4.json)",
+        default=Path("BENCH_PR8.json"),
+        help="JSON report path (default BENCH_PR8.json)",
     )
     bt.add_argument("--json", action="store_true", help="also print the report")
 
@@ -478,6 +498,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             n_partition_nodes=args.partition_nodes,
             use_densebox=not args.no_densebox,
             leaf_algorithm=args.algorithm,
+            cluster_engine=args.cluster_engine,
             partition_output=args.partition_output,
             telemetry=trace_enabled,
             fault_plan=fault_plan,
@@ -696,6 +717,8 @@ def _cmd_bench_transport(args: argparse.Namespace) -> int:
             seed=args.seed,
             transports=transports,
             skip_pipeline=args.skip_pipeline,
+            skip_engines=args.skip_engines,
+            engine_points=args.engine_points,
             output=args.output,
         )
     except ValueError as exc:
@@ -724,6 +747,19 @@ def _cmd_bench_transport(args: argparse.Namespace) -> int:
                     f"  {name:>8}: {row['wall_seconds']:7.2f} s "
                     f"({row['points_per_sec']:,.0f} points/sec)"
                 )
+        if "cluster_engines" in report:
+            ce = report["cluster_engines"]
+            print(
+                f"cluster engines: {ce['n_points']:,} points, "
+                f"eps={ce['eps']} minpts={ce['minpts']}"
+            )
+            for name, row in ce["results"].items():
+                print(
+                    f"  {name:>8}: {row['cluster_seconds']:7.2f} s "
+                    f"({row['points_per_sec']:,.0f} points/sec)"
+                )
+            if "speedup_csr_vs_block" in ce:
+                print(f"  csr vs block: {ce['speedup_csr_vs_block']:.2f}x")
     print(f"report written to {args.output}")
     return 0
 

@@ -129,14 +129,22 @@ def _cluster_leaf(task: _ClusterLeafTask) -> _ClusterLeafOutput:
     :data:`MAX_MEMORY_CHUNKS`.
     """
     cfg = task.config
+    engine = (
+        "cuda-dclust"
+        if cfg.leaf_algorithm == "cuda-dclust"
+        else cfg.resolved_cluster_engine()
+    )
     store = (
         LeafCheckpointStore(task.checkpoint_dir) if task.checkpoint_dir else None
     )
     if store is not None and store.has(task.leaf_id):
         try:
-            ckpt = store.load(task.leaf_id)
+            # A checkpoint written by a different engine must not replay
+            # into this run (engines are label-identical, but replaying
+            # would silently void the engine the run asked to exercise).
+            ckpt = store.load(task.leaf_id, expected_engine=engine)
         except CheckpointError:
-            pass  # corrupt or torn checkpoint: recompute from scratch
+            pass  # corrupt, torn or foreign-engine checkpoint: recompute
         else:
             return _ClusterLeafOutput(
                 leaf_id=task.leaf_id,
@@ -179,6 +187,7 @@ def _cluster_leaf(task: _ClusterLeafTask) -> _ClusterLeafOutput:
                     pass2_ops=base.distance_ops,
                     kernel_launches=device.stats.kernel_launches,
                     sync_round_trips=base.sync_round_trips,
+                    engine=engine,
                     device=device.stats.as_dict(),
                 )
             else:
@@ -193,6 +202,7 @@ def _cluster_leaf(task: _ClusterLeafTask) -> _ClusterLeafOutput:
                             use_densebox=cfg.use_densebox,
                             claim_box_borders=cfg.claim_box_borders,
                             memory_chunks=chunks,
+                            engine=engine,
                         )
                         break
                     except DeviceMemoryError:
@@ -241,6 +251,7 @@ def _cluster_leaf(task: _ClusterLeafTask) -> _ClusterLeafOutput:
             n_owned=len(task.own),
             summary=summary,
             stats=stats,
+            engine=engine,
         )
     return _ClusterLeafOutput(
         leaf_id=task.leaf_id,
@@ -333,6 +344,10 @@ def _run_pipeline(
     transport: Transport,
     telemetry: Telemetry,
 ) -> MrScanResult:
+    # Pin the cluster engine before any config is pickled to workers or
+    # fingerprinted: the env-var default must resolve once, on the
+    # driver, so every leaf (and a later resume) sees the same engine.
+    config = replace(config, cluster_engine=config.resolved_cluster_engine())
     n_dropped_invalid = 0
     if config.drop_invalid:
         points, n_dropped_invalid = points.drop_invalid()
@@ -857,6 +872,7 @@ def cluster_merge_sweep(
     """
     if telemetry is None:
         telemetry = Telemetry.disabled()
+    config = replace(config, cluster_engine=config.resolved_cluster_engine())
     tracer = telemetry.tracer
     n_leaves = len(partitions)
     cached = dict(cached_outputs or {})

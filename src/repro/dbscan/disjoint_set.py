@@ -11,7 +11,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["DisjointSet"]
+__all__ = [
+    "DisjointSet",
+    "union_edges",
+    "vectorized_union",
+    "vectorized_components",
+    "first_appearance_labels",
+]
 
 
 class DisjointSet:
@@ -101,3 +107,89 @@ class DisjointSet:
         for lab, new in first_pos.items():
             remap[lab] = new
         return remap[labels] if len(labels) else labels
+
+
+def union_edges(
+    parent: np.ndarray, edges_a: np.ndarray, edges_b: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """Merge one batch of edges into a flattened parent array, in-place style.
+
+    ``parent`` must be fully compressed on entry (``parent[parent] ==
+    parent``), as produced by a previous call or ``np.arange``.  Returns
+    the new fully-compressed parent array and the number of hook+jump
+    rounds the batch needed.  Streaming callers feed edge batches one at
+    a time and never materialise the whole edge set.
+    """
+    a = np.asarray(edges_a, dtype=np.int64)
+    b = np.asarray(edges_b, dtype=np.int64)
+    if len(a) != len(b):
+        raise ValueError("edge endpoint arrays differ in length")
+    rounds = 0
+    while len(a):
+        ra, rb = parent[a], parent[b]
+        live = ra != rb
+        a, b = a[live], b[live]
+        if not len(a):
+            break
+        ra, rb = ra[live], rb[live]
+        lo = np.minimum(ra, rb)
+        hi = np.maximum(ra, rb)
+        # Hook: each high root adopts the smallest low root that claims it
+        # this round.  lo < hi everywhere, so no cycles can form.
+        np.minimum.at(parent, hi, lo)
+        # Pointer jumping to a full compress: roots only ever decrease, so
+        # the fixpoint is the per-component minimum.
+        while True:
+            grand = parent[parent]
+            if np.array_equal(grand, parent):
+                break
+            parent = grand
+        rounds += 1
+    return parent, rounds
+
+
+def vectorized_union(n: int, edges_a: np.ndarray, edges_b: np.ndarray) -> tuple[np.ndarray, int]:
+    """Roots of ``0..n-1`` after unioning all edges, in whole-array passes.
+
+    The data-parallel union-find of Wang/Gu/Shun (*Theoretically-Efficient
+    and Practical Parallel DBSCAN*): every round hooks each live edge's
+    higher root onto its lower root (min wins on write collisions via
+    ``np.minimum.at``), then compresses with pointer jumping
+    (``parent = parent[parent]``) until flat.  Hooking strictly decreases
+    the root of every touched tree, so the pointer graph stays acyclic and
+    the loop terminates in O(log n) rounds.
+
+    Returns ``(roots, rounds)`` where ``roots[i]`` is the minimum element
+    of ``i``'s component — the vectorised counterpart of running
+    :class:`DisjointSet` over the same edges.  ``rounds`` is the number of
+    hook+jump iterations, which the simulated device charges as kernel
+    launches.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return union_edges(np.arange(n, dtype=np.int64), edges_a, edges_b)
+
+
+def first_appearance_labels(values: np.ndarray) -> np.ndarray:
+    """Dense labels ``0..k-1`` numbered by each value's first appearance."""
+    values = np.asarray(values)
+    if not len(values):
+        return np.empty(0, dtype=np.int64)
+    _, first_idx, inverse = np.unique(values, return_index=True, return_inverse=True)
+    # np.unique orders by value; rank the unique values by where each
+    # first appears to recover first-appearance numbering.
+    rank = np.empty(len(first_idx), dtype=np.int64)
+    rank[np.argsort(first_idx, kind="stable")] = np.arange(len(first_idx), dtype=np.int64)
+    return rank[inverse]
+
+
+def vectorized_components(n: int, edges_a: np.ndarray, edges_b: np.ndarray) -> np.ndarray:
+    """Dense component labels ``0..k-1`` numbered by first appearance.
+
+    Matches ``DisjointSet.component_labels()`` run over the same edges:
+    element 0's component gets label 0, the next element in a new
+    component gets 1, and so on — the numbering every engine's final
+    relabel pass relies on.
+    """
+    roots, _ = vectorized_union(n, edges_a, edges_b)
+    return first_appearance_labels(roots)

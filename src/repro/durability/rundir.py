@@ -87,9 +87,16 @@ LABEL_FIELDS = (
 
 
 def config_fingerprint(config: MrScanConfig) -> str:
-    """sha256 over the label-affecting config fields."""
+    """sha256 over the label-affecting config fields.
+
+    The resolved cluster engine is fingerprinted too: engines produce
+    identical labels, but a resume must re-run under the engine the
+    original run recorded rather than silently replay a different one's
+    checkpoints.
+    """
     payload = {name: getattr(config, name) for name in LABEL_FIELDS}
     payload["partition_nodes"] = config.partition_nodes
+    payload["cluster_engine"] = config.resolved_cluster_engine()
     body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(body.encode("utf-8")).hexdigest()
 

@@ -23,23 +23,82 @@ The extensions over CUDA-DClust:
    neighbors live inside dense boxes are never claimed (box members are
    not expanded) and so fall out as noise — the "extremely small impact on
    quality" the paper accepts in exchange for the elimination.
+
+Two interchangeable **cluster engines** implement the passes:
+
+``block``
+    The original per-cell python expansion loop over the Eps grid —
+    retained as the differential oracle for conformance testing.
+``csr``
+    Whole-leaf vectorised kernels (the default): a flattened Morton tree
+    (`repro.gpu.treeindex`) yields interacting Eps-cell pairs, batched
+    position expansion evaluates all candidate distances in a handful of
+    numpy passes (`repro.gpu.kernels`), and core collisions are resolved
+    with data-parallel union-find (`repro.dbscan.disjoint_set`) — the
+    tree-based formulation of Prokopenko et al. (*Fast tree-based
+    algorithms for DBSCAN on GPUs*).
+
+Both engines produce byte-identical labels, core masks, and modeled
+pass-1/pass-2 operation counts; they differ only in launch/occupancy
+accounting (the csr engine launches per batch) and wall-clock speed.
 """
 
 from __future__ import annotations
 
+import math
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..dbscan.disjoint_set import first_appearance_labels, union_edges
 from ..dbscan.grid_index import GridIndex
 from ..dbscan.reference import assign_border_points, core_components
 from ..errors import ConfigError
 from ..points import NOISE, PointSet
 from .densebox import DenseBoxResult, build_densebox_tree, find_dense_boxes
 from .device import SimulatedDevice
-from .kernels import bulk_launches, candidate_counts, charge_pass, expected_scan_ops
+from .kernels import (
+    DEFAULT_BATCH_PAIRS,
+    MIN_BATCH_PAIRS,
+    candidate_counts,
+    charge_pass,
+    expected_scan_ops,
+    iter_position_batches,
+)
+from .treeindex import FlatTree
 
-__all__ = ["MrScanGPUStats", "GPUClusterResult", "mrscan_gpu"]
+__all__ = [
+    "CLUSTER_ENGINES",
+    "DEFAULT_CLUSTER_ENGINE",
+    "CLUSTER_ENGINE_ENV",
+    "resolve_cluster_engine",
+    "MrScanGPUStats",
+    "GPUClusterResult",
+    "mrscan_gpu",
+]
+
+#: The two interchangeable cluster-phase implementations.
+CLUSTER_ENGINES = ("block", "csr")
+
+#: Engine used when neither the call nor the environment picks one.
+DEFAULT_CLUSTER_ENGINE = "csr"
+
+#: Environment override consulted when no engine is passed explicitly.
+CLUSTER_ENGINE_ENV = "MRSCAN_CLUSTER_ENGINE"
+
+
+def resolve_cluster_engine(engine: str | None = None) -> str:
+    """Resolve an engine name: explicit value → env override → default."""
+    if engine is None:
+        engine = os.environ.get(CLUSTER_ENGINE_ENV) or None
+    if engine is None:
+        return DEFAULT_CLUSTER_ENGINE
+    if engine not in CLUSTER_ENGINES:
+        raise ConfigError(
+            f"unknown cluster engine {engine!r}; expected one of {CLUSTER_ENGINES}"
+        )
+    return engine
 
 
 @dataclass
@@ -55,6 +114,8 @@ class MrScanGPUStats:
     kernel_launches: int = 0
     sync_round_trips: int = 0
     memory_chunks: int = 1
+    engine: str = "block"
+    csr_batches: int = 0
     device: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -91,6 +152,363 @@ def _chunk_sizes(total: int, k: int) -> list[int]:
     return [base + (1 if i < extra else 0) for i in range(k)]
 
 
+def _batch_blocks(device: SimulatedDevice, n_items: int) -> int:
+    """Blocks one batched kernel launch occupies (grid-stride over items)."""
+    return max(1, -(-int(n_items) // device.config.threads_per_block))
+
+
+def _charge_batches(
+    device: SimulatedDevice, batch_candidates: list[int], distance_ops: int
+) -> None:
+    """One launch per batch, splitting modeled ops proportionally.
+
+    Cumulative integer rounding guarantees the per-launch shares sum to
+    exactly ``distance_ops``, so both engines report identical pass
+    totals while the csr engine keeps per-batch launch granularity.
+    """
+    total = sum(batch_candidates)
+    if total <= 0:
+        return
+    acc = 0
+    given = 0
+    for m in batch_candidates:
+        acc += m
+        share = distance_ops * acc // total - given
+        given += share
+        device.launch(blocks=_batch_blocks(device, m), distance_ops=int(share))
+
+
+def _canonical_remap(labels: np.ndarray) -> None:
+    """Renumber non-noise labels densely by first appearance, in place."""
+    mask = labels != NOISE
+    if not mask.any():
+        return
+    labels[mask] = first_appearance_labels(labels[mask])
+
+
+#: The counting grid uses cells this many times finer than Eps: finer
+#: cells tighten the candidate annulus around each point's Eps-disk and
+#: let fully-contained cells be counted in bulk without any distance
+#: evaluations.  6 balances both savings against tree/pair-list size.
+_COUNT_CELL_DIVISOR = 6
+
+
+def _count_tree(coords: np.ndarray, eps: float) -> FlatTree:
+    """Counting tree at the finest cell width the Morton budget allows."""
+    divisor = _COUNT_CELL_DIVISOR
+    while divisor > 1:
+        try:
+            return FlatTree(coords, eps / divisor, radius=eps)
+        except ConfigError:
+            divisor //= 2
+    return FlatTree(coords, eps)
+
+
+def _csr_counts(
+    coords: np.ndarray,
+    eps: float,
+    in_box: np.ndarray,
+    batch_pairs: int,
+) -> tuple[np.ndarray, list[int]]:
+    """Exact neighbor counts (self included) for every non-box point.
+
+    Dense-box members are provably core, so their exact counts are never
+    consulted; skipping their rows is the csr engine's realisation of the
+    dense-box elimination (the block engine models the same skip in its
+    pass-1 ops but still scans every cell on the host).
+
+    Counting runs on a grid finer than Eps: cell pairs whose regions are
+    entirely within Eps of each other contribute their full population
+    without a single distance evaluation (cells are half-open, so the
+    ``(|Δ| + 1)·w`` per-axis bound is exact), and only the annulus of
+    partially-covered cells is expanded point-by-point.
+
+    Returns ``(counts, batch_candidates)`` where ``counts`` is exact on
+    ``~in_box`` rows and zero elsewhere.
+    """
+    n = len(coords)
+    tree = _count_tree(coords, eps)
+    w = tree.cell_width
+    order = tree.order
+    start, count = tree.level_start[-1], tree.level_count[-1]
+    n_cells = tree.n_leaf_boxes
+    eps2 = float(eps) * float(eps)
+
+    # Group each cell's non-box members contiguously so the row side of
+    # every quad is one slice (when densebox is off this is a no-op).
+    cls = in_box[order].astype(np.int64)  # per sorted position: 0 = non-box
+    key = tree.point_leaf[order] * 2 + cls
+    ord2 = order[np.argsort(key, kind="stable")]
+    cnt2 = np.bincount(key, minlength=2 * n_cells)
+    st2 = np.zeros(2 * n_cells, dtype=np.int64)
+    np.cumsum(cnt2[:-1], out=st2[1:])
+    nb_start, nb_count = st2[0::2], cnt2[0::2]
+
+    a, b = tree.leaf_pairs()
+    off = a != b
+    qa = np.concatenate((a, b[off]))  # row side: non-box members of qa
+    qb = np.concatenate((b, a[off]))  # column side: all members of qb
+    bx, by = tree.box_cells(tree.n_levels - 1)
+    ddx = (np.abs(bx[qa] - bx[qb]) + 1).astype(np.float64) * w
+    ddy = (np.abs(by[qa] - by[qb]) + 1).astype(np.float64) * w
+    full = ddx * ddx + ddy * ddy <= eps2
+
+    # Bulk credit: every non-box row of cell qa counts all of qb at once.
+    cell_bulk = np.zeros(n_cells, dtype=np.int64)
+    np.add.at(cell_bulk, qa[full], count[qb[full]])
+
+    # Annulus of partially-covered cell pairs: evaluate point-by-point in
+    # position space (row coords gather sequentially from the class-grouped
+    # permutation, column coords from the tree permutation).
+    pa, pb = qa[~full], qb[~full]
+    xr, yr = coords[ord2, 0].copy(), coords[ord2, 1].copy()
+    xc, yc = coords[order, 0].copy(), coords[order, 1].copy()
+
+    # Distance tests run in float32 on centred coordinates — half the
+    # memory traffic of float64 — with candidates inside a conservative
+    # rounding band around eps² re-verified by the exact float64
+    # expression on the original coordinates.  The band bounds every
+    # float32 rounding step (input quantisation scales with the span,
+    # the rest with eps), so classification is bit-identical to the pure
+    # float64 path.  Data spread too wide for a useful band (span/eps
+    # beyond ~2^15) falls back to float64 throughout.
+    if n:
+        origin = coords.min(axis=0)
+        span = float((coords.max(axis=0) - origin).max())
+    else:
+        origin = np.zeros(2, dtype=np.float64)
+        span = 0.0
+    band = (eps * span + eps2) * 2.0**-18
+    use32 = band * 8.0 < eps2
+    if use32:
+        xr32 = (xr - origin[0]).astype(np.float32)
+        yr32 = (yr - origin[1]).astype(np.float32)
+        xc32 = (xc - origin[0]).astype(np.float32)
+        yc32 = (yc - origin[1]).astype(np.float32)
+        t_lo = np.float32(eps2 - 2.0 * band)
+        t_hi = np.float32(eps2 + 2.0 * band)
+
+    counts_pos = np.zeros(n, dtype=np.int64)
+    batches: list[int] = []
+    for u, v in iter_position_batches(
+        nb_start[pa], nb_count[pa], start[pb], count[pb], batch_pairs=batch_pairs
+    ):
+        batches.append(len(u))
+        if use32:
+            dx = xr32[u] - xc32[v]
+            dy = yr32[u] - yc32[v]
+            d2 = dx * dx
+            d2 += dy * dy
+            within = d2 <= t_hi
+            unsure = np.flatnonzero(within & (d2 > t_lo))
+            if len(unsure):
+                uu, vv = u[unsure], v[unsure]
+                ddx = xr[uu] - xc[vv]
+                ddy = yr[uu] - yc[vv]
+                within[unsure[ddx * ddx + ddy * ddy > eps2]] = False
+        else:
+            dx = xr[u] - xc[v]
+            dy = yr[u] - yc[v]
+            within = dx * dx + dy * dy <= eps2
+        counts_pos += np.bincount(u[within], minlength=n)
+
+    counts = np.zeros(n, dtype=np.int64)
+    counts[ord2] = counts_pos
+    nb_ids = np.flatnonzero(~in_box)
+    counts[nb_ids] += cell_bulk[tree.point_leaf[nb_ids]]
+    return counts, batches
+
+
+def _csr_core_components(
+    coords: np.ndarray, eps: float, batch_pairs: int
+) -> tuple[np.ndarray, int, list[int]]:
+    """Exact eps-connectivity components of core points, vectorised.
+
+    A flattened tree with cells of edge eps/√2 makes every cell a clique
+    (diameter ≤ eps): one chain of edges connects each cell, and only
+    interacting cell *pairs* need distance checks.  Cell pairs whose
+    cells already share a union-find root are dropped before expansion —
+    the vectorised form of the block engine's connected-short-circuit.
+    Returns dense first-appearance component labels, the number of
+    union-find hook rounds, and per-batch evaluated candidate counts.
+    """
+    m = len(coords)
+    ftree = FlatTree(coords, eps / math.sqrt(2.0), radius=eps)
+    order = ftree.order
+    start, count = ftree.level_start[-1], ftree.level_count[-1]
+    xs, ys = coords[order, 0].copy(), coords[order, 1].copy()
+    eps2 = float(eps) * float(eps)
+
+    # Intra-cell cliques: chain consecutive positions of each cell.  The
+    # union-find runs over tree positions; roots are scattered back to
+    # input order at the end.
+    cell_runs = ftree.point_leaf[order]
+    same = cell_runs[1:] == cell_runs[:-1]
+    pos = np.arange(m, dtype=np.int64)
+    parent, rounds = union_edges(pos.copy(), pos[:-1][same], pos[1:][same])
+
+    # Cross-cell merges.  Two live optimisations mirror the block
+    # engine's short-circuits batch-wise: cell pairs whose cells already
+    # share a root are dropped before expansion (connectivity transits
+    # through earlier merges), and each surviving pair is first probed
+    # with a capped sample of member pairs — one witness edge merges the
+    # whole cell pair, so full expansion is reserved for pairs that stay
+    # disconnected after sampling.
+    a, b = ftree.leaf_pairs()
+    keep = a != b
+    a, b = a[keep], b[keep]
+    batches: list[int] = []
+    cap = 8
+    while len(a):
+        live = parent[start[a]] != parent[start[b]]  # position start = cell rep
+        a, b = a[live], b[live]
+        if not len(a):
+            break
+        na = np.minimum(count[a], cap)
+        nb = np.minimum(count[b], cap)
+        for u, v in iter_position_batches(
+            start[a], na, start[b], nb, batch_pairs=batch_pairs
+        ):
+            batches.append(len(u))
+            dx = xs[u] - xs[v]
+            dy = ys[u] - ys[v]
+            within = dx * dx + dy * dy <= eps2
+            parent, extra = union_edges(parent, u[within], v[within])
+            rounds += extra
+        fully = (na >= count[a]) & (nb >= count[b])
+        a, b = a[~fully], b[~fully]
+        cap *= 4
+    roots = np.empty(m, dtype=np.int64)
+    roots[order] = parent
+    return first_appearance_labels(roots), rounds, batches
+
+
+def _csr_assign_borders(
+    coords: np.ndarray,
+    ftree: FlatTree,
+    labels: np.ndarray,
+    core_mask: np.ndarray,
+    claim_mask: np.ndarray,
+    eps: float,
+    batch_pairs: int,
+) -> list[int]:
+    """Attach border points to their nearest claimable core, vectorised.
+
+    Reproduces ``assign_border_points`` exactly: a border point takes the
+    label of the claimable core within Eps minimising ``(d², index)`` —
+    the same nearest-with-lowest-index-tiebreak the block engine's
+    per-cell argmin applies.
+    """
+    n = len(coords)
+    border = ~core_mask
+    if not border.any() or not claim_mask.any():
+        return []
+    n_boxes = ftree.n_leaf_boxes
+    order = ftree.order
+    # Three classes per Eps-cell: 0 border rows, 1 claimable-core columns,
+    # 2 everything else (unclaimable cores are invisible to borders).
+    cls = np.full(n, 2, dtype=np.int64)
+    cls[border] = 0
+    cls[claim_mask] = 1
+    key = ftree.point_leaf[order] * 3 + cls[order]
+    ord3 = order[np.argsort(key, kind="stable")]
+    cnt3 = np.bincount(key, minlength=3 * n_boxes)
+    st3 = np.zeros(3 * n_boxes, dtype=np.int64)
+    np.cumsum(cnt3[:-1], out=st3[1:])
+    b_start, b_count = st3[0::3], cnt3[0::3]
+    c_start, c_count = st3[1::3], cnt3[1::3]
+
+    a, b = ftree.leaf_pairs()
+    off = a != b
+    qa = np.concatenate((a, b[off]))
+    qb = np.concatenate((b, a[off]))
+    x, y = coords[:, 0], coords[:, 1]
+    eps2 = float(eps) * float(eps)
+    best_d2 = np.full(n, np.inf)
+    best_c = np.full(n, n, dtype=np.int64)  # n = "no claimable core" sentinel
+    batches: list[int] = []
+    for u, v in iter_position_batches(
+        b_start[qa], b_count[qa], c_start[qb], c_count[qb], batch_pairs=batch_pairs
+    ):
+        batches.append(len(u))
+        r, c = ord3[u], ord3[v]
+        dx = x[r] - x[c]
+        dy = y[r] - y[c]
+        d2 = dx * dx + dy * dy
+        within = d2 <= eps2
+        r, c, d2 = r[within], c[within], d2[within]
+        if not len(r):
+            continue
+        # Per-row batch winner by (d², index), then fold into the running
+        # best with the same lexicographic rule.
+        o = np.lexsort((c, d2, r))
+        r, c, d2 = r[o], c[o], d2[o]
+        first = np.empty(len(r), dtype=bool)
+        first[0] = True
+        np.not_equal(r[1:], r[:-1], out=first[1:])
+        r, c, d2 = r[first], c[first], d2[first]
+        upd = (d2 < best_d2[r]) | ((d2 == best_d2[r]) & (c < best_c[r]))
+        best_d2[r[upd]] = d2[upd]
+        best_c[r[upd]] = c[upd]
+    has = np.flatnonzero(best_c < n)
+    labels[has] = labels[best_c[has]]
+    return batches
+
+
+def _cluster_csr(
+    points: PointSet,
+    eps: float,
+    minpts: int,
+    *,
+    device: SimulatedDevice,
+    densebox: DenseBoxResult,
+    in_box: np.ndarray,
+    claim_box_borders: bool,
+    batch_pairs: int,
+    stats: MrScanGPUStats,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Whole-leaf vectorised cluster phase (labels pre-remap + core mask)."""
+    coords = points.coords
+    n = len(coords)
+    ftree = FlatTree(coords, eps)
+    nonbox = ~in_box
+
+    # --- pass 1: exact counts for candidate-core rows -------------------
+    counts, count_batches = _csr_counts(coords, eps, in_box, batch_pairs)
+    core_mask = in_box | (counts >= minpts)
+    cand = ftree.interaction_counts()
+    ops1 = int(expected_scan_ops(cand[nonbox], counts[nonbox], minpts).sum())
+    stats.pass1_ops = ops1
+    stats.csr_batches += len(count_batches)
+    _charge_batches(device, count_batches, ops1)
+
+    # --- pass 2: union-find collision resolution + border claims --------
+    labels = np.full(n, NOISE, dtype=np.int64)
+    core_idx = np.flatnonzero(core_mask)
+    if len(core_idx):
+        comp, uf_rounds, uf_batches = _csr_core_components(
+            coords[core_idx], eps, batch_pairs
+        )
+        labels[core_idx] = comp
+        expand_mask = core_mask & nonbox
+        ops2 = int(cand[expand_mask].sum()) + densebox.n_boxes * max(minpts, 8)
+        stats.pass2_ops = ops2
+        stats.csr_batches += len(uf_batches)
+        _charge_batches(device, uf_batches or [len(core_idx)], ops2)
+        # Each union-find hook+jump round is one device-wide launch.
+        for _ in range(uf_rounds):
+            device.launch(blocks=_batch_blocks(device, len(core_idx)))
+
+        claim_mask = core_mask if claim_box_borders else (core_mask & nonbox)
+        border_batches = _csr_assign_borders(
+            coords, ftree, labels, core_mask, claim_mask, eps, batch_pairs
+        )
+        stats.csr_batches += len(border_batches)
+        for m in border_batches:
+            device.launch(blocks=_batch_blocks(device, m))
+    return labels, core_mask
+
+
 def mrscan_gpu(
     points: PointSet,
     eps: float,
@@ -100,6 +518,7 @@ def mrscan_gpu(
     use_densebox: bool = True,
     claim_box_borders: bool = False,
     memory_chunks: int = 1,
+    engine: str | None = None,
 ) -> GPUClusterResult:
     """Cluster one partition with Mr. Scan's GPU DBSCAN.
 
@@ -119,8 +538,15 @@ def mrscan_gpu(
         Stream the per-point device buffers in this many slices instead of
         resident all at once — graceful degradation for partitions that do
         not fit device memory whole.  Each extra chunk costs additional
-        transfers and synchronous round trips; the arithmetic (and the
-        labels) are bit-identical regardless of chunking.
+        transfers and synchronous round trips (and shrinks the csr
+        engine's pair-batch scratch); the arithmetic (and the labels) are
+        bit-identical regardless of chunking.
+    engine:
+        Cluster-phase implementation: ``"csr"`` (vectorised whole-leaf
+        kernels, the default) or ``"block"`` (the per-cell python loop,
+        kept as the differential oracle).  ``None`` consults the
+        ``MRSCAN_CLUSTER_ENGINE`` environment variable, then the default.
+        Both engines produce byte-identical labels and pass-op totals.
     """
     if eps <= 0:
         raise ConfigError(f"eps must be positive, got {eps}")
@@ -128,9 +554,10 @@ def mrscan_gpu(
         raise ConfigError(f"minpts must be >= 1, got {minpts}")
     if memory_chunks < 1:
         raise ConfigError(f"memory_chunks must be >= 1, got {memory_chunks}")
+    engine = resolve_cluster_engine(engine)
     device = device or SimulatedDevice()
     n = len(points)
-    stats = MrScanGPUStats(n_points=n, memory_chunks=int(memory_chunks))
+    stats = MrScanGPUStats(n_points=n, memory_chunks=int(memory_chunks), engine=engine)
     if n == 0:
         empty = DenseBoxResult(box_id=np.empty(0, dtype=np.int64), n_boxes=0, n_subdivisions=0)
         return GPUClusterResult(
@@ -157,6 +584,14 @@ def mrscan_gpu(
         if c < k - 1:
             device.free("points")
             device.free("state")
+    # The csr engine's pair-batch scratch shrinks with the chunk count —
+    # the same OOM-degradation dial the per-point buffers follow — and is
+    # further clamped to half the device memory still free, so a small
+    # device runs more, smaller batches instead of failing to allocate.
+    batch_pairs = max(MIN_BATCH_PAIRS, DEFAULT_BATCH_PAIRS // k)
+    if engine == "csr":
+        batch_pairs = max(256, min(batch_pairs, device.free_bytes // 32))
+        device.alloc("csr", 16 * batch_pairs)
 
     if use_densebox:
         densebox = find_dense_boxes(points, eps, minpts, tree=tree)
@@ -168,49 +603,57 @@ def mrscan_gpu(
     stats.n_boxes = densebox.n_boxes
     stats.n_eliminated = densebox.n_eliminated
 
-    # --- pass 1: core classification with MinPts-capped scans ------------
-    index = GridIndex(points, eps)
-    counts = index.count_neighbors()
-    core_mask = counts >= minpts
-    # Dense-box members are provably core (>= MinPts mutual neighbors).
-    assert not np.any(in_box & ~core_mask), "dense box produced a non-core member"
+    if engine == "csr":
+        labels, core_mask = _cluster_csr(
+            points,
+            eps,
+            minpts,
+            device=device,
+            densebox=densebox,
+            in_box=in_box,
+            claim_box_borders=claim_box_borders,
+            batch_pairs=batch_pairs,
+            stats=stats,
+        )
+    else:
+        # --- pass 1: core classification with MinPts-capped scans --------
+        index = GridIndex(points, eps)
+        counts = index.count_neighbors()
+        core_mask = counts >= minpts
+        # Dense-box members are provably core (>= MinPts mutual neighbors).
+        assert not np.any(in_box & ~core_mask), "dense box produced a non-core member"
 
-    cand = candidate_counts(index)
-    nonbox = ~in_box
-    ops1 = int(expected_scan_ops(cand[nonbox], counts[nonbox], minpts).sum())
-    stats.pass1_ops = ops1
-    charge_pass(device, n_seeds=int(nonbox.sum()), distance_ops=ops1)
+        cand = candidate_counts(index)
+        nonbox = ~in_box
+        ops1 = int(expected_scan_ops(cand[nonbox], counts[nonbox], minpts).sum())
+        stats.pass1_ops = ops1
+        charge_pass(device, n_seeds=int(nonbox.sum()), distance_ops=ops1)
 
-    # --- pass 2: expand core points, collisions rectified on the CPU ----
-    labels = np.full(n, NOISE, dtype=np.int64)
-    core_idx = np.flatnonzero(core_mask)
-    if len(core_idx):
-        comp = core_components(points.coords[core_idx], eps)
-        labels[core_idx] = comp
-        # Expansion cost: full candidate scan per expanded (non-box) core,
-        # plus one box-adjacency probe per dense box.
-        expand_mask = core_mask & nonbox
-        ops2 = int(cand[expand_mask].sum()) + densebox.n_boxes * max(minpts, 8)
-        stats.pass2_ops = ops2
-        charge_pass(device, n_seeds=int(expand_mask.sum()), distance_ops=ops2)
+        # --- pass 2: expand core points, collisions rectified on the CPU -
+        labels = np.full(n, NOISE, dtype=np.int64)
+        core_idx = np.flatnonzero(core_mask)
+        if len(core_idx):
+            comp = core_components(points.coords[core_idx], eps)
+            labels[core_idx] = comp
+            # Expansion cost: full candidate scan per expanded (non-box)
+            # core, plus one box-adjacency probe per dense box.
+            expand_mask = core_mask & nonbox
+            ops2 = int(cand[expand_mask].sum()) + densebox.n_boxes * max(minpts, 8)
+            stats.pass2_ops = ops2
+            charge_pass(device, n_seeds=int(expand_mask.sum()), distance_ops=ops2)
 
-        claimable = None if claim_box_borders else nonbox
-        assign_border_points(index, labels, core_mask, claimable_mask=claimable)
+            claimable = None if claim_box_borders else nonbox
+            assign_border_points(index, labels, core_mask, claimable_mask=claimable)
 
     # --- device->host copy of the clustered result (chunked to match) ---
+    if engine == "csr":
+        device.free("csr")
     for nbytes in _chunk_sizes(9 * n, k):
         device.d2h(nbytes)
     device.free_all()
 
     # Canonical dense numbering by first appearance.
-    remap: dict[int, int] = {}
-    for i in range(n):
-        lab = int(labels[i])
-        if lab == NOISE:
-            continue
-        if lab not in remap:
-            remap[lab] = len(remap)
-        labels[i] = remap[lab]
+    _canonical_remap(labels)
 
     stats.n_core = int(core_mask.sum())
     stats.kernel_launches = device.stats.kernel_launches

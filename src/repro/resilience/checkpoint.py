@@ -68,6 +68,9 @@ class CheckpointedLeaf:
     n_owned: int
     summary: Any
     stats: Any
+    #: Cluster engine that produced the output (``None`` on checkpoints
+    #: written before engines were recorded).
+    engine: str | None = None
 
 
 def _digest(labels: np.ndarray, core_mask: np.ndarray, blob: bytes) -> str:
@@ -116,8 +119,14 @@ class LeafCheckpointStore:
         n_owned: int,
         summary: Any,
         stats: Any,
+        engine: str | None = None,
     ) -> Path:
-        """Persist one leaf's output atomically; returns the data path."""
+        """Persist one leaf's output atomically; returns the data path.
+
+        ``engine`` records which cluster engine produced the output so a
+        later run under a different engine refuses to replay it (see
+        :meth:`load`).
+        """
         blob = pickle.dumps({"summary": summary, "stats": stats})
         data_path = self._data_path(leaf_id)
         meta_path = self._meta_path(leaf_id)
@@ -139,6 +148,7 @@ class LeafCheckpointStore:
             "leaf_id": int(leaf_id),
             "n_points": int(len(labels)),
             "digest": _digest(labels, core_mask, blob),
+            "engine": engine,
         }
         meta_tmp = meta_path.with_suffix(f".tmp.{os.getpid()}")
         meta_tmp.write_text(json.dumps(manifest, indent=1), encoding="utf-8")
@@ -149,8 +159,18 @@ class LeafCheckpointStore:
     # Reading
     # ------------------------------------------------------------------ #
 
-    def load(self, leaf_id: int) -> CheckpointedLeaf:
-        """Recover one leaf's output, verifying the manifest digest."""
+    def load(
+        self, leaf_id: int, *, expected_engine: str | None = None
+    ) -> CheckpointedLeaf:
+        """Recover one leaf's output, verifying the manifest digest.
+
+        With ``expected_engine`` set, a checkpoint recorded under any
+        other engine — including legacy checkpoints that recorded none —
+        raises :class:`~repro.errors.CheckpointError`, which callers
+        treat as a miss: engines are label-identical, but replaying a
+        foreign engine's output would silently skip the engine this run
+        was asked to exercise.
+        """
         meta_path = self._meta_path(leaf_id)
         data_path = self._data_path(leaf_id)
         if not (meta_path.exists() and data_path.exists()):
@@ -158,6 +178,19 @@ class LeafCheckpointStore:
             raise CheckpointError(f"no checkpoint for leaf {leaf_id} under {self.root}")
         try:
             manifest = json.loads(meta_path.read_text(encoding="utf-8"))
+            if expected_engine is not None and manifest.get("engine") != expected_engine:
+                self.misses += 1
+                logger.warning(
+                    "checkpoint for leaf %d was produced by engine %r, run wants %r; "
+                    "re-clustering",
+                    leaf_id,
+                    manifest.get("engine"),
+                    expected_engine,
+                )
+                raise CheckpointError(
+                    f"checkpoint for leaf {leaf_id} was produced by engine "
+                    f"{manifest.get('engine')!r}, not {expected_engine!r}"
+                )
             with np.load(data_path) as npz:
                 labels = npz["labels"]
                 core_mask = npz["core_mask"]
@@ -194,6 +227,7 @@ class LeafCheckpointStore:
             n_owned=n_owned,
             summary=payload["summary"],
             stats=payload["stats"],
+            engine=manifest.get("engine"),
         )
 
     def verify(self, leaf_id: int, *, labels: np.ndarray, core_mask: np.ndarray) -> bool:

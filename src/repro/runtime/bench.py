@@ -1,6 +1,6 @@
 """Transport benchmarks: the ``mrscan bench-transport`` harness.
 
-Two sections, written to ``BENCH_PR4.json``:
+Three sections, written to ``BENCH_PR8.json``:
 
 ``dataplane``
     Dispatch throughput of ``Transport.run_batch`` alone: the dataset is
@@ -14,6 +14,11 @@ Two sections, written to ``BENCH_PR4.json``:
 ``pipeline``
     End-to-end ``mrscan`` wall time per phase under each transport, same
     dataset and configuration, labels checked identical.
+
+``cluster_engines``
+    The cluster-phase kernel shootout: one simulated-GPU leaf clustered
+    by each engine (``block`` python loops vs ``csr`` batched vectorised
+    kernels), best-of-repeats points/sec, labels checked byte-identical.
 
 Timing discipline: one untimed warmup round per transport (pool spawn,
 worker imports, page faults), then the best of ``repeats`` timed rounds.
@@ -34,7 +39,12 @@ from ..points import PointSet
 from .arena import as_pointset
 from .executor import TRANSPORT_NAMES, make_transport
 
-__all__ = ["bench_dataplane", "bench_pipeline", "run_transport_bench"]
+__all__ = [
+    "bench_dataplane",
+    "bench_pipeline",
+    "bench_cluster_engines",
+    "run_transport_bench",
+]
 
 
 def _touch_all(task) -> float:
@@ -167,6 +177,61 @@ def bench_pipeline(
     return {"n_points": n_points, "n_leaves": n_leaves, "results": results}
 
 
+def bench_cluster_engines(
+    n_points: int = 100_000,
+    *,
+    eps: float = 0.15,
+    minpts: int = 8,
+    repeats: int = 3,
+    seed: int = 0,
+    engines: Sequence[str] = ("block", "csr"),
+) -> dict[str, Any]:
+    """Cluster-phase shootout: one leaf, every engine, identical labels.
+
+    Times :func:`repro.gpu.mrscan_gpu` alone (no partition/merge/sweep)
+    over the bench dataset, keeping the best of ``repeats`` per engine,
+    and asserts byte-identical labels across engines before reporting —
+    a speedup over an engine that clusters differently would be noise.
+    """
+    from ..gpu.mrscan_gpu import mrscan_gpu, resolve_cluster_engine
+
+    points = _synthetic_points(n_points, seed)
+    results: dict[str, Any] = {}
+    baseline = None
+    for name in engines:
+        resolve_cluster_engine(name)  # fail fast on unknown engines
+        walls = []
+        res = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            res = mrscan_gpu(points, eps, minpts, engine=name)
+            walls.append(time.perf_counter() - t0)
+        if baseline is None:
+            baseline = res.labels
+        elif not np.array_equal(res.labels, baseline):
+            raise AssertionError(f"engine {name!r} changed the labels")
+        best = min(walls)
+        results[name] = {
+            "cluster_seconds": best,
+            "cluster_seconds_all": walls,
+            "points_per_sec": n_points / best if best else float("inf"),
+            "kernel_launches": int(res.stats.kernel_launches),
+            "csr_batches": int(res.stats.csr_batches),
+        }
+    out: dict[str, Any] = {
+        "n_points": n_points,
+        "eps": eps,
+        "minpts": minpts,
+        "repeats": repeats,
+        "results": results,
+    }
+    if "block" in results and "csr" in results:
+        out["speedup_csr_vs_block"] = (
+            results["block"]["cluster_seconds"] / results["csr"]["cluster_seconds"]
+        )
+    return out
+
+
 def run_transport_bench(
     *,
     n_points: int = 1_000_000,
@@ -178,14 +243,16 @@ def run_transport_bench(
     seed: int = 0,
     transports: Sequence[str] = TRANSPORT_NAMES,
     skip_pipeline: bool = False,
-    output: str | Path | None = "BENCH_PR4.json",
+    skip_engines: bool = False,
+    engine_points: int = 100_000,
+    output: str | Path | None = "BENCH_PR8.json",
 ) -> dict[str, Any]:
-    """Run both sections and (optionally) write the JSON report."""
+    """Run all sections and (optionally) write the JSON report."""
     for name in transports:
         if name not in TRANSPORT_NAMES:
             raise ValueError(f"unknown transport {name!r}")
     report: dict[str, Any] = {
-        "schema": "mrscan-bench-transport/1",
+        "schema": "mrscan-bench-transport/2",
         "host": {
             "cpus": mp.cpu_count(),
             "python": platform.python_version(),
@@ -208,6 +275,10 @@ def run_transport_bench(
             n_workers=n_workers,
             seed=seed,
             transports=transports,
+        )
+    if not skip_engines:
+        report["cluster_engines"] = bench_cluster_engines(
+            engine_points, repeats=repeats, seed=seed
         )
     if output is not None:
         Path(output).write_text(json.dumps(report, indent=1) + "\n", encoding="utf-8")

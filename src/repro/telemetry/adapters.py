@@ -50,6 +50,12 @@ def record_gpu_stats(metrics: Any, stats: Any, *, leaf_id: int | None = None) ->
     metrics.counter("gpu.pass2_ops").inc(stats.pass2_ops)
     metrics.counter("gpu.sync_round_trips").inc(stats.sync_round_trips)
     metrics.histogram("gpu.distance_ops_per_leaf").observe(stats.total_distance_ops)
+    # Engine fields are getattr-guarded: unpickled stats from checkpoints
+    # written before engines existed lack them.
+    engine = getattr(stats, "engine", None)
+    if engine:
+        metrics.counter(f"gpu.engine.{engine}.leaves").inc(1)
+    metrics.counter("gpu.csr_batches").inc(int(getattr(stats, "csr_batches", 0) or 0))
     if stats.device:
         record_device_stats(metrics, stats.device, leaf_id=leaf_id)
 

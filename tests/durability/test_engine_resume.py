@@ -1,0 +1,130 @@
+"""Engine identity gates resume: no cross-engine checkpoint replay.
+
+The cluster engines are label-identical, but a resume must re-run under
+the engine the original run recorded — silently replaying a block-engine
+leaf checkpoint into a csr run would skip the engine the run was asked
+to exercise (and vice versa).  Two enforcement layers:
+
+* ``LeafCheckpointStore.load(expected_engine=...)`` treats a foreign or
+  legacy (engine-less) checkpoint as a miss (``CheckpointError``);
+* the run-directory config fingerprint includes the *resolved* engine,
+  so a whole-run resume under a different engine fails up front with
+  ``DurabilityError``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import mrscan
+from repro.errors import CheckpointError, DurabilityError
+from repro.gpu.mrscan_gpu import CLUSTER_ENGINE_ENV
+from repro.points import PointSet
+from repro.resilience import LeafCheckpointStore
+
+
+@pytest.fixture
+def leaf_output(rng):
+    return {
+        "labels": rng.integers(-1, 5, size=100).astype(np.int64),
+        "core_mask": rng.random(100) > 0.5,
+        "n_owned": 80,
+        "summary": {"n_clusters": 5},
+        "stats": {"kernel_launches": 3},
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Leaf checkpoint store
+# ---------------------------------------------------------------------- #
+
+
+def test_save_records_engine(tmp_path, leaf_output):
+    store = LeafCheckpointStore(tmp_path)
+    store.save(0, engine="csr", **leaf_output)
+    ckpt = store.load(0)
+    assert ckpt.engine == "csr"
+
+
+def test_foreign_engine_checkpoint_is_a_miss(tmp_path, leaf_output):
+    store = LeafCheckpointStore(tmp_path)
+    store.save(0, engine="block", **leaf_output)
+    with pytest.raises(CheckpointError, match="engine 'block', not 'csr'"):
+        store.load(0, expected_engine="csr")
+    assert store.misses == 1
+    # The right engine still replays it.
+    ckpt = store.load(0, expected_engine="block")
+    np.testing.assert_array_equal(ckpt.labels, leaf_output["labels"])
+    assert store.hits == 1
+
+
+def test_legacy_checkpoint_rejected_when_engine_expected(tmp_path, leaf_output):
+    """Checkpoints written before engines were recorded never replay
+    into an engine-pinned run (conservative: recompute, don't guess)."""
+    store = LeafCheckpointStore(tmp_path)
+    store.save(0, **leaf_output)  # legacy writer: no engine recorded
+    assert store.load(0).engine is None
+    with pytest.raises(CheckpointError, match="engine None"):
+        store.load(0, expected_engine="csr")
+    with pytest.raises(CheckpointError, match="engine None"):
+        store.load(0, expected_engine="block")
+
+
+def test_load_without_expectation_accepts_any_engine(tmp_path, leaf_output):
+    store = LeafCheckpointStore(tmp_path)
+    store.save(0, engine="csr", **leaf_output)
+    store.save(1, engine="block", **leaf_output)
+    assert store.load(0).engine == "csr"
+    assert store.load(1).engine == "block"
+    assert store.misses == 0
+
+
+# ---------------------------------------------------------------------- #
+# Whole-run resume
+# ---------------------------------------------------------------------- #
+
+
+def _points(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, 4.0, size=(4, 2))
+    coords = centers[rng.integers(0, 4, size=n)] + rng.normal(0, 0.08, (n, 2))
+    return PointSet.from_coords(coords)
+
+
+def _run(points, run_dir, *, resume=False, **kw):
+    return mrscan(
+        points, 0.15, 5, n_leaves=4, run_dir=str(run_dir), resume=resume, **kw
+    )
+
+
+def test_resume_under_different_engine_refused(tmp_path):
+    points = _points()
+    _run(points, tmp_path, cluster_engine="block")
+    with pytest.raises(DurabilityError, match="different label-affecting"):
+        _run(points, tmp_path, resume=True, cluster_engine="csr")
+    # The original engine resumes fine and short-circuits to the labels.
+    resumed = _run(points, tmp_path, resume=True, cluster_engine="block")
+    assert resumed.resumed
+
+
+def test_env_default_is_pinned_into_fingerprint(tmp_path, monkeypatch):
+    """A run started under MRSCAN_CLUSTER_ENGINE=block cannot resume
+    after the environment flips to csr: the *resolved* engine is what
+    the fingerprint records, not the unset config field."""
+    points = _points(seed=1)
+    monkeypatch.setenv(CLUSTER_ENGINE_ENV, "block")
+    _run(points, tmp_path)
+    monkeypatch.setenv(CLUSTER_ENGINE_ENV, "csr")
+    with pytest.raises(DurabilityError, match="different label-affecting"):
+        _run(points, tmp_path, resume=True)
+    monkeypatch.setenv(CLUSTER_ENGINE_ENV, "block")
+    assert _run(points, tmp_path, resume=True).resumed
+
+
+def test_same_engine_resume_replays_leaf_checkpoints(tmp_path):
+    points = _points(seed=2)
+    first = _run(points, tmp_path, cluster_engine="csr")
+    resumed = _run(points, tmp_path, resume=True, cluster_engine="csr")
+    assert resumed.resumed
+    np.testing.assert_array_equal(first.labels, resumed.labels)

@@ -1,0 +1,220 @@
+"""Cluster-engine conformance: csr must be byte-identical to block.
+
+The csr engine replaces the block engine's per-cell python loops with
+batched vectorised kernels, but the contract is stronger than "same
+clustering": labels, core masks and the modeled operation counts must be
+*byte-identical*, so the block engine stays usable as a differential
+oracle and checkpoints/resumes can gate on engine identity alone.
+
+Three layers of evidence:
+
+1. direct ``mrscan_gpu`` parity over a randomized parameter sweep
+   (densebox on/off, border claiming, OOM chunking, tiny devices);
+2. end-to-end pipeline parity over the seeded fuzz corpus — same seed
+   derivation as ``mrscan fuzz`` — including cases with fault plans;
+3. pipeline parity across every transport (local/process/shm/tcp).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MrScanConfig
+from repro.core.pipeline import run_pipeline
+from repro.errors import ConfigError
+from repro.gpu.device import DeviceConfig, SimulatedDevice
+from repro.gpu.mrscan_gpu import (
+    CLUSTER_ENGINE_ENV,
+    CLUSTER_ENGINES,
+    DEFAULT_CLUSTER_ENGINE,
+    mrscan_gpu,
+    resolve_cluster_engine,
+)
+from repro.points import PointSet
+from repro.validate.fuzz import generate_case
+
+# ---------------------------------------------------------------------- #
+# Direct kernel-level parity
+# ---------------------------------------------------------------------- #
+
+
+def _random_points(rng: np.random.Generator, n: int, mode: int) -> PointSet:
+    """Datasets chosen to stress distinct neighborhood structures."""
+    if mode == 0:  # uniform: every cell sparsely populated
+        coords = rng.uniform(0.0, 6.0, size=(n, 2))
+    elif mode == 1:  # tight blobs: dense boxes eliminate most points
+        centers = rng.uniform(0.0, 8.0, size=(6, 2))
+        coords = centers[rng.integers(0, 6, size=n)] + rng.normal(0, 0.05, (n, 2))
+    elif mode == 2:  # collinear: degenerate 1-D geometry
+        x = rng.uniform(0.0, 10.0, size=n)
+        coords = np.column_stack([x, np.full(n, 0.5)])
+    else:  # duplicates: exact ties exercise the border tie-break
+        base = rng.uniform(0.0, 3.0, size=(max(n // 3, 1), 2))
+        coords = base[rng.integers(0, len(base), size=n)]
+    return PointSet.from_coords(coords)
+
+
+def _assert_identical(res_block, res_csr) -> None:
+    np.testing.assert_array_equal(res_block.labels, res_csr.labels)
+    np.testing.assert_array_equal(res_block.core_mask, res_csr.core_mask)
+    # The modeled SIMT cost accounting is engine-invariant: csr batches
+    # differently but must charge the same algorithmic work.
+    assert res_block.stats.pass1_ops == res_csr.stats.pass1_ops
+    assert res_block.stats.pass2_ops == res_csr.stats.pass2_ops
+    assert res_block.stats.sync_round_trips == res_csr.stats.sync_round_trips
+    assert res_block.stats.n_core == res_csr.stats.n_core
+    assert res_block.stats.n_eliminated == res_csr.stats.n_eliminated
+
+
+@pytest.mark.parametrize("trial", range(12))
+def test_direct_parity_randomized(trial):
+    """mrscan_gpu(engine=csr) == mrscan_gpu(engine=block), bit for bit."""
+    rng = np.random.default_rng(1000 + trial)
+    points = _random_points(rng, int(rng.integers(50, 900)), trial % 4)
+    eps = float(rng.uniform(0.05, 0.4))
+    minpts = int(rng.integers(2, 12))
+    use_densebox = bool(rng.random() < 0.7)
+    claim = bool(rng.random() < 0.3)
+    res_block = mrscan_gpu(
+        points, eps, minpts, engine="block",
+        use_densebox=use_densebox, claim_box_borders=claim,
+    )
+    res_csr = mrscan_gpu(
+        points, eps, minpts, engine="csr",
+        use_densebox=use_densebox, claim_box_borders=claim,
+    )
+    _assert_identical(res_block, res_csr)
+    assert res_block.stats.engine == "block"
+    assert res_csr.stats.engine == "csr"
+    assert res_csr.stats.csr_batches >= 1
+    assert res_block.stats.csr_batches == 0
+
+
+@pytest.mark.parametrize("memory_chunks", [1, 2, 4])
+def test_direct_parity_under_memory_chunking(memory_chunks):
+    """The OOM-degradation path (smaller batches) cannot change labels."""
+    rng = np.random.default_rng(7)
+    points = _random_points(rng, 600, 1)
+    res_block = mrscan_gpu(points, 0.15, 5, engine="block", memory_chunks=memory_chunks)
+    res_csr = mrscan_gpu(points, 0.15, 5, engine="csr", memory_chunks=memory_chunks)
+    _assert_identical(res_block, res_csr)
+    assert res_csr.stats.memory_chunks == memory_chunks
+
+
+def test_csr_runs_on_tiny_device():
+    """A device too small for the default scratch shrinks batches, not fails."""
+    rng = np.random.default_rng(11)
+    points = _random_points(rng, 400, 0)
+    tiny = SimulatedDevice(DeviceConfig(memory_bytes=200_000))
+    res = mrscan_gpu(points, 0.2, 4, device=tiny, engine="csr")
+    ref = mrscan_gpu(points, 0.2, 4, engine="block")
+    np.testing.assert_array_equal(res.labels, ref.labels)
+
+
+@pytest.mark.parametrize("n", [0, 1, 2])
+def test_direct_parity_degenerate_sizes(n):
+    coords = np.zeros((n, 2)) if n else np.empty((0, 2))
+    if n == 0:
+        return  # mrscan_gpu requires points; pipeline guards empty input
+    points = PointSet.from_coords(coords)
+    res_block = mrscan_gpu(points, 0.1, 2, engine="block")
+    res_csr = mrscan_gpu(points, 0.1, 2, engine="csr")
+    _assert_identical(res_block, res_csr)
+
+
+# ---------------------------------------------------------------------- #
+# Engine selection
+# ---------------------------------------------------------------------- #
+
+
+def test_engine_resolution_chain(monkeypatch):
+    monkeypatch.delenv(CLUSTER_ENGINE_ENV, raising=False)
+    assert set(CLUSTER_ENGINES) == {"block", "csr"}
+    assert DEFAULT_CLUSTER_ENGINE in CLUSTER_ENGINES
+    assert resolve_cluster_engine(None) == DEFAULT_CLUSTER_ENGINE
+    assert resolve_cluster_engine("block") == "block"
+    monkeypatch.setenv(CLUSTER_ENGINE_ENV, "block")
+    assert resolve_cluster_engine(None) == "block"
+    # Explicit beats env.
+    assert resolve_cluster_engine("csr") == "csr"
+    monkeypatch.setenv(CLUSTER_ENGINE_ENV, "")
+    assert resolve_cluster_engine(None) == DEFAULT_CLUSTER_ENGINE
+
+
+def test_unknown_engine_rejected(monkeypatch):
+    with pytest.raises(ConfigError, match="unknown cluster engine"):
+        resolve_cluster_engine("simd")
+    with pytest.raises(ConfigError, match="cluster_engine"):
+        MrScanConfig(eps=0.1, minpts=3, n_leaves=2, cluster_engine="simd")
+    monkeypatch.setenv(CLUSTER_ENGINE_ENV, "warp")
+    with pytest.raises(ConfigError, match="unknown cluster engine"):
+        resolve_cluster_engine(None)
+
+
+def test_config_resolves_engine(monkeypatch):
+    monkeypatch.delenv(CLUSTER_ENGINE_ENV, raising=False)
+    assert MrScanConfig(eps=0.1, minpts=3, n_leaves=2).resolved_cluster_engine() == (
+        DEFAULT_CLUSTER_ENGINE
+    )
+    cfg = MrScanConfig(eps=0.1, minpts=3, n_leaves=2, cluster_engine="block")
+    assert cfg.resolved_cluster_engine() == "block"
+    monkeypatch.setenv(CLUSTER_ENGINE_ENV, "block")
+    assert MrScanConfig(eps=0.1, minpts=3, n_leaves=2).resolved_cluster_engine() == "block"
+
+
+def test_env_var_steers_pipeline(monkeypatch):
+    """MRSCAN_CLUSTER_ENGINE selects the engine for a whole run."""
+    rng = np.random.default_rng(3)
+    points = _random_points(rng, 300, 1)
+    config = MrScanConfig(eps=0.15, minpts=4, n_leaves=2)
+    monkeypatch.setenv(CLUSTER_ENGINE_ENV, "block")
+    res_block = run_pipeline(points, config)
+    assert all(s.engine == "block" for s in res_block.gpu_stats)
+    monkeypatch.setenv(CLUSTER_ENGINE_ENV, "csr")
+    res_csr = run_pipeline(points, config)
+    assert all(s.engine == "csr" for s in res_csr.gpu_stats)
+    np.testing.assert_array_equal(res_block.labels, res_csr.labels)
+
+
+# ---------------------------------------------------------------------- #
+# End-to-end pipeline parity over the fuzz corpus
+# ---------------------------------------------------------------------- #
+
+
+def _case_labels(case, engine, **overrides):
+    config = case.config(validate="off", cluster_engine=engine, **overrides)
+    return run_pipeline(case.points(), config).labels
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fuzz_corpus_parity(seed):
+    """Same seed derivation as ``mrscan fuzz``: labels byte-identical.
+
+    About half the generated cases carry a seeded fault plan, so this
+    also covers retry/failover paths re-clustering leaves under csr.
+    """
+    case = generate_case(seed, max_points=700)
+    labels_block = _case_labels(case, "block")
+    labels_csr = _case_labels(case, "csr")
+    np.testing.assert_array_equal(labels_block, labels_csr)
+
+
+@pytest.mark.parametrize("transport", ["local", "process", "shm", "tcp"])
+def test_parity_across_transports(transport):
+    """One fuzz case, every transport: csr matches the block baseline."""
+    case = generate_case(42, max_points=500, fault_fraction=0.0)
+    baseline = _case_labels(case, "block")
+    got = _case_labels(case, "csr", transport=transport, transport_workers=2)
+    np.testing.assert_array_equal(baseline, got)
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", [5, 17])
+def test_parity_under_fault_plans(seed):
+    """Seeded fault plans (crash/delay/failover) with each engine agree."""
+    case = generate_case(seed, fault_fraction=1.0, max_points=600)
+    assert case.fault_seed is not None
+    labels_block = _case_labels(case, "block")
+    labels_csr = _case_labels(case, "csr")
+    np.testing.assert_array_equal(labels_block, labels_csr)

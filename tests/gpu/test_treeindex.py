@@ -1,0 +1,292 @@
+"""FlatTree property tests: structure, dual traversal, CSR correctness.
+
+The tree is the csr engine's spatial index; these properties are what the
+engine's byte-identical-labels guarantee rests on:
+
+* every point lives in exactly one leaf box at every level;
+* the dual traversal's leaf pairs equal the brute-force set of box pairs
+  within the interaction radius (mindist prune is exact, never lossy);
+* ``csr_neighborhoods`` equals a brute-force O(n^2) eps-neighborhood
+  scan, including on degenerate inputs (duplicates, collinear, empty).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dbscan.grid_index import GridIndex
+from repro.errors import ConfigError
+from repro.gpu.kernels import candidate_counts, csr_neighborhoods, neighbor_pairs
+from repro.gpu.treeindex import FlatTree, morton_decode, morton_encode
+from repro.points import PointSet
+
+
+def _coords(rng: np.random.Generator, n: int, kind: str) -> np.ndarray:
+    if kind == "uniform":
+        return rng.uniform(-3.0, 5.0, size=(n, 2))
+    if kind == "clustered":
+        centers = rng.uniform(0.0, 4.0, size=(5, 2))
+        return centers[rng.integers(0, 5, size=n)] + rng.normal(0, 0.1, (n, 2))
+    if kind == "collinear":
+        return np.column_stack([rng.uniform(0, 8, n), np.full(n, 1.25)])
+    if kind == "duplicates":
+        base = rng.uniform(0.0, 2.0, size=(max(n // 4, 1), 2))
+        return base[rng.integers(0, len(base), size=n)]
+    raise AssertionError(kind)
+
+
+KINDS = ("uniform", "clustered", "collinear", "duplicates")
+
+
+# ---------------------------------------------------------------------- #
+# Morton codes
+# ---------------------------------------------------------------------- #
+
+
+def test_morton_roundtrip():
+    rng = np.random.default_rng(0)
+    ux = rng.integers(0, 2**28, size=1000).astype(np.uint64)
+    uy = rng.integers(0, 2**28, size=1000).astype(np.uint64)
+    dx, dy = morton_decode(morton_encode(ux, uy))
+    np.testing.assert_array_equal(dx, ux.astype(np.int64))
+    np.testing.assert_array_equal(dy, uy.astype(np.int64))
+
+
+def test_morton_orders_by_quadrant():
+    # Prefix property: shifting a key right 2 bits gives the parent cell.
+    ux = np.array([0, 1, 2, 3], dtype=np.uint64)
+    uy = np.array([0, 1, 2, 3], dtype=np.uint64)
+    keys = morton_encode(ux, uy)
+    px, py = morton_decode(keys >> np.uint64(2))
+    np.testing.assert_array_equal(px, ux.astype(np.int64) // 2)
+    np.testing.assert_array_equal(py, uy.astype(np.int64) // 2)
+
+
+# ---------------------------------------------------------------------- #
+# Tree structure
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_every_point_in_exactly_one_box_per_level(kind):
+    rng = np.random.default_rng(1)
+    coords = _coords(rng, 500, kind)
+    tree = FlatTree(coords, 0.3)
+    assert sorted(tree.order.tolist()) == list(range(500))
+    for lvl in range(tree.n_levels):
+        start, count = tree.level_start[lvl], tree.level_count[lvl]
+        # Boxes tile the sorted permutation: contiguous, disjoint, total.
+        assert start[0] == 0
+        np.testing.assert_array_equal(start[1:], (start + count)[:-1])
+        assert int((start + count)[-1]) == 500
+        # Keys sorted strictly ascending (unique non-empty boxes).
+        keys = tree.level_keys[lvl]
+        assert np.all(keys[1:] > keys[:-1])
+    assert len(tree.level_keys[0]) == 1  # single root
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_child_ranges_partition_each_level(kind):
+    rng = np.random.default_rng(2)
+    tree = FlatTree(_coords(rng, 400, kind), 0.25)
+    for lvl in range(tree.n_levels - 1):
+        cs, ce = tree.child_start[lvl], tree.child_end[lvl]
+        assert np.all(ce >= cs)
+        # Children cover level l+1 exactly once, in order.
+        assert cs[0] == 0
+        np.testing.assert_array_equal(cs[1:], ce[:-1])
+        assert int(ce[-1]) == len(tree.level_keys[lvl + 1])
+        # Each child's Morton prefix is its parent's key.
+        for i in range(len(cs)):
+            child_keys = tree.level_keys[lvl + 1][cs[i] : ce[i]]
+            assert np.all((child_keys >> np.uint64(2)) == tree.level_keys[lvl][i])
+        # Point counts aggregate bottom-up.
+        child_counts = tree.level_count[lvl + 1]
+        agg = np.add.reduceat(child_counts, cs)
+        np.testing.assert_array_equal(agg, tree.level_count[lvl])
+
+
+def test_leaf_boxes_are_eps_cells():
+    """Leaf level == GridIndex's non-empty Eps-cells, same geometry."""
+    rng = np.random.default_rng(3)
+    coords = _coords(rng, 600, "clustered")
+    eps = 0.2
+    tree = FlatTree(coords, eps)
+    index = GridIndex(PointSet.from_coords(coords), eps)
+    grid_cells = set(index.cell_counts())
+    bx, by = tree.box_cells(tree.n_levels - 1)
+    tree_cells = {
+        (int(x + tree.cell_origin[0]), int(y + tree.cell_origin[1]))
+        for x, y in zip(bx, by)
+    }
+    assert tree_cells == grid_cells
+    for box in range(tree.n_leaf_boxes):
+        cell = (
+            int(bx[box] + tree.cell_origin[0]),
+            int(by[box] + tree.cell_origin[1]),
+        )
+        np.testing.assert_array_equal(
+            np.sort(tree.leaf_members(box)), np.sort(index.cell_members(cell))
+        )
+
+
+def test_point_leaf_is_consistent():
+    rng = np.random.default_rng(4)
+    tree = FlatTree(_coords(rng, 300, "uniform"), 0.4)
+    for box in range(tree.n_leaf_boxes):
+        members = tree.leaf_members(box)
+        assert np.all(tree.point_leaf[members] == box)
+
+
+def test_stable_order_within_cells():
+    """Within a leaf box, points keep input order (stable argsort)."""
+    coords = np.array([[0.05, 0.05], [0.02, 0.02], [0.08, 0.01], [5.0, 5.0]])
+    tree = FlatTree(coords, 1.0)
+    box = tree.point_leaf[0]
+    np.testing.assert_array_equal(tree.leaf_members(int(box)), [0, 1, 2])
+
+
+# ---------------------------------------------------------------------- #
+# Dual traversal
+# ---------------------------------------------------------------------- #
+
+
+def _brute_force_pairs(tree: FlatTree, radius: float) -> set[tuple[int, int]]:
+    """All leaf-box pairs with region mindist strictly below radius."""
+    bx, by = tree.box_cells(tree.n_levels - 1)
+    w = tree.cell_width
+    out = set()
+    for a in range(tree.n_leaf_boxes):
+        for b in range(a, tree.n_leaf_boxes):
+            gx = max(abs(int(bx[a] - bx[b])) - 1, 0) * w
+            gy = max(abs(int(by[a] - by[b])) - 1, 0) * w
+            if gx * gx + gy * gy < radius * radius:
+                out.add((a, b))
+    return out
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_leaf_pairs_match_brute_force(kind):
+    rng = np.random.default_rng(5)
+    tree = FlatTree(_coords(rng, 250, kind), 0.35)
+    a, b = tree.leaf_pairs()
+    got = set(zip(a.tolist(), b.tolist()))
+    assert got == _brute_force_pairs(tree, 0.35)
+    assert np.all(a <= b)  # unordered pairs, diagonal included once
+
+
+def test_leaf_pairs_with_finer_radius():
+    """radius > cell: the 5x5-minus-corners stencil of the union stage."""
+    rng = np.random.default_rng(6)
+    tree = FlatTree(_coords(rng, 250, "uniform"), 0.15, radius=0.2)
+    a, b = tree.leaf_pairs()
+    got = set(zip(a.tolist(), b.tolist()))
+    assert got == _brute_force_pairs(tree, 0.2)
+    # A Chebyshev-distance-2 pair straight across is kept (gap 0.15 <
+    # 0.2); the corner at (2, 2) is not (gap * sqrt(2) > 0.2).
+    bx, by = tree.box_cells(tree.n_levels - 1)
+    for pa, pb in got:
+        dx, dy = abs(int(bx[pa] - bx[pb])), abs(int(by[pa] - by[pb]))
+        assert max(dx, dy) <= 2 and (dx, dy) != (2, 2)
+
+
+def test_interaction_counts_match_grid_stencil():
+    """Default radius: per-point candidates == the 3x3 Eps-cell stencil."""
+    rng = np.random.default_rng(7)
+    coords = _coords(rng, 500, "clustered")
+    eps = 0.18
+    tree = FlatTree(coords, eps)
+    index = GridIndex(PointSet.from_coords(coords), eps)
+    np.testing.assert_array_equal(tree.interaction_counts(), candidate_counts(index))
+
+
+# ---------------------------------------------------------------------- #
+# CSR neighborhoods vs brute force
+# ---------------------------------------------------------------------- #
+
+
+def _brute_force_csr(coords: np.ndarray, eps: float):
+    n = len(coords)
+    rows = []
+    for i in range(n):
+        d2 = np.sum((coords - coords[i]) ** 2, axis=1)
+        rows.append(np.flatnonzero(d2 <= eps * eps))
+    return rows
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("batch_pairs", [97, 4096])
+def test_csr_matches_brute_force(kind, batch_pairs):
+    rng = np.random.default_rng(8)
+    coords = _coords(rng, 180, kind)
+    eps = 0.3
+    csr = csr_neighborhoods(coords, eps, batch_pairs=batch_pairs)
+    expect = _brute_force_csr(coords, eps)
+    assert len(csr) == len(coords)
+    for i, row in enumerate(expect):
+        np.testing.assert_array_equal(csr.row(i), row)  # row-sorted
+
+
+def test_neighbor_pairs_counts_match_grid_index():
+    rng = np.random.default_rng(9)
+    coords = _coords(rng, 400, "uniform")
+    eps = 0.25
+    pairs = neighbor_pairs(coords, eps)
+    index = GridIndex(PointSet.from_coords(coords), eps)
+    np.testing.assert_array_equal(pairs.neighbor_counts(), index.count_neighbors())
+    # Each unordered candidate pair is evaluated exactly once: candidates
+    # are at most half the full 3x3-stencil scan (plus the n self-pairs).
+    full = int(candidate_counts(index).sum())
+    assert pairs.n_candidates <= full // 2 + len(coords)
+
+
+@pytest.mark.parametrize("n", [0, 1, 2])
+def test_csr_degenerate_sizes(n):
+    coords = np.zeros((n, 2), dtype=np.float64)
+    csr = csr_neighborhoods(coords, 0.5)
+    assert len(csr) == n
+    for i in range(n):
+        np.testing.assert_array_equal(csr.row(i), np.arange(n))  # all dupes
+
+
+def test_single_point_per_leaf_box():
+    coords = np.array([[0.0, 0.0], [10.0, 10.0], [20.0, 0.0]])
+    tree = FlatTree(coords, 1.0)
+    assert tree.n_leaf_boxes == 3
+    a, b = tree.leaf_pairs()
+    np.testing.assert_array_equal(a, b)  # only self-pairs survive the prune
+    csr = csr_neighborhoods(coords, 1.0, tree=tree)
+    for i in range(3):
+        np.testing.assert_array_equal(csr.row(i), [i])
+
+
+# ---------------------------------------------------------------------- #
+# Guards
+# ---------------------------------------------------------------------- #
+
+
+def test_rejects_bad_inputs():
+    with pytest.raises(ConfigError, match="positive"):
+        FlatTree(np.zeros((3, 2)), 0.0)
+    with pytest.raises(ConfigError, match="positive"):
+        FlatTree(np.zeros((3, 2)), 1.0, radius=-1.0)
+    with pytest.raises(ConfigError, match="\\(n, 2\\)"):
+        FlatTree(np.zeros((3, 3)), 1.0)
+    with pytest.raises(ConfigError, match="finite"):
+        FlatTree(np.array([[0.0, np.nan]]), 1.0)
+
+
+def test_rejects_span_overflow():
+    # 2^28 cells per axis is the Morton key budget.
+    coords = np.array([[0.0, 0.0], [2.0**29, 0.0]])
+    with pytest.raises(ConfigError, match="too small for the coordinate span"):
+        FlatTree(coords, 1.0)
+
+
+def test_empty_tree():
+    tree = FlatTree(np.empty((0, 2)), 1.0)
+    assert tree.n_levels == 0 and tree.n_leaf_boxes == 0
+    a, b = tree.leaf_pairs()
+    assert len(a) == len(b) == 0
+    assert len(tree.interaction_counts()) == 0
