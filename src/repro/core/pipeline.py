@@ -106,6 +106,11 @@ class _ClusterLeafOutput:
     #: True when the output was recovered from a spill checkpoint (the
     #: GPU clustering pass did not run).
     from_checkpoint: bool = False
+    #: Leaf wall-clock seconds (checkpoint lookup included) — the signal
+    #: the tune planner's skew rebalancer keys on.
+    wall_seconds: float = 0.0
+    #: Points the leaf saw (owned + shadow).
+    n_points: int = 0
 
 
 def _cluster_leaf(task: _ClusterLeafTask) -> _ClusterLeafOutput:
@@ -128,6 +133,7 @@ def _cluster_leaf(task: _ClusterLeafTask) -> _ClusterLeafOutput:
     many memory chunks (identical labels, more transfers), up to
     :data:`MAX_MEMORY_CHUNKS`.
     """
+    t_leaf_start = time.perf_counter()
     cfg = task.config
     engine = (
         "cuda-dclust"
@@ -154,6 +160,8 @@ def _cluster_leaf(task: _ClusterLeafTask) -> _ClusterLeafOutput:
                 summary=ckpt.summary,
                 n_owned=ckpt.n_owned,
                 from_checkpoint=True,
+                wall_seconds=time.perf_counter() - t_leaf_start,
+                n_points=len(task.own) + len(task.shadow),
             )
     # Under the shm data plane own/shadow arrive as refs; materialize
     # them as zero-copy views over the worker's attached segments.
@@ -261,6 +269,8 @@ def _cluster_leaf(task: _ClusterLeafTask) -> _ClusterLeafOutput:
         summary=summary,
         n_owned=len(task.own),
         spans=tracer.drain(),
+        wall_seconds=time.perf_counter() - t_leaf_start,
+        n_points=len(view),
     )
 
 
@@ -320,6 +330,28 @@ def run_pipeline(
     """
     if telemetry is None:
         telemetry = Telemetry() if config.telemetry else Telemetry.disabled()
+    transport_name = transport if isinstance(transport, str) else None
+    tune_store = None
+    if config.auto_tune and transport is None:
+        # Planner fills only unset label-neutral knobs (transport, pool
+        # size, engine) from recorded history; a tune failure must never
+        # fail the run it was trying to speed up.
+        try:
+            from ..tune.history import ProfileStore
+            from ..tune.planner import auto_tune_config
+
+            tune_store = ProfileStore(config.tune_dir)
+            config, tune_plan = auto_tune_config(config, points, store=tune_store)
+            logger.info(
+                "auto-tune: %s / %s (%d history profile(s))",
+                config.resolved_transport(),
+                config.resolved_cluster_engine(),
+                tune_plan.model_info.get("history_rows", 0),
+            )
+        except Exception:  # noqa: BLE001 - advisory subsystem, never fatal
+            logger.warning("auto-tune failed; running with config as given",
+                           exc_info=True)
+            tune_store = None
     owns_transport = transport is None or isinstance(transport, str)
     if owns_transport:
         transport = make_transport(
@@ -329,12 +361,31 @@ def run_pipeline(
             metrics=telemetry.metrics,
         )
     try:
-        return _run_pipeline(
+        result = _run_pipeline(
             points, config, transport=transport, telemetry=telemetry
         )
     finally:
         if owns_transport:
             transport.close()
+    if config.auto_tune or config.tune_record:
+        # Feed the run back into the profile store so the next plan has
+        # one more row of this-machine evidence.  Best-effort only.
+        try:
+            from ..tune.history import ProfileStore, profile_from_result
+
+            if tune_store is None:
+                tune_store = ProfileStore(config.tune_dir)
+            # A transport passed by name overrides config.transport for
+            # the run; the profile must record what actually executed.
+            profiled = (
+                replace(config, transport=transport_name)
+                if transport_name is not None and config.transport is None
+                else config
+            )
+            tune_store.append(profile_from_result(result, profiled, points=points))
+        except Exception:  # noqa: BLE001 - advisory subsystem, never fatal
+            logger.warning("tune profile recording failed", exc_info=True)
+    return result
 
 
 def _run_pipeline(
@@ -513,6 +564,7 @@ def _run_phases(
                 tracer=tracer,
                 fault_injector=config.fault_plan,
                 resilience=resilience,
+                partition_hints=config.partition_hints,
             )
             phase1 = partitioner.run(
                 internal, config.n_leaves, workdir=config.materialize_dir
@@ -540,11 +592,16 @@ def _run_phases(
         durable.note(
             "partition_done",
             {"n_partitions": phase1.n_partitions,
-             "n_partition_nodes": phase1.n_partition_nodes},
+             "n_partition_nodes": phase1.n_partition_nodes,
+             "wall_seconds": timer.seconds.get("partition", 0.0)},
         )
 
     # ----------------------------- cluster ----------------------------- #
-    topology = Topology.paper_style(config.n_leaves, config.fanout)
+    # The tree is sized from the plan's actual partition count: split
+    # hints (config.partition_hints) can grow it past config.n_leaves.
+    topology = Topology.paper_style(
+        max(phase1.n_partitions, 1), config.fanout
+    )
     network = Network(
         topology,
         transport,
@@ -589,6 +646,8 @@ def _run_phases(
                     "leaf_id": out.leaf_id,
                     "from_checkpoint": bool(out.from_checkpoint),
                     "n_owned": out.n_owned,
+                    "n_points": int(out.n_points),
+                    "wall_seconds": float(out.wall_seconds),
                 },
             )
 
@@ -597,7 +656,7 @@ def _run_phases(
     # try/finally so ``network.close()`` is unconditional.
     try:
         with timer.phase("cluster"), tracer.span(
-            "cluster", cat="phase", pid=PID_DRIVER, n_leaves=config.n_leaves
+            "cluster", cat="phase", pid=PID_DRIVER, n_leaves=len(tasks)
         ):
             outputs, map_trace = network.map_leaves(
                 _cluster_leaf,
@@ -628,6 +687,7 @@ def _run_phases(
                     "checkpoint_hits": sum(
                         1 for o in outputs if o.from_checkpoint
                     ),
+                    "wall_seconds": timer.seconds.get("cluster", 0.0),
                 },
             )
 
@@ -675,7 +735,11 @@ def _run_phases(
                 phase="merge",
             ):
                 durable.phases.save("merge", (root_summary, assignment))
-            durable.note("merge_done", {"n_clusters": assignment.n_clusters})
+            durable.note(
+                "merge_done",
+                {"n_clusters": assignment.n_clusters,
+                 "wall_seconds": timer.seconds.get("merge", 0.0)},
+            )
 
         # ------------------------------ sweep -------------------------- #
         output_io = IOTrace()
@@ -736,6 +800,7 @@ def _run_phases(
                     "labels_digest": hashlib.sha256(
                         np.ascontiguousarray(labels).tobytes()
                     ).hexdigest(),
+                    "wall_seconds": timer.seconds.get("sweep", 0.0),
                 },
             )
     finally:
@@ -788,7 +853,9 @@ def _run_phases(
         n_clusters=n_clusters,
         timings=timings,
         virtual_timings=virtual,
-        n_leaves=config.n_leaves,
+        # The tree's actual width: split hints can grow it past the
+        # configured leaf count.
+        n_leaves=max(phase1.n_partitions, 1),
         n_partition_nodes=phase1.n_partition_nodes,
         partition_io=phase1.io_trace,
         output_io=output_io,
@@ -808,6 +875,9 @@ def _run_phases(
             "sweep_multicast": sweep_trace,
         },
         leaf_point_counts=[len(own) + len(shadow) for own, shadow in phase1.partitions],
+        leaf_wall_seconds={
+            o.leaf_id: float(o.wall_seconds) for o in outputs
+        },
         telemetry=telemetry,
         faults=fault_log.events,
         fault_summary=fault_log.summary(),

@@ -97,6 +97,11 @@ def config_fingerprint(config: MrScanConfig) -> str:
     payload = {name: getattr(config, name) for name in LABEL_FIELDS}
     payload["partition_nodes"] = config.partition_nodes
     payload["cluster_engine"] = config.resolved_cluster_engine()
+    # Partition-split hints change the partition plan (and hence label
+    # numbering), so a resume under different hints must refuse.
+    hints = getattr(config, "partition_hints", None)
+    if hints is not None:
+        payload["partition_hints"] = hints.as_dict()
     body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(body.encode("utf-8")).hexdigest()
 
@@ -228,6 +233,10 @@ class RunDirectory:
                     "dataset_fingerprint": data_fp,
                     "n_points": len(points),
                     "transport": config.resolved_transport(),
+                    "transport_workers": config.transport_workers,
+                    "cluster_engine": config.resolved_cluster_engine(),
+                    "n_leaves": config.n_leaves,
+                    "fanout": config.fanout,
                 },
             )
             self.config_path.write_text(

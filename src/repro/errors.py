@@ -25,7 +25,8 @@ Hierarchy::
     ├── DurabilityError
     │   └── JournalError
     ├── ValidationError
-    └── SimulationError
+    ├── SimulationError
+    └── TuneError
 
 The resilience layer (:mod:`repro.resilience`) raises
 :class:`LeafTimeoutError` when a node exceeds its per-attempt deadline,
@@ -144,3 +145,7 @@ class ValidationError(MrScanError):
 
 class SimulationError(MrScanError):
     """Performance-model simulation cannot proceed."""
+
+
+class TuneError(MrScanError):
+    """The tune planner cannot produce or apply a plan (repro.tune)."""

@@ -9,18 +9,20 @@ distributes across nodes — the grid histogram is the only global state.
 """
 
 from .grid import GridHistogram
-from .plan import PartitionPlan, PartitionSpec
-from .partitioner import form_partitions, partition_points
+from .plan import PartitionHints, PartitionPlan, PartitionSpec
+from .partitioner import apply_partition_hints, form_partitions, partition_points
 from .shadow import shadow_cells_of, add_shadow_regions
 from .dirty import adopt_cells, dirty_partitions, touched_cells_of
 from .distributed import DistributedPartitioner, PartitionPhaseResult
 
 __all__ = [
     "GridHistogram",
+    "PartitionHints",
     "PartitionPlan",
     "PartitionSpec",
     "form_partitions",
     "partition_points",
+    "apply_partition_hints",
     "shadow_cells_of",
     "add_shadow_regions",
     "adopt_cells",

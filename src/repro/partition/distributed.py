@@ -139,6 +139,7 @@ class DistributedPartitioner:
         tracer=None,
         fault_injector=None,
         resilience=None,
+        partition_hints=None,
     ) -> None:
         if n_partition_nodes < 1:
             raise PartitionError("need at least one partitioner node")
@@ -162,6 +163,9 @@ class DistributedPartitioner:
         #: phase surface on ``PartitionPhaseResult.fault_events``.
         self.fault_injector = fault_injector
         self.resilience = resilience
+        #: Optional tune-planner split hints (repro.tune): applied by the
+        #: forming root after rebalancing; may grow the partition count.
+        self.partition_hints = partition_hints
 
     # ------------------------------------------------------------------ #
 
@@ -266,7 +270,11 @@ class DistributedPartitioner:
                 n_partitions=n_partitions,
             ):
                 plan = form_partitions(
-                    histogram, n_partitions, self.minpts, rebalance=self.rebalance
+                    histogram,
+                    n_partitions,
+                    self.minpts,
+                    rebalance=self.rebalance,
+                    hints=self.partition_hints,
                 )
             root_form_seconds = time.perf_counter() - t0
 
@@ -297,7 +305,9 @@ class DistributedPartitioner:
         distribute = NetworkTrace() if self.output_mode == "network" else None
         partitions: list[tuple[PointSet, PointSet]] = []
         saved = 0
-        for pid in range(n_partitions):
+        # Split hints can grow the plan past the requested count — walk
+        # the plan's actual partitions, not the request.
+        for pid in range(len(plan.partitions)):
             own_parts = []
             shadow_parts = []
             for leaf, contrib in enumerate(contributions):

@@ -30,10 +30,15 @@ import numpy as np
 from ..errors import PartitionError
 from ..points import PointSet
 from .grid import GridHistogram, cell_of_coords
-from .plan import PartitionPlan, PartitionSpec
+from .plan import PartitionHints, PartitionPlan, PartitionSpec
 from .shadow import add_shadow_regions, refresh_shadow
 
-__all__ = ["form_partitions", "partition_points", "REBALANCE_THRESHOLD_FACTOR"]
+__all__ = [
+    "form_partitions",
+    "partition_points",
+    "apply_partition_hints",
+    "REBALANCE_THRESHOLD_FACTOR",
+]
 
 #: "The threshold is set to 1.075 × finaltargetsize because it worked well
 #: in practice on our datasets."
@@ -47,6 +52,7 @@ def form_partitions(
     *,
     rebalance: bool = True,
     threshold_factor: float = REBALANCE_THRESHOLD_FACTOR,
+    hints: PartitionHints | None = None,
 ) -> PartitionPlan:
     """Form ``n_partitions`` partitions from a grid histogram.
 
@@ -95,7 +101,88 @@ def form_partitions(
     if rebalance:
         _rebalance(plan, histogram, minpts, threshold_factor)
 
+    if hints is not None:
+        apply_partition_hints(plan, histogram, minpts, hints)
+
     return plan
+
+
+def apply_partition_hints(
+    plan: PartitionPlan,
+    histogram: GridHistogram,
+    minpts: int,
+    hints: PartitionHints,
+) -> None:
+    """Apply tune-planner split hints to a formed plan (in place).
+
+    Each hinted partition's contiguous cell run is cut into chunks
+    balanced by cumulative point count; the first chunk keeps the
+    partition's id and the rest append to the plan (the partition count
+    grows).  Infeasible splits degrade: the chunk count drops until every
+    chunk holds at least MinPts points and one cell, and a partition that
+    cannot split at all is left alone.  Shadows are recomputed from
+    scratch afterwards — split boundaries create new partition frontiers.
+    """
+    split_any = False
+    for pid, k in sorted(hints.split_map().items()):
+        if not 0 <= pid < len(plan.partitions):
+            continue
+        spec = plan.partitions[pid]
+        chunks = _split_spec_cells(spec, histogram, minpts, k)
+        if chunks is None:
+            continue
+        split_any = True
+        head, *rest = chunks
+        spec.cells = head
+        spec.point_count = sum(histogram.count(c) for c in head)
+        for cells in rest:
+            plan.partitions.append(
+                PartitionSpec(
+                    partition_id=len(plan.partitions),
+                    cells=cells,
+                    point_count=sum(histogram.count(c) for c in cells),
+                )
+            )
+    if split_any:
+        add_shadow_regions(plan, histogram)
+
+
+def _split_spec_cells(
+    spec: PartitionSpec,
+    histogram: GridHistogram,
+    minpts: int,
+    k: int,
+) -> list[list[tuple[int, int]]] | None:
+    """Cut a spec's cell run into <= k point-balanced chunks, each with
+    >= MinPts points; None when no split (k >= 2) is feasible."""
+    counts = [histogram.count(c) for c in spec.cells]
+    total = sum(counts)
+    k = min(k, len(spec.cells), total // max(minpts, 1))
+    while k >= 2:
+        target = total / k
+        chunks: list[list[tuple[int, int]]] = []
+        acc: list[tuple[int, int]] = []
+        acc_count = 0
+        for cell, count in zip(spec.cells, counts):
+            remaining_chunks = k - len(chunks)
+            remaining_cells = len(spec.cells) - sum(len(c) for c in chunks) - len(acc)
+            if (
+                acc
+                and remaining_chunks > 1
+                and acc_count >= max(target, float(minpts))
+                and remaining_cells >= remaining_chunks - 1
+            ):
+                chunks.append(acc)
+                acc, acc_count = [], 0
+            acc.append(cell)
+            acc_count += count
+        chunks.append(acc)
+        if len(chunks) == k and all(
+            sum(histogram.count(c) for c in chunk) >= minpts for chunk in chunks
+        ):
+            return chunks
+        k -= 1
+    return None
 
 
 def _rebalance(

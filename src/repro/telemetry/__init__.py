@@ -28,10 +28,12 @@ from .adapters import (
 from .export import (
     chrome_trace_events,
     jsonl_lines,
+    summary_dict,
     summary_table,
     to_chrome_trace,
     write_chrome_trace,
     write_jsonl,
+    write_summary_json,
 )
 from .metrics import (
     NOOP_METRICS,
@@ -79,6 +81,8 @@ __all__ = [
     "jsonl_lines",
     "write_jsonl",
     "summary_table",
+    "summary_dict",
+    "write_summary_json",
     "record_device_stats",
     "record_gpu_stats",
     "record_network_trace",

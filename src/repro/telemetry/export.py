@@ -27,7 +27,12 @@ __all__ = [
     "jsonl_lines",
     "write_jsonl",
     "summary_table",
+    "summary_dict",
+    "write_summary_json",
 ]
+
+#: Schema tag for :func:`summary_dict` / ``--trace-summary-json`` files.
+SUMMARY_SCHEMA = "mrscan-telemetry-summary/1"
 
 
 def _json_safe(value: Any) -> Any:
@@ -141,6 +146,50 @@ def write_jsonl(path: str | Path, telemetry: Any) -> int:
     lines = list(jsonl_lines(telemetry))
     Path(path).write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
     return len(lines)
+
+
+def summary_dict(telemetry: Any) -> dict[str, Any]:
+    """Machine-readable run summary (schema ``mrscan-telemetry-summary/1``).
+
+    The structured sibling of :func:`summary_table`, built so downstream
+    consumers (``repro.tune.history``) never scrape the human text:
+
+    - ``phases``: wall seconds per pipeline phase, from the driver's
+      ``cat="phase"`` spans (``cluster.partial`` rolls up under
+      ``cluster``, etc. — summed, since a serve daemon may run a phase
+      many times in one telemetry lifetime).
+    - ``spans``: the full rollup — count / total seconds / mean ms per
+      span name.
+    - ``metrics``: the metrics registry verbatim (JSON-safe).
+    """
+    spans = telemetry.tracer.spans()
+    rollup: dict[str, dict[str, Any]] = {}
+    phases: dict[str, float] = {}
+    for s in spans:
+        entry = rollup.setdefault(s.name, {"count": 0, "total_seconds": 0.0})
+        entry["count"] += 1
+        entry["total_seconds"] += s.dur
+        if s.cat == "phase":
+            phase = s.name.split(".", 1)[0]
+            phases[phase] = phases.get(phase, 0.0) + s.dur
+    for entry in rollup.values():
+        entry["mean_ms"] = 1e3 * entry["total_seconds"] / entry["count"]
+    return {
+        "schema": SUMMARY_SCHEMA,
+        "phases": {k: phases[k] for k in sorted(phases)},
+        "spans": {k: rollup[k] for k in sorted(rollup)},
+        "n_instants": len(telemetry.tracer.instants()),
+        "metrics": _json_safe(telemetry.metrics.as_dict()),
+    }
+
+
+def write_summary_json(path: str | Path, telemetry: Any) -> dict[str, Any]:
+    """Write :func:`summary_dict` as JSON; returns the document."""
+    doc = summary_dict(telemetry)
+    Path(path).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return doc
 
 
 def summary_table(telemetry: Any, *, top: int = 12) -> str:

@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from .export import summary_table, write_chrome_trace, write_jsonl
+from .export import (
+    summary_dict,
+    summary_table,
+    write_chrome_trace,
+    write_jsonl,
+    write_summary_json,
+)
 from .metrics import NOOP_METRICS, Metrics, NoopMetrics
 from .tracer import NOOP_TRACER, NoopTracer, Tracer
 
@@ -53,3 +59,9 @@ class Telemetry:
 
     def summary(self) -> str:
         return summary_table(self)
+
+    def summary_dict(self) -> dict:
+        return summary_dict(self)
+
+    def write_summary_json(self, path: str | Path) -> dict:
+        return write_summary_json(path, self)

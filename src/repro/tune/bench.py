@@ -1,0 +1,210 @@
+"""The ``mrscan bench-tune`` harness: tuned config vs fixed defaults.
+
+Three synthetic workloads — small, skewed (one dominant hotspot), and
+large — each run under two configurations:
+
+``default``
+    The fixed scale-out default: ``shm`` transport with a full worker
+    pool.  This is the configuration a "just parallelize" deployment
+    picks, and the one BENCH_PR4 measured losing to ``local`` below the
+    crossover size.
+
+``tuned``
+    Whatever the planner picks after seeing one run of history per
+    configuration (the same measurement discipline a real deployment
+    gets from its profile store).
+
+Gates (the PR-9 acceptance criteria):
+
+* skewed workload: tuned ≥ 1.2× faster than the fixed default;
+* small and large workloads: tuned never < 0.95× of the default;
+* every tuned run's labels byte-identical to the default run's.
+
+Timing discipline: the history-seeding pass doubles as warmup (pool
+spawn, imports, page faults), then the best of ``repeats`` timed runs
+per configuration is kept.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..core.config import MrScanConfig
+from ..core.pipeline import run_pipeline
+from ..data.synthetic import gaussian_blobs
+from ..points import PointSet
+from .history import ProfileStore, profile_from_result
+from .planner import fingerprint_workload, plan
+
+__all__ = ["run_tune_bench", "BENCH_SCHEMA"]
+
+BENCH_SCHEMA = "mrscan-bench-tune/1"
+
+
+def _skewed_points(n: int, *, seed: int) -> PointSet:
+    """80% of points in one tight hotspot, 20% uniform background.
+
+    The hotspot's cells dominate one partition however the Fig-2
+    balancer cuts the grid — the workload the skew rebalancer and the
+    crossover rule both exist for.
+    """
+    rng = np.random.default_rng(seed)
+    n_hot = int(0.8 * n)
+    hot = rng.normal(loc=(2.0, 2.0), scale=0.03, size=(n_hot, 2))
+    cold = rng.uniform(0.0, 8.0, size=(n - n_hot, 2))
+    coords = np.concatenate([hot, cold])
+    return PointSet(
+        ids=np.arange(n, dtype=np.int64),
+        coords=coords,
+        weights=np.ones(n, dtype=np.float64),
+    )
+
+
+def _workloads(seed: int) -> list[dict]:
+    return [
+        {
+            "name": "small",
+            "points": gaussian_blobs(8_000, centers=8, spread=0.12, seed=seed),
+            "eps": 0.08,
+            "minpts": 10,
+            "n_leaves": 8,
+            "gate_min_speedup": 0.95,
+        },
+        {
+            "name": "skewed",
+            "points": _skewed_points(40_000, seed=seed + 1),
+            "eps": 0.08,
+            "minpts": 10,
+            "n_leaves": 8,
+            "gate_min_speedup": 1.2,
+        },
+        {
+            "name": "large",
+            "points": gaussian_blobs(150_000, centers=16, spread=0.15, seed=seed + 2),
+            "eps": 0.08,
+            "minpts": 10,
+            "n_leaves": 8,
+            "gate_min_speedup": 0.95,
+        },
+    ]
+
+
+def _timed_run(points: PointSet, config: MrScanConfig, repeats: int):
+    """Best-of-``repeats`` wall seconds; returns (seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = run_pipeline(points, config)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_tune_bench(
+    *,
+    repeats: int = 2,
+    seed: int = 0,
+    tune_dir: str | Path | None = None,
+    output: str | Path = Path("BENCH_PR9.json"),
+    on_progress=print,
+) -> dict:
+    """Run the tuned-vs-default benchmark and write the JSON report."""
+    tmp = None
+    if tune_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="mrscan-bench-tune-")
+        tune_dir = tmp.name
+    store = ProfileStore(tune_dir)
+    cpu = mp.cpu_count()
+    default_knobs = {
+        "transport": "shm",
+        "transport_workers": cpu,
+        "cluster_engine": "csr",
+    }
+    report: dict = {
+        "schema": BENCH_SCHEMA,
+        "host": {"platform": platform.platform(), "cpu_count": cpu},
+        "seed": seed,
+        "repeats": repeats,
+        "default": default_knobs,
+        "workloads": {},
+        "gates": {},
+    }
+    try:
+        all_ok = True
+        for w in _workloads(seed):
+            name = w["name"]
+            points = w["points"]
+            base_cfg = MrScanConfig(
+                eps=w["eps"],
+                minpts=w["minpts"],
+                n_leaves=w["n_leaves"],
+                **default_knobs,
+            )
+            local_cfg = MrScanConfig(
+                eps=w["eps"], minpts=w["minpts"], n_leaves=w["n_leaves"],
+                transport="local",
+            )
+            on_progress(f"bench-tune [{name}]: seeding history ({len(points):,} points)")
+            # History + warmup: one run per candidate regime, profiled.
+            for cfg in (base_cfg, local_cfg):
+                res = run_pipeline(points, cfg)
+                store.append(profile_from_result(res, cfg, points=points))
+
+            fp = fingerprint_workload(points, w["eps"])
+            tplan = plan(
+                fp,
+                store,
+                n_leaves=w["n_leaves"],
+                baseline=default_knobs,
+            )
+            tuned_cfg = MrScanConfig(
+                eps=w["eps"],
+                minpts=w["minpts"],
+                n_leaves=w["n_leaves"],
+                transport=tplan.apply["transport"],
+                transport_workers=tplan.apply["transport_workers"],
+                cluster_engine=tplan.apply["cluster_engine"],
+            )
+            on_progress(
+                f"bench-tune [{name}]: planner chose "
+                f"{tplan.apply['transport']}/{tplan.apply['cluster_engine']}"
+            )
+            default_s, default_res = _timed_run(points, base_cfg, repeats)
+            tuned_s, tuned_res = _timed_run(points, tuned_cfg, repeats)
+            speedup = default_s / tuned_s if tuned_s > 0 else float("inf")
+            labels_identical = bool(
+                np.array_equal(default_res.labels, tuned_res.labels)
+            )
+            gate_ok = speedup >= w["gate_min_speedup"] and labels_identical
+            all_ok = all_ok and gate_ok
+            report["workloads"][name] = {
+                "n_points": len(points),
+                "default_seconds": default_s,
+                "tuned_seconds": tuned_s,
+                "speedup_tuned_vs_default": speedup,
+                "gate_min_speedup": w["gate_min_speedup"],
+                "labels_identical": labels_identical,
+                "plan_apply": dict(tplan.apply),
+                "plan_explain": list(tplan.explain),
+                "gate_ok": gate_ok,
+            }
+            on_progress(
+                f"bench-tune [{name}]: default {default_s:.2f}s, tuned "
+                f"{tuned_s:.2f}s ({speedup:.2f}x, gate >= "
+                f"{w['gate_min_speedup']}x, labels "
+                f"{'identical' if labels_identical else 'DIFFER'})"
+            )
+        report["gates"]["ok"] = all_ok
+        out = Path(output)
+        out.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+        return report
+    finally:
+        if tmp is not None:
+            tmp.cleanup()

@@ -91,6 +91,34 @@ def test_summary_table_mentions_spans_and_metrics():
     assert "instant events: 1" in text
 
 
+def test_summary_json_schema_and_phase_rollup(tmp_path):
+    """The machine-readable summary: schema tag, per-phase walls, spans."""
+    t = _sample_telemetry()
+    doc = t.summary_dict()
+    assert doc["schema"] == "mrscan-telemetry-summary/1"
+    # cat == "phase" spans roll up under their dotted prefix.
+    assert "partition" in doc["phases"]
+    assert doc["phases"]["partition"] >= 0.0
+    assert doc["spans"]["partition.form"]["count"] == 1
+    assert doc["n_instants"] == 1
+    assert doc["metrics"]["gpu.device.kernel_launches"]["value"] == 3
+    path = tmp_path / "summary.json"
+    t.write_summary_json(path)
+    on_disk = json.loads(path.read_text())
+    assert on_disk == json.loads(json.dumps(doc))
+
+
+def test_summary_json_rolls_partial_phases_together():
+    """cluster + cluster.partial spans both land in phases['cluster']."""
+    t = Telemetry()
+    with t.tracer.span("cluster", cat="phase"):
+        pass
+    with t.tracer.span("cluster.partial", cat="phase"):
+        pass
+    doc = t.summary_dict()
+    assert set(doc["phases"]) == {"cluster"}
+
+
 def test_disabled_telemetry_exports_empty(tmp_path):
     t = Telemetry.disabled()
     assert Telemetry.disabled() is t  # shared singleton
