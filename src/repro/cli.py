@@ -374,6 +374,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject faults from a FaultPlan JSON file into the "
         "incremental runs (chaos testing)",
     )
+    srv.add_argument(
+        "--max-queued-ingests", type=int, default=8, metavar="N",
+        help="ingests queued-or-running before new ones are shed with a "
+        "retryable 'overloaded' response (default 8)",
+    )
+    srv.add_argument(
+        "--max-connections", type=int, default=64, metavar="N",
+        help="concurrent client connections before new ones are refused "
+        "(default 64)",
+    )
+    srv.add_argument(
+        "--ingest-deadline", type=float, default=None, metavar="SECONDS",
+        help="server-side ceiling on any ingest; past it the transaction "
+        "is cancelled and rolled back (default: none)",
+    )
+    srv.add_argument(
+        "--max-batch-points", type=int, default=1_000_000, metavar="N",
+        help="hard cap on points per ingest batch (default 1M)",
+    )
+    srv.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive infrastructure ingest failures that trip the "
+        "circuit breaker into degraded mode (default 3)",
+    )
+    srv.add_argument(
+        "--breaker-reset", type=float, default=30.0, metavar="SECONDS",
+        help="seconds the breaker stays open before a half-open probe "
+        "(default 30)",
+    )
+    srv.add_argument(
+        "--drain-grace", type=float, default=10.0, metavar="SECONDS",
+        help="seconds a SIGTERM/drain waits for the in-flight ingest "
+        "before cancelling it (default 10)",
+    )
     srv.add_argument("--verbose", action="store_true")
 
     bs = sub.add_parser(
@@ -402,6 +436,25 @@ def build_parser() -> argparse.ArgumentParser:
     bs.add_argument(
         "--skip-full", action="store_true",
         help="skip the from-scratch anchor run (no speedup/equivalence)",
+    )
+    bs.add_argument(
+        "--overload", action="store_true",
+        help="run the overload chaos scenario instead: flood a tiny-queue "
+        "daemon with concurrent ingests + a stalled client; exits non-zero "
+        "on any hang, unbounded queue, malformed shed, slow query p99, or "
+        "label divergence",
+    )
+    bs.add_argument(
+        "--flood-clients", type=int, default=6,
+        help="concurrent ingest streams in --overload (default 6)",
+    )
+    bs.add_argument(
+        "--max-queued-ingests", type=int, default=2,
+        help="daemon queue bound in --overload (default 2, to force sheds)",
+    )
+    bs.add_argument(
+        "--query-p99-budget", type=float, default=0.05, metavar="SECONDS",
+        help="--overload gate on query p99 during the flood (default 0.05)",
     )
     bs.add_argument(
         "--output", type=Path, default=Path("BENCH_PR6.json"),
@@ -999,6 +1052,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     async def _run() -> None:
+        import signal
+
         server = ServeServer(
             points,
             config,
@@ -1006,7 +1061,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             run_dir=args.run_dir,
             resume=args.resume,
+            max_queued_ingests=args.max_queued_ingests,
+            max_connections=args.max_connections,
+            ingest_deadline=args.ingest_deadline,
+            max_batch_points=args.max_batch_points,
+            breaker_threshold=args.breaker_threshold,
+            breaker_reset=args.breaker_reset,
+            drain_grace=args.drain_grace,
         )
+        loop = asyncio.get_running_loop()
+        # Graceful drain on SIGTERM/SIGINT: stop admitting ingests, let
+        # the in-flight one finish (or cancel it after --drain-grace),
+        # quiesce the journal, exit 0.
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, server.begin_drain)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-unix event loop: fall back to KeyboardInterrupt
         try:
             await server.start()
             stats = server.state.stats()
@@ -1036,6 +1107,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
     from .serve.loadgen import run_serve_bench, write_bench
 
+    if args.overload:
+        return _run_overload_gate(args)
     sizes = [args.points] + ([1_000_000] if args.large else [])
     results = []
     for size in sizes:
@@ -1080,6 +1153,66 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(payload, indent=1))
     print(f"report written to {args.output}")
+    return 0
+
+
+def _run_overload_gate(args: argparse.Namespace) -> int:
+    """``bench-serve --overload``: run the flood scenario and gate on
+    its invariants (non-zero exit on any violation)."""
+    from .serve.loadgen import run_overload_bench, write_bench
+
+    print(
+        f"bench-serve --overload: {args.flood_clients} flood clients vs "
+        f"queue bound {args.max_queued_ingests} ...",
+        flush=True,
+    )
+    r = run_overload_bench(
+        flood_clients=args.flood_clients,
+        max_queued_ingests=args.max_queued_ingests,
+        n_query_clients=args.query_clients,
+        eps=args.eps,
+        minpts=args.minpts,
+        n_leaves=args.leaves,
+        transport=args.transport,
+        seed=args.seed,
+        skip_full=args.skip_full,
+    )
+    failures: list[str] = []
+    if r["hangs"]:
+        failures.append(f"{r['hangs']} hang(s): {r['hang_details']}")
+    if r["max_queue_depth_seen"] > r["max_queued_ingests"]:
+        failures.append(
+            f"queue depth {r['max_queue_depth_seen']} exceeded the "
+            f"{r['max_queued_ingests']} bound"
+        )
+    if r["shed_malformed"]:
+        failures.append(f"malformed shed response(s): {r['shed_malformed']}")
+    p99 = r["query_seconds"]["p99"]
+    if p99 is not None and p99 > args.query_p99_budget:
+        failures.append(
+            f"query p99 {p99:.4f}s over the {args.query_p99_budget}s budget"
+        )
+    if not args.skip_full and not r.get("equivalence_ok", False):
+        failures.append(
+            f"labels diverged from clean run: {r.get('equivalence')}"
+        )
+    print(
+        f"  {r['acked_batches']}/{r['expected_batches']} batches acked, "
+        f"{r['shed_total']} shed(s), max queue depth "
+        f"{r['max_queue_depth_seen']}, query p99 "
+        f"{p99 if p99 is not None else float('nan'):.4f}s"
+    )
+    if "equivalence" in r:
+        print(f"  equivalence: {r['equivalence']}")
+    payload = write_bench([r], {"scenario": "overload"}, args.output)
+    if args.json:
+        print(json.dumps(payload, indent=1))
+    print(f"report written to {args.output}")
+    if failures:
+        for f in failures:
+            print(f"OVERLOAD GATE FAILED: {f}", file=sys.stderr)
+        return 1
+    print("overload gate passed")
     return 0
 
 

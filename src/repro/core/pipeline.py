@@ -922,6 +922,7 @@ def cluster_merge_sweep(
     telemetry: Telemetry | None = None,
     checkpoint_dir: str | None = None,
     on_leaf_result=None,
+    cancel=None,
 ) -> PartialRunResult:
     """Re-entrant partial run: cluster a leaf *subset*, re-merge, re-sweep.
 
@@ -939,6 +940,14 @@ def cluster_merge_sweep(
     arenas stay warm across calls.  Leaves in ``dirty`` whose spill
     checkpoints should not satisfy them must be invalidated first
     (:meth:`~repro.resilience.checkpoint.LeafCheckpointStore.invalidate`).
+
+    ``cancel`` (a :class:`~repro.resilience.CancelToken`) makes the run
+    abandonable: the token is checked between phases and threaded into
+    every tree collective, so a cancelled or deadline-expired run raises
+    :class:`~repro.errors.OperationCancelledError` without committing
+    anything — the caller's snapshot and journal are untouched, and any
+    spill checkpoints written for dirty leaves must be re-invalidated by
+    the caller before the retry (:mod:`repro.serve` does).
     """
     if telemetry is None:
         telemetry = Telemetry.disabled()
@@ -959,6 +968,8 @@ def cluster_merge_sweep(
 
     resilience = config.resilience_policy()
     fresh: dict[int, _ClusterLeafOutput] = {}
+    if cancel is not None:
+        cancel.check()
     if need:
         staged = _stage_partitions(
             transport, [partitions[i] for i in need], tracer
@@ -985,6 +996,7 @@ def cluster_merge_sweep(
             trace_pid=PID_TREE,
             fault_injector=config.fault_plan,
             resilience=resilience,
+            cancel=cancel,
         )
         try:
             with tracer.span(
@@ -1009,12 +1021,15 @@ def cluster_merge_sweep(
     outputs = {**cached, **fresh}
     ordered = [outputs[i] for i in range(n_leaves)]
 
+    if cancel is not None:
+        cancel.check()
     network = Network(
         Topology.paper_style(n_leaves, config.fanout),
         transport,
         tracer=tracer,
         trace_pid=PID_TREE,
         resilience=resilience,
+        cancel=cancel,
     )
     merge_filter = MergeFilter(config.eps, tracer=tracer)
     try:
@@ -1028,6 +1043,8 @@ def cluster_merge_sweep(
     finally:
         network.close()
 
+    if cancel is not None:
+        cancel.check()
     sweep_results = []
     for out, asg, (own, shadow) in zip(ordered, assignments, partitions):
         view = as_pointset(own).concat(as_pointset(shadow))

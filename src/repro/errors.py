@@ -24,6 +24,8 @@ Hierarchy::
     ├── CheckpointError
     ├── DurabilityError
     │   └── JournalError
+    ├── OperationCancelledError
+    │   └── DeadlineExceededError
     ├── ValidationError
     ├── SimulationError
     └── TuneError
@@ -122,6 +124,19 @@ class DurabilityError(MrScanError):
 
 class JournalError(DurabilityError):
     """The write-ahead run journal is corrupted (hash-chain break)."""
+
+
+class OperationCancelledError(MrScanError):
+    """Cooperatively cancelled work (:class:`repro.resilience.CancelToken`).
+
+    Deliberately **not** a :class:`TransportError`: cancellation is a
+    caller's decision, not a node failure, so the resilience engine must
+    propagate it immediately instead of retrying or failing over.
+    """
+
+
+class DeadlineExceededError(OperationCancelledError):
+    """An operation's deadline expired before its work completed."""
 
 
 class PoisonTaskWarning(UserWarning):

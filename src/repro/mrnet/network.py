@@ -186,6 +186,13 @@ class Network:
     tracer:
         Optional :class:`repro.telemetry.Tracer`; per-node compute spans
         land on pid ``trace_pid`` with the node id as tid.
+    cancel:
+        Optional :class:`~repro.resilience.CancelToken`.  The execution
+        engine polls it at every retry-round boundary (and forwards it to
+        the transport's dispatch loop): a cancelled or deadline-expired
+        token unwinds the collective immediately with
+        :class:`~repro.errors.OperationCancelledError` instead of
+        retrying — cancellation is the caller's decision, not a fault.
     """
 
     def __init__(
@@ -199,6 +206,7 @@ class Network:
         tracer=None,
         trace_pid: int = PID_TREE,
         close_transport: bool | None = None,
+        cancel=None,
     ) -> None:
         if retries is not None and retries < 0:
             raise TopologyError("retries must be >= 0")
@@ -226,6 +234,7 @@ class Network:
         self._adopted: dict[int, float] = {}
         self._sleep = time.sleep  # overridable in tests
         self._leaves = topology.leaves()
+        self._cancel = cancel
 
     # ------------------------------------------------------------------ #
     # Fault bookkeeping
@@ -342,7 +351,15 @@ class Network:
             else max(len(nodes) - 1, self.topology.depth())
         )
         round_index = 0
+        # Only forward the token when one exists: test doubles (and older
+        # third-party transports) implement ``run_batch(fn, tasks, *,
+        # timeout=None)`` without the ``cancel`` kwarg.
+        run_kwargs: dict[str, Any] = {}
+        if self._cancel is not None:
+            run_kwargs["cancel"] = self._cancel
         while pending:
+            if self._cancel is not None:
+                self._cancel.check()
             batch = []
             for i in pending:
                 spec = None
@@ -352,7 +369,7 @@ class Network:
                     (fn, payloads[i], spec.as_dict() if spec else None, policy.leaf_timeout)
                 )
             markers = self.transport.run_batch(
-                _guarded_apply, batch, timeout=policy.leaf_timeout
+                _guarded_apply, batch, timeout=policy.leaf_timeout, **run_kwargs
             )
             still_pending: list[int] = []
             exhausted: list[tuple[int, str, str, str]] = []
@@ -469,6 +486,8 @@ class Network:
             else self.topology.depth()
         )
         while True:
+            if self._cancel is not None:
+                self._cancel.check()
             spec = self.injector.check(host, phase, name, attempt)
             if spec is None:
                 return

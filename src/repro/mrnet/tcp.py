@@ -534,6 +534,7 @@ class TcpTransport:
         tasks: Sequence[Any],
         *,
         timeout: float | None = None,
+        cancel: Any = None,
     ) -> list[Any]:
         if not tasks:
             return []
@@ -543,7 +544,7 @@ class TcpTransport:
         with self.tracer.span(
             "transport.batch", cat="transport", n_tasks=len(tasks), backend="tcp"
         ):
-            return self._run_batch(fn, tasks, timeout)
+            return self._run_batch(fn, tasks, timeout, cancel)
 
     @staticmethod
     def _net_fault(task: Any) -> dict[str, Any] | None:
@@ -559,7 +560,11 @@ class TcpTransport:
         return None
 
     def _run_batch(
-        self, fn: Callable[[Any], Any], tasks: Sequence[Any], timeout: float | None
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        timeout: float | None,
+        cancel: Any = None,
     ) -> list[Any]:
         n = len(tasks)
         results: list[Any] = [_PENDING] * n
@@ -599,6 +604,18 @@ class TcpTransport:
             _finish(i, fn(tasks[i]))
 
         while done < n:
+            if cancel is not None and cancel.cancelled:
+                # Abandon everything still outstanding: shed connections
+                # stuck on cancelled work (their agents respawn fresh) and
+                # unwind — the caller rolls back, nothing is delivered.
+                with self._lock:
+                    stuck = [
+                        c for c in self._conns
+                        if c.busy_seq is not None and c.busy_seq in task_of
+                    ]
+                for conn in stuck:
+                    self._abandon_conn(conn)
+                cancel.check()  # raises with the token's reason
             now = time.monotonic()
             progressed = False
 

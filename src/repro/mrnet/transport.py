@@ -50,7 +50,7 @@ import warnings
 import weakref
 from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
-from ..errors import PoisonTaskWarning, TransportError
+from ..errors import OperationCancelledError, PoisonTaskWarning, TransportError
 from ..telemetry.metrics import NOOP_METRICS
 from ..telemetry.tracer import NOOP_TRACER
 
@@ -134,10 +134,20 @@ class Transport(Protocol):
 
     ``timeout`` bounds one task's execution in seconds (best effort —
     see the module docstring); a timed-out slot holds :data:`TIMED_OUT`.
+    ``cancel`` is an optional :class:`~repro.resilience.CancelToken`:
+    dispatch loops poll it and unwind with
+    :class:`~repro.errors.OperationCancelledError`, abandoning whatever
+    is still in flight (workers finish into the void; their results are
+    discarded).
     """
 
     def run_batch(
-        self, fn: Callable[[Any], Any], tasks: Sequence[Any], *, timeout: float | None = None
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        *,
+        timeout: float | None = None,
+        cancel: Any = None,
     ) -> list[Any]:
         ...
 
@@ -157,15 +167,27 @@ class LocalTransport:
         self.tracer = tracer or NOOP_TRACER
 
     def run_batch(
-        self, fn: Callable[[Any], Any], tasks: Sequence[Any], *, timeout: float | None = None
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        *,
+        timeout: float | None = None,
+        cancel: Any = None,
     ) -> list[Any]:
         # ``timeout`` is accepted for protocol parity but cannot be
         # enforced preemptively on the calling thread; the Network's
-        # cooperative post-work check covers local runs.
+        # cooperative post-work check covers local runs.  ``cancel`` is
+        # honoured between tasks — the finest grain a sequential
+        # in-process backend can offer.
         with self.tracer.span(
             "transport.batch", cat="transport", n_tasks=len(tasks), backend="local"
         ):
-            return [fn(task) for task in tasks]
+            results = []
+            for task in tasks:
+                if cancel is not None:
+                    cancel.check()
+                results.append(fn(task))
+            return results
 
     def close(self) -> None:  # nothing to release
         pass
@@ -192,6 +214,7 @@ def run_batch_healing(
     *,
     timeout: float | None,
     backend: str,
+    cancel: Any = None,
 ) -> list[Any]:
     """Dispatch a batch on ``transport``'s pool, surviving worker death.
 
@@ -206,6 +229,13 @@ def run_batch_healing(
     polled, never blocked on: a handle whose worker was SIGKILLed simply
     never becomes ready, and blocking would hang the batch forever.  See
     the module docstring for the full healing policy.
+
+    ``cancel`` (a :class:`~repro.resilience.CancelToken`) is polled each
+    loop iteration: a cancelled batch abandons its in-flight handles (the
+    workers finish into the void, exactly like a preempted timeout — the
+    transport is flagged ``_abandoned`` so a later ``close()`` terminates
+    rather than joins) and raises
+    :class:`~repro.errors.OperationCancelledError`.
     """
     pool = transport._ensure_pool()
     n = len(tasks)
@@ -236,9 +266,18 @@ def run_batch_healing(
         )
         results[i] = _invoke((fn, tasks[i]))
 
+    if cancel is not None:
+        cancel.check()
     for i in range(n):
         _dispatch(i)
     while pending:
+        if cancel is not None and cancel.cancelled:
+            # Abandon everything still in flight: the workers will finish
+            # into the void and their results be discarded.  The pool may
+            # hold a hung task, so mark it terminate-on-close.
+            pending.clear()
+            transport._abandoned = True
+            cancel.check()  # raises with the token's reason
         progressed = False
         for i in sorted(pending):
             handle = pending[i]
@@ -346,7 +385,12 @@ class ProcessTransport:
         return self._ensure_pool()
 
     def run_batch(
-        self, fn: Callable[[Any], Any], tasks: Sequence[Any], *, timeout: float | None = None
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        *,
+        timeout: float | None = None,
+        cancel: Any = None,
     ) -> list[Any]:
         if not tasks:
             return []
@@ -355,9 +399,10 @@ class ProcessTransport:
                 "transport.batch", cat="transport", n_tasks=len(tasks), backend="process"
             ):
                 return run_batch_healing(
-                    self, fn, tasks, timeout=timeout, backend="process"
+                    self, fn, tasks, timeout=timeout, backend="process",
+                    cancel=cancel,
                 )
-        except TransportError:
+        except (TransportError, OperationCancelledError):
             raise
         except Exception as exc:  # pool failure or unpicklable payloads
             raise TransportError(f"process transport batch failed: {exc}") from exc

@@ -22,6 +22,7 @@ recovery machinery such a deployment needs:
   full pipeline).
 """
 
+from .cancel import CancelToken
 from .checkpoint import CheckpointedLeaf, LeafCheckpointStore
 from .faults import (
     CRASH_POINTS,
@@ -37,6 +38,7 @@ from .faults import (
 from .policy import ResiliencePolicy, RetryPolicy
 
 __all__ = [
+    "CancelToken",
     "FAULT_KINDS",
     "NET_FAULT_KINDS",
     "CRASH_POINTS",

@@ -39,7 +39,12 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from ..errors import ArenaFullError, ConfigError, TransportError
+from ..errors import (
+    ArenaFullError,
+    ConfigError,
+    OperationCancelledError,
+    TransportError,
+)
 from ..mrnet.transport import (
     LocalTransport,
     ProcessTransport,
@@ -197,7 +202,12 @@ class ShmTransport:
         return self._ensure_pool()
 
     def run_batch(
-        self, fn: Callable[[Any], Any], tasks: Sequence[Any], *, timeout: float | None = None
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        *,
+        timeout: float | None = None,
+        cancel: Any = None,
     ) -> list[Any]:
         if not tasks:
             return []
@@ -209,9 +219,10 @@ class ShmTransport:
                     self.metrics.counter("runtime.batches").inc()
                     self.metrics.counter("runtime.tasks_dispatched").inc(len(tasks))
                 return run_batch_healing(
-                    self, fn, tasks, timeout=timeout, backend="shm"
+                    self, fn, tasks, timeout=timeout, backend="shm",
+                    cancel=cancel,
                 )
-        except TransportError:
+        except (TransportError, OperationCancelledError):
             raise
         except Exception as exc:  # pool failure or unpicklable payloads
             raise TransportError(f"shm transport batch failed: {exc}") from exc

@@ -23,22 +23,47 @@ blob plus a write-ahead ``ingest_done`` record
 (:class:`repro.durability.IngestLog`), so ``mrscan serve --run-dir X
 --resume`` replays a killed daemon back to its last acked ingest.
 
+The daemon protects itself under load (protocol v2): **admission
+control** sheds ingests past a bounded queue with a retryable
+``overloaded`` response, per-op **deadlines** ride a
+:class:`~repro.resilience.CancelToken` threaded down to the transports
+(expiry rolls the transaction back, labels and journal untouched), a
+**circuit breaker** turns repeated infrastructure failures into fast
+``degraded`` rejections while queries keep serving the last committed
+snapshot, and SIGTERM/``drain`` exits gracefully — see
+:mod:`.overload` and the ``health`` op.
+
 Layers: :mod:`.state` (resident state + the incremental ingest
-transaction), :mod:`.protocol` (wire format), :mod:`.server` (asyncio
-daemon), :mod:`.client` (blocking client), :mod:`.loadgen`
+transaction), :mod:`.protocol` (wire format), :mod:`.overload`
+(admission control + circuit breaker), :mod:`.server` (asyncio daemon),
+:mod:`.client` (blocking client), :mod:`.loadgen`
 (``mrscan bench-serve``).
 """
 
-from .client import ServeClient
-from .protocol import PROTOCOL_VERSION, ServeProtocolError, decode_line, encode_message
+from .client import ServeClient, ServeOverloadedError, ServeRequestError
+from .overload import AdmissionController, CircuitBreaker
+from .protocol import (
+    ERROR_CODES,
+    PROTOCOL_VERSION,
+    RETRYABLE_CODES,
+    ServeProtocolError,
+    decode_line,
+    encode_message,
+)
 from .server import ServeServer
 from .state import IngestOutcome, ServeState
 
 __all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "ERROR_CODES",
     "IngestOutcome",
     "PROTOCOL_VERSION",
+    "RETRYABLE_CODES",
     "ServeClient",
+    "ServeOverloadedError",
     "ServeProtocolError",
+    "ServeRequestError",
     "ServeServer",
     "ServeState",
     "decode_line",

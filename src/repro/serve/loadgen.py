@@ -36,10 +36,10 @@ from ..core.pipeline import run_pipeline
 from ..points import PointSet
 from ..telemetry.metrics import Quantile
 from ..validate.equivalence import labels_equivalent
-from .client import ServeClient
+from .client import ServeClient, ServeOverloadedError, ServeRequestError
 from .server import ServeServer
 
-__all__ = ["run_serve_bench", "write_bench"]
+__all__ = ["run_overload_bench", "run_serve_bench", "write_bench"]
 
 
 def _clustered_base(n: int, rng: np.random.Generator) -> np.ndarray:
@@ -201,6 +201,255 @@ def run_serve_bench(
                     if mean_ingest_seconds
                     else None
                 ),
+                "equivalence": report.summary(),
+                "equivalence_ok": bool(report.ok),
+            }
+        )
+    return result
+
+
+def run_overload_bench(
+    *,
+    resident_points: int = 4000,
+    flood_clients: int = 6,
+    batches_per_client: int = 4,
+    batch_size: int = 60,
+    max_queued_ingests: int = 2,
+    n_query_clients: int = 2,
+    eps: float = 0.08,
+    minpts: int = 8,
+    n_leaves: int = 16,
+    transport: str = "local",
+    seed: int = 0,
+    op_timeout: float = 300.0,
+    stalled_client: bool = True,
+    skip_full: bool = False,
+) -> dict:
+    """The overload chaos scenario (``mrscan bench-serve --overload``).
+
+    Floods a daemon configured with a deliberately tiny ingest queue
+    (``max_queued_ingests``) from ``flood_clients`` concurrent ingest
+    streams, while query clients hammer ``labels`` and a health poller
+    watches queue depth — plus one stalled client that sends a request
+    and never reads its response.  Every client op carries a hard
+    timeout; an op that times out counts as a **hang**.
+
+    The returned dict carries everything the CI gate asserts on:
+
+    * ``hangs`` — must be 0 (every request got a response in time);
+    * ``max_queue_depth_seen`` vs ``max_queued_ingests`` — admission
+      control keeps the queue bounded under flood;
+    * ``shed_total`` / ``shed_malformed`` — sheds happened and every one
+      was a well-formed retryable response (``code`` in
+      overloaded/degraded, positive ``retry_after_s``);
+    * ``query_seconds.p99`` — queries stay fast during the flood;
+    * ``equivalence_ok`` — the final labels equal a from-scratch run on
+      exactly the acked batches (sheds lost nothing that was acked).
+    """
+    rng = np.random.default_rng(seed)
+    base = PointSet.from_coords(_clustered_base(resident_points, rng))
+    config = MrScanConfig(
+        eps=eps, minpts=minpts, n_leaves=n_leaves, transport=transport
+    )
+
+    workdir = Path(tempfile.mkdtemp(prefix="mrscan-bench-overload-"))
+    socket_path = workdir / "serve.sock"
+
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def _run_server() -> None:
+        asyncio.set_event_loop(loop)
+
+        async def _main() -> None:
+            server = ServeServer(
+                base,
+                config,
+                socket_path=socket_path,
+                transport=transport,
+                max_queued_ingests=max_queued_ingests,
+            )
+            await server.start()
+            started.set()
+            await server.serve_forever()
+            server.close()
+
+        loop.run_until_complete(_main())
+
+    thread = threading.Thread(
+        target=_run_server, name="bench-overload", daemon=True
+    )
+    thread.start()
+    if not started.wait(timeout=600):
+        raise RuntimeError("overload-bench daemon failed to start")
+
+    hangs: list[str] = []
+    shed_total = [0]
+    shed_malformed: list[str] = []
+    acked: list[tuple[int, np.ndarray, np.ndarray]] = []  # (seq, coords, ids)
+    record_lock = threading.Lock()
+    stop = threading.Event()
+    query_q = Quantile("query_seconds")
+    max_depth_seen = [0]
+    health_snapshots: list[dict] = []
+
+    def _flood_worker(idx: int) -> None:
+        wrng = np.random.default_rng(seed + 1000 + idx)
+        # Disjoint external-id space per client, past the resident ids.
+        next_id = resident_points + idx * batches_per_client * batch_size
+        try:
+            with ServeClient(socket_path=socket_path, timeout=op_timeout) as c:
+                for _ in range(batches_per_client):
+                    batch = _local_batch(base.coords, batch_size, wrng)
+                    ids = np.arange(next_id, next_id + batch_size, dtype=np.int64)
+                    next_id += batch_size
+                    # Manual retry so every shed can be inspected for
+                    # well-formedness before re-sending.
+                    for _attempt in range(50):
+                        try:
+                            ack = c.ingest(batch.tolist(), ids=ids.tolist())
+                        except ServeOverloadedError as exc:
+                            shed_total[0] += 1
+                            if exc.code not in ("overloaded", "degraded"):
+                                shed_malformed.append(f"code={exc.code!r}")
+                            if not (
+                                exc.retry_after_s is not None
+                                and exc.retry_after_s > 0
+                            ):
+                                shed_malformed.append(
+                                    f"retry_after_s={exc.retry_after_s!r}"
+                                )
+                            time.sleep(
+                                min(exc.retry_after_s or 0.5, 2.0)
+                                * wrng.uniform(0.5, 1.0)
+                            )
+                            continue
+                        with record_lock:
+                            acked.append((int(ack["seq"]), batch, ids))
+                        break
+        except (TimeoutError, OSError) as exc:
+            hangs.append(f"flood[{idx}]: {type(exc).__name__}: {exc}")
+        except ServeRequestError:
+            pass  # a non-retryable reject is not a hang
+
+    def _query_worker(idx: int) -> None:
+        qrng = np.random.default_rng(seed + 2000 + idx)
+        try:
+            with ServeClient(socket_path=socket_path, timeout=op_timeout) as c:
+                while not stop.is_set():
+                    ids = qrng.integers(0, resident_points, size=16).tolist()
+                    t0 = time.perf_counter()
+                    c.labels(ids)
+                    query_q.observe(time.perf_counter() - t0)
+                    time.sleep(0.005)
+        except (TimeoutError, OSError) as exc:
+            hangs.append(f"query[{idx}]: {type(exc).__name__}: {exc}")
+
+    def _health_worker() -> None:
+        try:
+            with ServeClient(socket_path=socket_path, timeout=op_timeout) as c:
+                while not stop.is_set():
+                    h = c.health(timeout=op_timeout)
+                    health_snapshots.append(h)
+                    max_depth_seen[0] = max(
+                        max_depth_seen[0], int(h["queued_ingests"])
+                    )
+                    time.sleep(0.05)
+        except (TimeoutError, OSError) as exc:
+            hangs.append(f"health: {type(exc).__name__}: {exc}")
+
+    stalled_sock = None
+    if stalled_client:
+        # A client that sends a request and never reads the response must
+        # not wedge the daemon (its response write either fits the socket
+        # buffer or times out and the connection is aborted server-side).
+        import socket as _socket
+
+        stalled_sock = _socket.socket(_socket.AF_UNIX, _socket.SOCK_STREAM)
+        stalled_sock.connect(str(socket_path))
+        stalled_sock.sendall(b'{"op":"dump"}\n')
+
+    floods = [
+        threading.Thread(target=_flood_worker, args=(i,), daemon=True)
+        for i in range(flood_clients)
+    ]
+    queries = [
+        threading.Thread(target=_query_worker, args=(i,), daemon=True)
+        for i in range(n_query_clients)
+    ]
+    health_thread = threading.Thread(target=_health_worker, daemon=True)
+    t_flood0 = time.perf_counter()
+    for t in floods + queries + [health_thread]:
+        t.start()
+    for t in floods:
+        t.join(timeout=op_timeout * 2)
+        if t.is_alive():
+            hangs.append("flood thread never finished")
+    stop.set()
+    for t in queries + [health_thread]:
+        t.join(timeout=60)
+    flood_seconds = time.perf_counter() - t_flood0
+    if stalled_sock is not None:
+        stalled_sock.close()
+
+    final = None
+    final_health = None
+    try:
+        with ServeClient(socket_path=socket_path, timeout=op_timeout) as c:
+            final_health = c.health()
+            final = c.dump()
+            c.shutdown()
+    except (TimeoutError, OSError) as exc:
+        hangs.append(f"final: {type(exc).__name__}: {exc}")
+    thread.join(timeout=120)
+
+    result: dict = {
+        "scenario": "overload",
+        "resident_points": resident_points,
+        "flood_clients": flood_clients,
+        "batches_per_client": batches_per_client,
+        "batch_size": batch_size,
+        "max_queued_ingests": max_queued_ingests,
+        "flood_seconds": flood_seconds,
+        "hangs": len(hangs),
+        "hang_details": hangs[:10],
+        "acked_batches": len(acked),
+        "expected_batches": flood_clients * batches_per_client,
+        "shed_total": shed_total[0],
+        "shed_malformed": shed_malformed[:10],
+        "max_queue_depth_seen": max_depth_seen[0],
+        "health_polls": len(health_snapshots),
+        "query_seconds": {
+            "p50": query_q.percentile(50.0),
+            "p99": query_q.percentile(99.0),
+        },
+        "final_health": final_health,
+    }
+
+    if not skip_full and final is not None and acked:
+        # Union in the daemon's internal order: base, then acked batches
+        # in commit (seq) order — the order ``dump`` reports.
+        acked_sorted = sorted(acked, key=lambda t: t[0])
+        union = PointSet(
+            ids=np.concatenate(
+                [np.asarray(base.ids, dtype=np.int64)]
+                + [ids for _, _, ids in acked_sorted]
+            ),
+            coords=np.vstack(
+                [base.coords] + [coords for _, coords, _ in acked_sorted]
+            ),
+        )
+        full = run_pipeline(union, config, transport=transport)
+        report = labels_equivalent(
+            union,
+            eps,
+            full.labels,
+            full.core_mask,
+            np.asarray(final["labels"], dtype=np.int64),
+            np.asarray(final["core"], dtype=bool),
+        )
+        result.update(
+            {
                 "equivalence": report.summary(),
                 "equivalence_ok": bool(report.ok),
             }

@@ -1,0 +1,237 @@
+"""Overload protection primitives for the serve daemon.
+
+The daemon (:mod:`repro.serve.server`) stays available under abuse by
+composing three small, independently testable mechanisms:
+
+* **admission control** — bounded ingest queue and connection cap; excess
+  load is *shed* with a structured retryable response instead of queued
+  (see :class:`AdmissionController`);
+* a **circuit breaker** — consecutive *infrastructure* ingest failures
+  (transport death, respawn budget exhausted, poison batches) trip the
+  daemon into degraded mode: ingests are rejected fast, queries keep
+  serving the last committed snapshot, and a half-open probe restores
+  service once the backend recovers (see :class:`CircuitBreaker`);
+* **deadlines + cancellation** — per-op budgets backed by
+  :class:`~repro.resilience.CancelToken`, owned by the server itself.
+
+Everything here is thread-safe: admission decisions happen on the event
+loop while ingests execute on a worker thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["AdmissionController", "CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Classic closed / open / half-open breaker over ingest failures.
+
+    Only *infrastructure* failures count toward the trip threshold — the
+    caller decides what qualifies (the daemon counts transport-family
+    errors and unexpected exceptions, never client mistakes like a
+    malformed batch, and never cancellations).  While **open**, ingests
+    are rejected immediately with a ``degraded`` response; after
+    ``reset_after_s`` the breaker lets exactly one probe ingest through
+    (**half-open**) — its success closes the breaker, its failure
+    re-opens it for another full reset window.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive counted failures that trip the breaker (>= 1).
+    reset_after_s:
+        Seconds the breaker stays open before allowing a probe.
+    clock:
+        Monotonic time source, overridable in tests.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_after_s: float = 30.0,
+        *,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_after_s < 0:
+            raise ValueError("reset_after_s must be >= 0")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_after_s = float(reset_after_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probe_in_flight = False
+        #: Total times the breaker tripped open (telemetry).
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open -> half-open when the reset
+        window has elapsed (read-only peek; does not claim the probe)."""
+        with self._lock:
+            return self._advance_locked()
+
+    def _advance_locked(self) -> str:
+        if (
+            self._state == self.OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.reset_after_s
+        ):
+            self._state = self.HALF_OPEN
+            self._probe_in_flight = False
+        return self._state
+
+    def allow(self) -> bool:
+        """May an ingest proceed right now?
+
+        Closed: always.  Open: no.  Half-open: exactly one caller gets
+        True (the probe); everyone else is rejected until the probe
+        reports back via :meth:`record_success` / :meth:`record_failure`.
+        """
+        with self._lock:
+            state = self._advance_locked()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def retry_after_s(self) -> float:
+        """Seconds until the breaker would next admit a probe (0 when
+        it already would)."""
+        with self._lock:
+            if self._state != self.OPEN or self._opened_at is None:
+                return 0.0
+            return max(
+                0.0, self.reset_after_s - (self._clock() - self._opened_at)
+            )
+
+    def abandon_probe(self) -> None:
+        """An :meth:`allow`-ed caller never actually ran the ingest
+        (shed, validation error, deadline before start): free the
+        half-open probe slot without judging the backend."""
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._probe_in_flight = False
+
+    def record_success(self) -> None:
+        """An admitted ingest committed: close the breaker."""
+        with self._lock:
+            self._state = self.CLOSED
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """An admitted ingest failed for an infrastructure reason."""
+        with self._lock:
+            self._advance_locked()
+            if self._state == self.HALF_OPEN:
+                # Failed probe: straight back to open, fresh window.
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._probe_in_flight = False
+                self.trips += 1
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == self.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self.trips += 1
+
+    def snapshot(self) -> dict:
+        """State for the ``health`` op / metrics gauge."""
+        with self._lock:
+            state = self._advance_locked()
+            return {
+                "state": state,
+                "consecutive_failures": self._consecutive_failures,
+                "trips": self.trips,
+            }
+
+
+class AdmissionController:
+    """Bounded ingest-queue depth and connection cap.
+
+    Tracks how many ingests are queued-or-running; :meth:`try_acquire`
+    fails (shed) once ``max_queued`` are in the system.  Connection slots
+    work the same way with ``max_connections``.  Both are plain counters
+    under one lock — the *waiting* itself is the server's asyncio lock;
+    this class only answers "is there room to wait at all?".
+    """
+
+    def __init__(self, max_queued: int, max_connections: int) -> None:
+        if max_queued < 1:
+            raise ValueError("max_queued must be >= 1")
+        if max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
+        self.max_queued = int(max_queued)
+        self.max_connections = int(max_connections)
+        self._lock = threading.Lock()
+        self._queued = 0
+        self._connections = 0
+        #: Total ingests shed for queue-full (telemetry).
+        self.shed_ingests = 0
+        #: Total connections refused for cap (telemetry).
+        self.shed_connections = 0
+
+    @property
+    def queued(self) -> int:
+        with self._lock:
+            return self._queued
+
+    @property
+    def connections(self) -> int:
+        with self._lock:
+            return self._connections
+
+    def try_acquire(self) -> bool:
+        """Claim an ingest slot; False = queue full, shed the request."""
+        with self._lock:
+            if self._queued >= self.max_queued:
+                self.shed_ingests += 1
+                return False
+            self._queued += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            self._queued = max(0, self._queued - 1)
+
+    def try_connect(self) -> bool:
+        """Claim a connection slot; False = at cap, refuse the client."""
+        with self._lock:
+            if self._connections >= self.max_connections:
+                self.shed_connections += 1
+                return False
+            self._connections += 1
+            return True
+
+    def disconnect(self) -> None:
+        with self._lock:
+            self._connections = max(0, self._connections - 1)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "queued_ingests": self._queued,
+                "max_queued_ingests": self.max_queued,
+                "connections": self._connections,
+                "max_connections": self.max_connections,
+                "shed_ingests": self.shed_ingests,
+                "shed_connections": self.shed_connections,
+            }

@@ -7,16 +7,56 @@ frame: batches at serving granularity are thousands of points, the
 clustering dominates the wall time by orders of magnitude, and a
 line-oriented protocol is debuggable with ``nc``.
 
-Ops::
+Ops (protocol v2)::
 
     ping      {}                          -> {ok, version}
     ingest    {points: [[x,y],...],
-               ids?: [int,...]}           -> {ok, seq, n_points, dirty_leaves,
+               ids?: [int,...],
+               deadline_s?: float}        -> {ok, seq, n_points, dirty_leaves,
                                               dirty_ratio, n_clusters, ...}
     labels    {ids: [int,...]}            -> {ok, labels: [...], core: [...]}
     stats     {}                          -> {ok, n_points, n_clusters, ...}
     dump      {}                          -> {ok, ids, labels, core}
+    health    {}                          -> {ok, ready, draining, breaker,
+                                              queued_ingests, connections, ...}
+    drain     {}                          -> {ok, draining: true}  (stop
+                                              admitting ingests; finish or
+                                              cancel in-flight work, exit 0)
     shutdown  {}                          -> {ok}  (server exits cleanly)
+
+Error responses carry a machine-readable ``code`` (v2) alongside the
+human ``error`` string, and — for retryable sheds — a ``retry_after_s``
+hint::
+
+    {ok: false, error: "...", code: "overloaded", retry_after_s: 1.5}
+
+Codes (:data:`ERROR_CODES`):
+
+``overloaded``
+    Admission control shed the request (ingest queue full or connection
+    cap reached).  Safe to retry after ``retry_after_s`` — the ingest
+    never started.
+``degraded``
+    The circuit breaker is open after repeated infrastructure failures;
+    queries still serve the last committed snapshot.  Retryable.
+``draining``
+    The daemon is shutting down gracefully; no new ingests.  Retry
+    against a replacement instance.
+``deadline_exceeded``
+    The op's deadline expired; any partial work was rolled back.
+``cancelled``
+    The op was cooperatively cancelled (client gone, drain forced).
+``too_large``
+    The request exceeded a hard size limit (line bytes or batch
+    points).  Not retryable as-is — split the batch.
+``bad_request``
+    Malformed op/arguments.  Not retryable as-is.
+``failed``
+    The op ran and failed for a non-retryable reason.
+
+v1 clients ignore the extra fields and keep working; v1 servers simply
+never emit ``code`` (clients must treat a missing ``code`` as
+``failed``).
 """
 
 from __future__ import annotations
@@ -25,21 +65,41 @@ import json
 from typing import Any
 
 __all__ = [
+    "ERROR_CODES",
     "MAX_LINE_BYTES",
     "PROTOCOL_VERSION",
+    "RETRYABLE_CODES",
     "ServeProtocolError",
     "decode_line",
     "encode_message",
     "error_response",
 ]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: Upper bound on one request/response line (~1M points per batch at
 #: ~40 bytes/point) — a guard against unframed garbage, not a quota.
 MAX_LINE_BYTES = 64 * 1024 * 1024
 
-OPS = ("ping", "ingest", "labels", "stats", "dump", "shutdown")
+OPS = (
+    "ping", "ingest", "labels", "stats", "dump", "health", "drain", "shutdown",
+)
+
+#: Machine-readable error codes (see module docstring for semantics).
+ERROR_CODES = (
+    "overloaded",
+    "degraded",
+    "draining",
+    "deadline_exceeded",
+    "cancelled",
+    "too_large",
+    "bad_request",
+    "failed",
+)
+
+#: Codes a client may retry verbatim: the ingest was shed *before* any
+#: work started, so re-sending cannot double-apply.
+RETRYABLE_CODES = frozenset({"overloaded", "degraded"})
 
 
 class ServeProtocolError(Exception):
@@ -76,5 +136,20 @@ def validate_request(obj: dict[str, Any]) -> str:
     return op
 
 
-def error_response(message: str) -> dict[str, Any]:
-    return {"ok": False, "error": message}
+def error_response(
+    message: str,
+    code: str | None = None,
+    *,
+    retry_after_s: float | None = None,
+) -> dict[str, Any]:
+    """Structured error line.  ``code`` must come from
+    :data:`ERROR_CODES`; ``retry_after_s`` is a backoff hint for
+    retryable sheds."""
+    if code is not None and code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    resp: dict[str, Any] = {"ok": False, "error": message}
+    if code is not None:
+        resp["code"] = code
+    if retry_after_s is not None:
+        resp["retry_after_s"] = round(float(retry_after_s), 3)
+    return resp

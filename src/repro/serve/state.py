@@ -148,6 +148,9 @@ class ServeState:
         self._ingest_lock = threading.Lock()
         self.n_ingests = 0
         self.started_at = time.time()
+        #: Wall seconds of the last committed ingest — the server's
+        #: ``retry_after_s`` estimate keys on it.
+        self.last_ingest_seconds = 0.0
 
         base, n_dropped = base.drop_invalid()
         if len(base) == 0:
@@ -246,7 +249,11 @@ class ServeState:
     # ------------------------------------------------------------------ #
 
     def ingest(
-        self, coords: np.ndarray, ids: np.ndarray | None = None
+        self,
+        coords: np.ndarray,
+        ids: np.ndarray | None = None,
+        *,
+        cancel=None,
     ) -> IngestOutcome:
         """Ingest one batch; blocks until the new labels are committed.
 
@@ -254,16 +261,30 @@ class ServeState:
         ones are allocated past the current maximum when omitted).
         Thread-safe: ingests serialize on an internal lock; queries keep
         reading the previous snapshot until commit.
+
+        ``cancel`` (a :class:`~repro.resilience.CancelToken`) bounds the
+        transaction: a cancelled or deadline-expired token unwinds the
+        re-cluster with :class:`~repro.errors.OperationCancelledError`
+        *before* commit — labels, plan and journal all stay at the
+        previous committed state, and the batch's WAL blob (durable but
+        never acked) is exactly what a resume replays or drops.
         """
         with self._ingest_lock:
-            outcome = self._apply_ingest(coords, ids, journal=True)
+            outcome = self._apply_ingest(coords, ids, journal=True, cancel=cancel)
             self.n_ingests += 1
             return outcome
 
     def _apply_ingest(
-        self, coords: np.ndarray, ids: np.ndarray | None, *, journal: bool
+        self,
+        coords: np.ndarray,
+        ids: np.ndarray | None,
+        *,
+        journal: bool,
+        cancel=None,
     ) -> IngestOutcome:
         t0 = time.perf_counter()
+        if cancel is not None:
+            cancel.check()
         cfg = self.config
         coords = np.asarray(coords, dtype=np.float64).reshape(-1, 2)
         if len(coords) == 0:
@@ -335,17 +356,30 @@ class ServeState:
         cached = {
             pid: out for pid, out in self.outputs.items() if pid not in dirty
         }
-        result = cluster_merge_sweep(
-            partitions=partitions,
-            plan=plan,
-            n_points=len(points),
-            config=cfg,
-            transport=self.transport,
-            dirty=dirty,
-            cached_outputs=cached,
-            telemetry=self.telemetry,
-            checkpoint_dir=self.checkpoint_dir,
-        )
+        try:
+            result = cluster_merge_sweep(
+                partitions=partitions,
+                plan=plan,
+                n_points=len(points),
+                config=cfg,
+                transport=self.transport,
+                dirty=dirty,
+                cached_outputs=cached,
+                telemetry=self.telemetry,
+                checkpoint_dir=self.checkpoint_dir,
+                cancel=cancel,
+            )
+        except BaseException:
+            # The aborted run may have spilled checkpoints for dirty
+            # leaves clustered over the *candidate* partitions.  The
+            # committed state is untouched, but a later ingest dirtying
+            # the same leaf must not be satisfied by them — re-invalidate
+            # before unwinding.
+            if self.checkpoint_dir is not None and dirty:
+                store = LeafCheckpointStore(self.checkpoint_dir)
+                for pid in dirty:
+                    store.invalidate(pid)
+            raise
 
         delay = float(os.environ.get(INGEST_DELAY_ENV, "0") or 0)
         if delay > 0:
@@ -373,6 +407,7 @@ class ServeState:
             )
         dirty_ratio = len(dirty) / max(1, cfg.n_leaves)
         self.last_dirty_ratio = dirty_ratio
+        self.last_ingest_seconds = time.perf_counter() - t0
         if journal and self.ingest_log is not None:
             # WAL step 2: journaled == acked.
             self.ingest_log.commit(

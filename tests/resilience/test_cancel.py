@@ -1,0 +1,185 @@
+"""CancelToken semantics and cancellation threading through the tree.
+
+The token is the serve daemon's deadline/abandonment primitive; these
+tests pin its state machine and prove a cancelled token actually unwinds
+``Network`` collectives and ``cluster_merge_sweep`` without committing
+anything.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DeadlineExceededError,
+    OperationCancelledError,
+    TransportError,
+)
+from repro.mrnet import LocalTransport, Network, Topology
+from repro.resilience import CancelToken
+
+
+# --------------------------------------------------------------------- #
+# Token state machine
+# --------------------------------------------------------------------- #
+
+
+def test_live_token_is_inert():
+    t = CancelToken()
+    assert not t.cancelled
+    assert not t.expired
+    assert t.reason == ""
+    assert t.remaining() is None
+    t.check()  # must not raise
+
+
+def test_explicit_cancel():
+    t = CancelToken()
+    t.cancel("client disconnected")
+    assert t.cancelled
+    assert t.reason == "client disconnected"
+    with pytest.raises(OperationCancelledError, match="client disconnected"):
+        t.check()
+
+
+def test_first_cancel_reason_wins():
+    t = CancelToken()
+    t.cancel("first")
+    t.cancel("second")
+    assert t.reason == "first"
+
+
+def test_deadline_expiry():
+    t = CancelToken(deadline_s=0.02)
+    assert not t.cancelled
+    assert 0.0 < t.remaining() <= 0.02
+    time.sleep(0.03)
+    assert t.expired
+    assert t.cancelled
+    assert t.remaining() == 0.0
+    assert t.reason == "deadline exceeded"
+    with pytest.raises(DeadlineExceededError):
+        t.check()
+
+
+def test_deadline_error_is_a_cancellation_not_a_transport_error():
+    # The resilience engine must propagate cancellation immediately, so
+    # it can never be mistaken for a retryable node failure.
+    assert issubclass(DeadlineExceededError, OperationCancelledError)
+    assert not issubclass(OperationCancelledError, TransportError)
+
+
+def test_nonpositive_deadline_is_already_expired():
+    t = CancelToken(deadline_s=0.0)
+    assert t.expired
+    with pytest.raises(DeadlineExceededError):
+        t.check()
+
+
+def test_cancel_is_thread_safe():
+    t = CancelToken()
+    threads = [
+        threading.Thread(target=t.cancel, args=(f"r{i}",)) for i in range(8)
+    ]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    assert t.cancelled
+    assert t.reason.startswith("r")
+
+
+# --------------------------------------------------------------------- #
+# Threading through Network / transports
+# --------------------------------------------------------------------- #
+
+
+def _net(n_leaves: int = 4, cancel=None) -> Network:
+    return Network(
+        Topology.paper_style(n_leaves, 4), LocalTransport(), cancel=cancel
+    )
+
+
+def test_network_with_pre_cancelled_token_never_runs_work():
+    token = CancelToken()
+    token.cancel("gone before start")
+    ran = []
+    net = _net(cancel=token)
+    with pytest.raises(OperationCancelledError, match="gone before start"):
+        net.map_leaves(lambda x: ran.append(x), [1, 2, 3, 4])
+    assert ran == []
+
+
+def test_local_transport_cancels_between_tasks():
+    # The token trips after the first leaf's work: LocalTransport checks
+    # between sequential tasks, so later leaves must never execute.
+    token = CancelToken()
+    ran = []
+
+    def leaf(x):
+        ran.append(x)
+        token.cancel("mid-batch")
+        return x
+
+    net = _net(cancel=token)
+    with pytest.raises(OperationCancelledError, match="mid-batch"):
+        net.map_leaves(leaf, [1, 2, 3, 4])
+    assert ran == [1]
+
+
+def test_expired_deadline_unwinds_as_deadline_exceeded():
+    token = CancelToken(deadline_s=0.01)
+    time.sleep(0.02)
+    net = _net(cancel=token)
+    with pytest.raises(DeadlineExceededError):
+        net.map_leaves(lambda x: x, [1, 2, 3, 4])
+
+
+def test_uncancelled_network_is_unaffected():
+    token = CancelToken()
+    net = _net(cancel=token)
+    results, _ = net.map_leaves(lambda x: x * 10, [1, 2, 3, 4])
+    assert results == [10, 20, 30, 40]
+
+
+def test_cluster_merge_sweep_cancellation_rolls_back():
+    from repro.core.config import MrScanConfig
+    from repro.core.pipeline import cluster_merge_sweep
+    from repro.partition.grid import GridHistogram
+    from repro.partition.partitioner import form_partitions, partition_points
+    from repro.points import PointSet
+
+    rng = np.random.default_rng(0)
+    pts = PointSet.from_coords(rng.uniform(0, 1, size=(400, 2)))
+    cfg = MrScanConfig(eps=0.08, minpts=4, n_leaves=4)
+    hist = GridHistogram.from_points(pts, cfg.eps)
+    plan = form_partitions(hist, cfg.n_leaves, cfg.minpts)
+    partitions = partition_points(pts, plan)
+    transport = LocalTransport()
+
+    token = CancelToken()
+    token.cancel("abandoned")
+    with pytest.raises(OperationCancelledError):
+        cluster_merge_sweep(
+            partitions=partitions,
+            plan=plan,
+            n_points=len(pts),
+            config=cfg,
+            transport=transport,
+            cancel=token,
+        )
+
+    # A fresh token (or none) still works on the same inputs: nothing
+    # about the cancelled attempt leaked into shared state.
+    result = cluster_merge_sweep(
+        partitions=partitions,
+        plan=plan,
+        n_points=len(pts),
+        config=cfg,
+        transport=transport,
+    )
+    assert len(result.labels) == len(pts)

@@ -1,0 +1,664 @@
+"""Overload protection: admission sheds, deadlines, breaker, drain, stalls.
+
+Unit tests pin the :mod:`repro.serve.overload` primitives with a fake
+clock; the integration tests boot a real daemon with tiny limits and a
+patched (gated / failing / cancel-polling) ``state.ingest`` so every
+protection path fires deterministically in milliseconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import MrScanConfig
+from repro.points import PointSet
+from repro.serve.client import (
+    ServeClient,
+    ServeOverloadedError,
+    ServeRequestError,
+)
+from repro.serve.overload import AdmissionController, CircuitBreaker
+from repro.serve.protocol import (
+    ERROR_CODES,
+    RETRYABLE_CODES,
+    ServeProtocolError,
+    error_response,
+)
+from repro.serve.server import ServeServer
+
+
+# --------------------------------------------------------------------- #
+# Protocol v2 error envelope
+# --------------------------------------------------------------------- #
+
+
+def test_error_response_shapes():
+    resp = error_response("full", "overloaded", retry_after_s=1.23456)
+    assert resp == {
+        "ok": False,
+        "error": "full",
+        "code": "overloaded",
+        "retry_after_s": 1.235,
+    }
+    assert error_response("plain") == {"ok": False, "error": "plain"}
+    with pytest.raises(ValueError):
+        error_response("bad", "no-such-code")
+    assert RETRYABLE_CODES <= set(ERROR_CODES)
+
+
+# --------------------------------------------------------------------- #
+# CircuitBreaker (fake clock)
+# --------------------------------------------------------------------- #
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clocked() -> tuple[CircuitBreaker, FakeClock]:
+    clock = FakeClock()
+    return CircuitBreaker(failure_threshold=3, reset_after_s=30.0, clock=clock), clock
+
+
+def test_breaker_trips_after_consecutive_failures(clocked):
+    breaker, _ = clocked
+    for _ in range(2):
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    assert not breaker.allow()
+    assert breaker.trips == 1
+    assert breaker.retry_after_s() == pytest.approx(30.0)
+
+
+def test_breaker_success_resets_the_failure_streak(clocked):
+    breaker, _ = clocked
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.CLOSED
+
+
+def test_breaker_half_open_admits_exactly_one_probe(clocked):
+    breaker, clock = clocked
+    for _ in range(3):
+        breaker.record_failure()
+    clock.now += 29.0
+    assert not breaker.allow()
+    clock.now += 1.0
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+    assert breaker.allow()  # the probe
+    assert not breaker.allow()  # everyone else still shed
+    breaker.record_success()
+    assert breaker.state == CircuitBreaker.CLOSED
+    assert breaker.allow()
+
+
+def test_breaker_failed_probe_reopens_with_a_fresh_window(clocked):
+    breaker, clock = clocked
+    for _ in range(3):
+        breaker.record_failure()
+    clock.now += 30.0
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    assert breaker.trips == 2
+    assert breaker.retry_after_s() == pytest.approx(30.0)
+    clock.now += 30.0
+    assert breaker.allow()  # next probe window
+
+
+def test_breaker_abandoned_probe_frees_the_slot(clocked):
+    # A probe that was shed before running (validation error, queue full)
+    # must not wedge the breaker in "probe forever in flight".
+    breaker, clock = clocked
+    for _ in range(3):
+        breaker.record_failure()
+    clock.now += 30.0
+    assert breaker.allow()
+    assert not breaker.allow()
+    breaker.abandon_probe()
+    assert breaker.allow()
+    # And it is a no-op in other states.
+    breaker.record_success()
+    breaker.abandon_probe()
+    assert breaker.state == CircuitBreaker.CLOSED
+
+
+def test_breaker_snapshot_and_validation(clocked):
+    breaker, _ = clocked
+    breaker.record_failure()
+    snap = breaker.snapshot()
+    assert snap == {"state": "closed", "consecutive_failures": 1, "trips": 0}
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(reset_after_s=-1.0)
+
+
+# --------------------------------------------------------------------- #
+# AdmissionController
+# --------------------------------------------------------------------- #
+
+
+def test_admission_bounds_queue_and_connections():
+    adm = AdmissionController(max_queued=2, max_connections=3)
+    assert adm.try_acquire() and adm.try_acquire()
+    assert not adm.try_acquire()  # shed
+    assert adm.shed_ingests == 1
+    adm.release()
+    assert adm.try_acquire()
+    for _ in range(3):
+        assert adm.try_connect()
+    assert not adm.try_connect()
+    assert adm.shed_connections == 1
+    adm.disconnect()
+    assert adm.try_connect()
+    snap = adm.snapshot()
+    assert snap["queued_ingests"] == 2
+    assert snap["max_queued_ingests"] == 2
+    assert snap["connections"] == 3
+    assert snap["shed_ingests"] == 1
+    assert snap["shed_connections"] == 1
+    with pytest.raises(ValueError):
+        AdmissionController(max_queued=0, max_connections=1)
+    with pytest.raises(ValueError):
+        AdmissionController(max_queued=1, max_connections=0)
+
+
+def test_admission_release_never_goes_negative():
+    adm = AdmissionController(max_queued=1, max_connections=1)
+    adm.release()
+    adm.disconnect()
+    assert adm.queued == 0
+    assert adm.connections == 0
+
+
+# --------------------------------------------------------------------- #
+# Daemon integration
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def base() -> PointSet:
+    rng = np.random.default_rng(7)
+    centers = rng.uniform(-3, 3, size=(4, 2))
+    which = rng.integers(0, 4, size=1500)
+    return PointSet.from_coords(
+        centers[which] + rng.normal(0, 0.1, size=(1500, 2))
+    )
+
+
+@contextlib.contextmanager
+def _daemon(base: PointSet, tmp_path, **server_kwargs):
+    """A live daemon with overload knobs; yields (socket_path, server)."""
+    config = MrScanConfig(eps=0.08, minpts=8, n_leaves=8)
+    socket_path = tmp_path / "serve.sock"
+    loop = asyncio.new_event_loop()
+    box: dict = {}
+    started = threading.Event()
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+
+        async def _main() -> None:
+            server = ServeServer(
+                base, config, socket_path=socket_path, **server_kwargs
+            )
+            box["server"] = server
+            await server.start()
+            started.set()
+            await server.serve_forever()
+            server.close()
+
+        loop.run_until_complete(_main())
+
+    thread = threading.Thread(target=_run, daemon=True)
+    thread.start()
+    assert started.wait(timeout=300), "daemon failed to start"
+    try:
+        yield socket_path, box["server"]
+    finally:
+        try:
+            with ServeClient(socket_path=socket_path, timeout=10) as c:
+                c.shutdown()
+        except Exception:
+            pass
+        thread.join(timeout=60)
+
+
+def _batch(base: PointSet, n: int, seed: int) -> list:
+    rng = np.random.default_rng(seed)
+    anchor = base.coords[int(rng.integers(0, len(base)))]
+    return (anchor + rng.normal(0, 0.03, size=(n, 2))).tolist()
+
+
+def _gate_ingest(server: ServeServer, gate: threading.Event):
+    """Patch ``state.ingest`` to block on ``gate`` (polling its cancel
+    token) before running the real thing.  Returns the real method."""
+    real = server.state.ingest
+
+    def gated(coords, ids=None, *, cancel=None):
+        for _ in range(600):  # bounded: ~30s worst case
+            if gate.wait(0.05):
+                return real(coords, ids, cancel=cancel)
+            if cancel is not None:
+                cancel.check()
+        raise AssertionError("gate never opened")
+
+    server.state.ingest = gated
+    return real
+
+
+def test_queue_full_sheds_with_retry_hint(base, tmp_path):
+    with _daemon(base, tmp_path, max_queued_ingests=1) as (sock, server):
+        gate = threading.Event()
+        _gate_ingest(server, gate)
+        first: dict = {}
+
+        def _slow_ingest() -> None:
+            with ServeClient(socket_path=sock) as c:
+                first["ack"] = c.ingest(_batch(base, 30, 1))
+
+        t = threading.Thread(target=_slow_ingest, daemon=True)
+        t.start()
+        try:
+            # Wait until the first ingest holds the only slot.
+            for _ in range(200):
+                if server.admission.queued == 1:
+                    break
+                time.sleep(0.01)
+            with ServeClient(socket_path=sock) as c:
+                with pytest.raises(ServeOverloadedError) as err:
+                    c.ingest(_batch(base, 30, 2))
+                assert err.value.code == "overloaded"
+                assert err.value.retry_after_s > 0
+                # Queries keep serving while the queue is saturated.
+                labels, _ = c.labels([0, 1, 2])
+                assert len(labels) == 3
+                health = c.health()
+                assert health["queued_ingests"] == 1
+                assert health["shed_ingests"] >= 1
+        finally:
+            gate.set()
+        t.join(timeout=120)
+        assert first["ack"]["ok"] is True
+
+
+def test_client_retry_rides_out_the_shed(base, tmp_path):
+    with _daemon(base, tmp_path, max_queued_ingests=1) as (sock, server):
+        gate = threading.Event()
+        _gate_ingest(server, gate)
+        holder: dict = {}
+
+        def _hold() -> None:
+            with ServeClient(socket_path=sock) as c:
+                holder["ack"] = c.ingest(_batch(base, 30, 3))
+
+        t = threading.Thread(target=_hold, daemon=True)
+        t.start()
+        try:
+            for _ in range(200):
+                if server.admission.queued == 1:
+                    break
+                time.sleep(0.01)
+            with ServeClient(socket_path=sock) as c:
+                sleeps: list[float] = []
+
+                def _sleep(s: float) -> None:
+                    sleeps.append(s)
+                    gate.set()  # unblock the holder on the first shed
+                    time.sleep(min(s, 0.05))
+
+                c._sleep = _sleep
+                ack = c.ingest(_batch(base, 30, 4), retries=100)
+                assert ack["ok"] is True
+                assert len(sleeps) >= 1
+                assert all(s >= 0.0 for s in sleeps)
+        finally:
+            gate.set()
+        t.join(timeout=120)
+        assert holder["ack"]["ok"] is True
+
+
+def test_connection_cap_sheds_new_clients(base, tmp_path):
+    with _daemon(base, tmp_path, max_connections=1) as (sock, server):
+        with ServeClient(socket_path=sock) as c1:
+            assert c1.ping()["ok"] is True
+            with ServeClient(socket_path=sock) as c2:
+                with pytest.raises(ServeOverloadedError) as err:
+                    c2.ping()
+                assert err.value.code == "overloaded"
+            # The shed freed no slot it never held: c1 still works.
+            assert c1.health()["connections"] == 1
+            c1.shutdown()
+
+
+def test_deadline_expires_while_running(base, tmp_path):
+    with _daemon(base, tmp_path) as (sock, server):
+        gate = threading.Event()  # never set: ingest spins on the token
+        _gate_ingest(server, gate)
+        try:
+            with ServeClient(socket_path=sock) as c:
+                with pytest.raises(ServeRequestError) as err:
+                    c.ingest(_batch(base, 30, 5), deadline_s=0.3)
+                assert err.value.code == "deadline_exceeded"
+                # Nothing committed; the daemon is healthy again.
+                assert c.stats()["n_ingests"] == 0
+                assert c.health()["ready"] is True
+        finally:
+            gate.set()
+
+
+def test_deadline_expires_while_queued(base, tmp_path):
+    with _daemon(base, tmp_path, max_queued_ingests=2) as (sock, server):
+        gate = threading.Event()
+        _gate_ingest(server, gate)
+        holder: dict = {}
+
+        def _hold() -> None:
+            with ServeClient(socket_path=sock) as c:
+                holder["ack"] = c.ingest(_batch(base, 30, 6))
+
+        t = threading.Thread(target=_hold, daemon=True)
+        t.start()
+        try:
+            for _ in range(200):
+                if server.admission.queued == 1:
+                    break
+                time.sleep(0.01)
+            with ServeClient(socket_path=sock) as c:
+                with pytest.raises(ServeRequestError) as err:
+                    c.ingest(_batch(base, 30, 7), deadline_s=0.3)
+                assert err.value.code == "deadline_exceeded"
+                assert "queued" in str(err.value)
+        finally:
+            gate.set()
+        t.join(timeout=120)
+        assert holder["ack"]["ok"] is True
+
+
+def test_oversized_batch_is_too_large(base, tmp_path):
+    with _daemon(base, tmp_path, max_batch_points=10) as (sock, server):
+        with ServeClient(socket_path=sock) as c:
+            with pytest.raises(ServeRequestError) as err:
+                c.ingest(_batch(base, 11, 8))
+            assert err.value.code == "too_large"
+            assert c.ingest(_batch(base, 10, 9))["ok"] is True
+
+
+def test_overlong_line_gets_framed_error_then_close(base, tmp_path):
+    with _daemon(base, tmp_path, max_line_bytes=2048) as (sock, server):
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        s.settimeout(30)
+        s.connect(str(sock))
+        try:
+            payload = json.dumps(
+                {"op": "ingest", "points": [[0.0, 0.0]] * 2000}
+            ).encode() + b"\n"
+            assert len(payload) > 2048
+            with contextlib.suppress(BrokenPipeError, ConnectionResetError):
+                s.sendall(payload)
+            buf = b""
+            while b"\n" not in buf:
+                chunk = s.recv(65536)
+                if not chunk:
+                    break
+                buf += chunk
+            assert b"\n" in buf, "no framed response before close"
+            response = json.loads(buf.split(b"\n", 1)[0])
+            assert response["ok"] is False
+            assert response["code"] == "too_large"
+        finally:
+            s.close()
+        # The daemon survived the oversized line.
+        with ServeClient(socket_path=sock) as c:
+            assert c.ping()["ok"] is True
+
+
+def test_breaker_trips_to_degraded_then_recovers(base, tmp_path):
+    with _daemon(
+        base, tmp_path, breaker_threshold=2, breaker_reset=0.4
+    ) as (sock, server):
+        real = server.state.ingest
+
+        def boom(coords, ids=None, *, cancel=None):
+            raise RuntimeError("backend down")
+
+        server.state.ingest = boom
+        with ServeClient(socket_path=sock) as c:
+            for _ in range(2):
+                with pytest.raises(ServeRequestError) as err:
+                    c.ingest(_batch(base, 20, 10))
+                assert err.value.code == "failed"
+            # Tripped: fast degraded sheds, queries unaffected.
+            with pytest.raises(ServeOverloadedError) as err:
+                c.ingest(_batch(base, 20, 11))
+            assert err.value.code == "degraded"
+            assert err.value.retry_after_s > 0
+            health = c.health()
+            assert health["breaker"]["state"] == "open"
+            assert health["breaker"]["trips"] == 1
+            assert health["ready"] is False
+            labels, _ = c.labels([0, 1])
+            assert len(labels) == 2
+
+            # Backend heals; after the reset window one probe closes it.
+            server.state.ingest = real
+            time.sleep(0.5)
+            ack = c.ingest(_batch(base, 20, 12))
+            assert ack["ok"] is True
+            health = c.health()
+            assert health["breaker"]["state"] == "closed"
+            assert health["ready"] is True
+            c.shutdown()
+
+
+def test_breaker_failed_probe_reopens_daemon_side(base, tmp_path):
+    with _daemon(
+        base, tmp_path, breaker_threshold=1, breaker_reset=0.3
+    ) as (sock, server):
+        def boom(coords, ids=None, *, cancel=None):
+            raise RuntimeError("still down")
+
+        server.state.ingest = boom
+        with ServeClient(socket_path=sock) as c:
+            with pytest.raises(ServeRequestError):
+                c.ingest(_batch(base, 20, 13))
+            time.sleep(0.4)
+            # The probe is admitted, fails, and re-opens the breaker.
+            with pytest.raises(ServeRequestError) as err:
+                c.ingest(_batch(base, 20, 14))
+            assert err.value.code == "failed"
+            with pytest.raises(ServeOverloadedError) as err:
+                c.ingest(_batch(base, 20, 15))
+            assert err.value.code == "degraded"
+            assert c.health()["breaker"]["trips"] == 2
+
+
+def test_client_mistakes_never_count_toward_the_breaker(base, tmp_path):
+    with _daemon(base, tmp_path, breaker_threshold=1) as (sock, server):
+        with ServeClient(socket_path=sock) as c:
+            for _ in range(3):
+                with pytest.raises(ServeRequestError) as err:
+                    c.ingest([[1.0, 2.0]], ids=[0])  # clashes with resident
+                assert err.value.code == "bad_request"
+            assert c.health()["breaker"]["state"] == "closed"
+
+
+def test_abandoned_client_cancels_its_ingest(base, tmp_path):
+    with _daemon(base, tmp_path) as (sock, server):
+        reasons: list[str] = []
+        real = server.state.ingest
+
+        def until_cancelled(coords, ids=None, *, cancel=None):
+            for _ in range(600):
+                time.sleep(0.02)
+                try:
+                    cancel.check()
+                except BaseException:
+                    reasons.append(cancel.reason)
+                    raise
+            raise AssertionError("never cancelled")
+
+        server.state.ingest = until_cancelled
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        s.connect(str(sock))
+        s.sendall(
+            json.dumps({"op": "ingest", "points": _batch(base, 20, 16)}).encode()
+            + b"\n"
+        )
+        # Wait for the ingest to be running, then vanish.
+        for _ in range(300):
+            if server.admission.queued == 1:
+                break
+            time.sleep(0.01)
+        s.close()
+        for _ in range(300):
+            if reasons:
+                break
+            time.sleep(0.02)
+        assert reasons == ["client disconnected"]
+        # Rolled back and recovered: a real ingest still commits.
+        server.state.ingest = real
+        with ServeClient(socket_path=sock) as c:
+            for _ in range(300):
+                if server.admission.queued == 0:
+                    break
+                time.sleep(0.01)
+            assert c.stats()["n_ingests"] == 0
+            assert c.ingest(_batch(base, 20, 17))["ok"] is True
+            assert c.stats()["n_ingests"] == 1
+
+
+def test_stalled_reader_is_aborted_not_wedged(base, tmp_path):
+    with _daemon(base, tmp_path, write_timeout=0.5) as (sock, server):
+        stalled = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        stalled.settimeout(30)
+        stalled.connect(str(sock))
+        dump_req = json.dumps({"op": "dump"}).encode() + b"\n"
+        # Never read a byte: responses pile up until the server's write
+        # stalls past write_timeout and it aborts the connection.
+        with contextlib.suppress(BrokenPipeError, ConnectionResetError, OSError):
+            for _ in range(300):
+                stalled.sendall(dump_req)
+        # A well-behaved client is still served promptly throughout.
+        with ServeClient(socket_path=sock) as c:
+            t0 = time.perf_counter()
+            assert c.ping()["ok"] is True
+            assert time.perf_counter() - t0 < 5.0
+            for _ in range(300):
+                if server.admission.connections <= 1:
+                    break
+                time.sleep(0.02)
+            assert server.admission.connections <= 1
+        stalled.close()
+
+
+def test_drain_lets_in_flight_ingest_finish(base, tmp_path):
+    with _daemon(base, tmp_path, drain_grace=60.0) as (sock, server):
+        gate = threading.Event()
+        _gate_ingest(server, gate)
+        result: dict = {}
+
+        def _ingest() -> None:
+            with ServeClient(socket_path=sock) as c:
+                try:
+                    result["ack"] = c.ingest(_batch(base, 20, 18))
+                except Exception as exc:  # pragma: no cover - surfaced below
+                    result["error"] = exc
+
+        t = threading.Thread(target=_ingest, daemon=True)
+        t.start()
+        for _ in range(200):
+            if server.admission.queued == 1:
+                break
+            time.sleep(0.01)
+        with ServeClient(socket_path=sock) as c:
+            assert c.drain()["draining"] is True
+            # Draining: new ingests refused, queries still answered.
+            with pytest.raises(ServeRequestError) as err:
+                c.ingest(_batch(base, 20, 19))
+            assert err.value.code == "draining"
+            assert c.health()["draining"] is True
+        gate.set()
+        t.join(timeout=120)
+        assert "error" not in result, result.get("error")
+        assert result["ack"]["ok"] is True
+        # The daemon exits on its own once the ingest lands.
+        for _ in range(600):
+            if server.closed:
+                break
+            time.sleep(0.05)
+        assert server.closed
+
+
+def test_drain_grace_expiry_cancels_the_ingest(base, tmp_path):
+    with _daemon(base, tmp_path, drain_grace=0.3) as (sock, server):
+        gate = threading.Event()  # never set: only a cancel can end it
+        _gate_ingest(server, gate)
+        result: dict = {}
+
+        def _ingest() -> None:
+            with ServeClient(socket_path=sock) as c:
+                try:
+                    result["ack"] = c.ingest(_batch(base, 20, 20))
+                except Exception as exc:
+                    result["error"] = exc
+
+        t = threading.Thread(target=_ingest, daemon=True)
+        t.start()
+        for _ in range(200):
+            if server.admission.queued == 1:
+                break
+            time.sleep(0.01)
+        with ServeClient(socket_path=sock) as c:
+            assert c.drain()["draining"] is True
+        t.join(timeout=120)
+        # The forced cancellation either reaches the client as a
+        # structured `cancelled` error or the connection closes first —
+        # both mean the transaction was rolled back, never half-applied.
+        assert "ack" not in result
+        error = result["error"]
+        if isinstance(error, ServeRequestError):
+            assert error.code == "cancelled"
+        else:
+            assert isinstance(error, (ServeProtocolError, OSError))
+        for _ in range(600):
+            if server.closed:
+                break
+            time.sleep(0.05)
+        assert server.closed
+
+
+def test_health_reports_the_full_surface(base, tmp_path):
+    with _daemon(base, tmp_path, max_queued_ingests=4) as (sock, server):
+        with ServeClient(socket_path=sock) as c:
+            health = c.health()
+            assert health["ok"] is True
+            assert health["ready"] is True
+            assert health["draining"] is False
+            assert health["breaker"]["state"] == "closed"
+            assert health["queued_ingests"] == 0
+            assert health["max_queued_ingests"] == 4
+            assert health["connections"] == 1
+            assert health["n_ingests"] == 0
+            assert health["uptime_seconds"] >= 0
+            assert "type" in health["transport"]
+            assert health["transport"]["closed"] is False

@@ -13,6 +13,7 @@ import pytest
 from repro.core.config import MrScanConfig
 from repro.points import PointSet
 from repro.serve.client import ServeClient, ServeRequestError
+from repro.serve.protocol import PROTOCOL_VERSION
 from repro.serve.server import ServeServer
 
 
@@ -72,7 +73,7 @@ def _batch(base: PointSet, n: int, seed: int) -> list:
 def test_ingest_query_shutdown_roundtrip(base, daemon):
     with ServeClient(socket_path=daemon) as c:
         pong = c.ping()
-        assert pong["version"] == 1
+        assert pong["version"] == PROTOCOL_VERSION
         for seed in range(3):
             ack = c.ingest(_batch(base, 50, seed))
             assert ack["n_points"] == 50

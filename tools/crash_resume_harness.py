@@ -26,8 +26,12 @@ starts ``mrscan serve --run-dir``, holds an ingest open inside the
 daemon's chaos window (``MRSCAN_SERVE_INGEST_DELAY`` pins the thread
 between the durable blob write and the journal commit), SIGKILLs the
 daemon mid-ingest, restarts it with ``--resume``, re-sends the lost
-batch plus a fresh one, and gates on the final dump being
-equivalence-equal to a from-scratch in-process run on the union.
+batch plus a fresh one, then exercises the graceful path: SIGTERM lands
+mid-ingest on the resumed daemon, which must finish the in-flight
+transaction within its ``--drain-grace``, ack it, and exit 0 — a final
+``--resume`` proves the drained batch survived.  The gate is the final
+dump being equivalence-equal to a from-scratch in-process run on the
+union.
 
 Exit status 0 on success, 1 on any divergence — CI gates on it.
 
@@ -186,9 +190,13 @@ def serve_main(args: argparse.Namespace) -> int:
             victim.wait()
 
     # 2. Resume: the daemon must come back to the last ACKED state —
-    # base + batch 0, with the torn batch 1 ignored.
+    # base + batch 0, with the torn batch 1 ignored.  This daemon keeps
+    # a (shorter) chaos delay armed and a generous --drain-grace: it is
+    # also the SIGTERM-drain victim of step 4.
+    drain_delay = min(args.ingest_delay, 3.0)
     survivor = subprocess.Popen(
-        serve_cmd + ["--resume"], env=env,
+        serve_cmd + ["--resume", "--drain-grace", "120"],
+        env=dict(env, **{INGEST_DELAY_ENV: str(drain_delay)}),
     )
     try:
         _wait_for_daemon(socket_path, survivor, args.kill_timeout)
@@ -205,17 +213,76 @@ def serve_main(args: argparse.Namespace) -> int:
             # 3. The client retries the lost batch, then keeps streaming.
             c.ingest(_batch(11))
             c.ingest(_batch(12))
-            final = c.dump()
-            c.shutdown()
+
+        # 4. Drain leg: SIGTERM lands while an ingest sits in the chaos
+        # window (blob durable, commit pending).  Graceful drain must let
+        # it finish — the client gets its ack, the daemon exits 0 — and
+        # the batch must survive into the next resume.
+        drain_result: dict = {}
+
+        def _draining_ingest() -> None:
+            try:
+                with ServeClient(socket_path=socket_path) as c:
+                    drain_result["ack"] = c.ingest(_batch(13))
+            except Exception as exc:  # noqa: BLE001 - recorded, gated below
+                drain_result["error"] = f"{type(exc).__name__}: {exc}"
+
+        drainer = threading.Thread(target=_draining_ingest, daemon=True)
+        drainer.start()
+        blob = run_dir / "batches" / "batch_000003.npz"
+        deadline = time.monotonic() + args.kill_timeout
+        while not blob.exists():
+            if time.monotonic() > deadline:
+                print("FAIL: drain-leg blob never appeared", file=sys.stderr)
+                return 1
+            time.sleep(0.05)
+        survivor.send_signal(signal.SIGTERM)
+        rc = survivor.wait(timeout=args.kill_timeout)
+        drainer.join(timeout=60)
+        if rc != 0:
+            print(f"FAIL: drained daemon exited {rc}, want 0", file=sys.stderr)
+            return 1
+        if "ack" not in drain_result:
+            print(
+                "FAIL: in-flight ingest was not acked across the drain: "
+                f"{drain_result.get('error', 'no response')}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"drained daemon pid {survivor.pid} via SIGTERM mid-ingest "
+            f"(exit 0, batch 3 acked: seq={drain_result['ack']['seq']})"
+        )
     finally:
         if survivor.poll() is None:
             survivor.kill()
             survivor.wait()
 
-    # 4. Gate: the daemon's final labels are equivalence-equal to a
+    # 5. Final resume: the drained daemon's last batch must be there.
+    final_daemon = subprocess.Popen(serve_cmd + ["--resume"], env=env)
+    try:
+        _wait_for_daemon(socket_path, final_daemon, args.kill_timeout)
+        with ServeClient(socket_path=socket_path) as c:
+            stats = c.stats()
+            want = len(base) + 4 * 200
+            if stats["n_points"] != want or stats["n_ingests"] != 4:
+                print(
+                    f"FAIL: post-drain daemon has n_points={stats['n_points']} "
+                    f"n_ingests={stats['n_ingests']}, want {want}/4",
+                    file=sys.stderr,
+                )
+                return 1
+            final = c.dump()
+            c.shutdown()
+    finally:
+        if final_daemon.poll() is None:
+            final_daemon.kill()
+            final_daemon.wait()
+
+    # 6. Gate: the daemon's final labels are equivalence-equal to a
     # from-scratch run on the union it converged to.
     union_coords = np.vstack(
-        [base.coords] + [np.asarray(_batch(s)) for s in (10, 11, 12)]
+        [base.coords] + [np.asarray(_batch(s)) for s in (10, 11, 12, 13)]
     )
     union = PointSet(
         ids=np.arange(len(union_coords), dtype=np.int64), coords=union_coords
@@ -235,6 +302,7 @@ def serve_main(args: argparse.Namespace) -> int:
         return 1
     print(
         "OK: daemon killed mid-ingest, resumed to last acked state, "
+        "drained gracefully under SIGTERM, "
         f"converged equivalence-equal ({report.summary()})"
     )
     return 0
